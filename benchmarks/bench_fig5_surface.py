@@ -1,0 +1,21 @@
+"""Figure 5: the minimum-reward surface over (alpha, beta), at paper scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reward_surface import RewardSurfaceConfig, run_reward_surface
+
+_CONFIG = RewardSurfaceConfig(n_nodes=500_000, seed=5)
+
+
+def test_bench_fig5_surface(benchmark, report):
+    result = benchmark.pedantic(
+        run_reward_surface, args=(_CONFIG,), rounds=1, iterations=1
+    )
+    report(result.render())
+    best = result.best
+    assert best.alpha == pytest.approx(0.02)
+    assert best.beta == pytest.approx(0.03)
+    assert best.b_i == pytest.approx(5.2, rel=0.05)
+    assert result.binding_bound() == "online"

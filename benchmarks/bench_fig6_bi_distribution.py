@@ -1,0 +1,45 @@
+"""Figure 6: the distribution of Algorithm 1's B_i per stake population.
+
+Paper reference values (Section V-B discussion): roughly 50 Algos for
+U(1,200), small single-digit rewards for the normal populations, and ~1.2
+Algos for the 1B-Algo N(2000,25) network.  The headline *shape* is the
+ordering and the roughly 10x gap between the uniform and normal populations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plotting import format_table
+from repro.analysis.reward_comparison import (
+    RewardComparisonConfig,
+    run_reward_comparison,
+)
+
+_CONFIG = RewardComparisonConfig(n_nodes=500_000, n_instances=8, n_rounds=5)
+
+
+def test_bench_fig6_bi_distribution(benchmark, report):
+    result = benchmark.pedantic(
+        run_reward_comparison, args=(_CONFIG,), rounds=1, iterations=1
+    )
+    paper_reference = {
+        "U(1,200)": "≈50",
+        "N(100,20)": "≈5",
+        "N(100,10)": "≈5 (see EXPERIMENTS.md note)",
+        "N(2000,25)": "≈1.2",
+    }
+    rows = []
+    for name, mean, std, lo, hi in result.summary_rows():
+        rows.append(
+            (name, f"{mean:.2f}", f"{std:.2f}", f"[{lo:.2f}, {hi:.2f}]", paper_reference[name])
+        )
+    report(
+        format_table(
+            ("distribution", "mean B_i", "std", "range", "paper"),
+            rows,
+            title="Figure 6 — Algorithm 1's B_i by stake distribution (Algos)",
+        )
+        + "\n\n"
+        + result.render_figure6()
+    )
+    means = {row[0]: row[1] for row in result.summary_rows()}
+    assert means["U(1,200)"] > means["N(100,10)"] > means["N(2000,25)"]

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the simulator substrate.
+
+Not paper figures — these track the performance of the building blocks
+(sortition, gossip dissemination, a full consensus round, the Nash check)
+so regressions in the substrate are visible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import RoleCosts, is_nash_equilibrium, all_cooperate
+from repro.core.game import AlgorandGame, FoundationRule
+from repro.sim import AlgorandSimulation, SimulationConfig
+from repro.sim.crypto import KeyPair
+from repro.sim.engine import EventEngine
+from repro.sim.messages import CredentialMessage
+from repro.sim.network import GossipNetwork, build_random_overlay
+from repro.sim.sortition import Role, sortition
+
+
+def test_bench_sortition_throughput(benchmark):
+    """One sortition evaluation (VRF + binomial inversion + priority)."""
+    keypair = KeyPair.generate("bench")
+
+    def run():
+        return sortition(
+            keypair, seed=1234, round_index=7, role=Role.STEP,
+            stake=100, total_stake=1_000_000, expected_size=2000, step=3,
+        )
+
+    proof = benchmark(run)
+    assert proof is not None
+
+
+def test_bench_gossip_broadcast(benchmark):
+    """Disseminating one message through a 200-node, fanout-5 overlay."""
+    rng = random.Random(0)
+    overlay = build_random_overlay(list(range(200)), 5, rng)
+
+    class Sink:
+        def __init__(self, node_id):
+            self.node_id = node_id
+
+        def on_receive(self, message, now):
+            return True
+
+        relays_gossip = True
+        is_online = True
+
+    def run():
+        engine = EventEngine()
+        network = GossipNetwork(engine, overlay, delay_sampler=lambda: 0.1)
+        for node_id in range(200):
+            network.register(Sink(node_id))
+        network.broadcast(0, CredentialMessage(sender=0, block_round=1))
+        engine.run()
+        return network.stats.deliveries
+
+    deliveries = benchmark(run)
+    assert deliveries >= 199
+
+
+def test_bench_consensus_round(benchmark):
+    """One healthy BA* round on a 60-node network."""
+    config = SimulationConfig(
+        n_nodes=60, seed=3, tau_proposer=8.0, tau_step=60.0, tau_final=80.0,
+        verify_crypto=False,
+    )
+
+    def run():
+        simulation = AlgorandSimulation(config)
+        return simulation.run_round()
+
+    record = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert record.n_final > 0
+
+
+def test_bench_nash_check(benchmark):
+    """Exact Nash check on a 30-player round game."""
+    game = AlgorandGame.from_role_stakes(
+        leader_stakes=[5.0] * 4,
+        committee_stakes=[3.0] * 12,
+        online_stakes=[10.0] * 14,
+        costs=RoleCosts.paper_defaults(),
+        reward_rule=FoundationRule(b_i=20.0),
+    )
+    profile = all_cooperate(game)
+
+    result = benchmark(lambda: is_nash_equilibrium(game, profile))
+    assert not result.is_equilibrium  # Theorem 2

@@ -1,0 +1,18 @@
+"""Table II: the task/cost/role matrix and the derived role aggregates."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import table2
+
+
+def test_bench_table2_costs(benchmark, report):
+    result = benchmark(table2)
+    aggregates = dict(result.aggregates())
+    report(
+        result.render()
+        + "\n\npaper reference: c_L = 16, c_M = 12, c_K = 6, c_so = 5 micro-Algos"
+        + f"\nmeasured:        c_L = {aggregates['c_L = c_fix + c_bl']:.0f},"
+        + f" c_M = {aggregates['c_M = c_fix + c_bs + c_vo']:.0f},"
+        + f" c_K = {aggregates['c_K = c_fix']:.0f}"
+    )
+    assert abs(aggregates["c_L = c_fix + c_bl"] - 16.0) < 1e-9

@@ -1,0 +1,18 @@
+"""Table III: the Foundation's projected reward schedule."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import table3
+
+
+def test_bench_table3_schedule(benchmark, report):
+    result = benchmark(table3)
+    rows = result.rows()
+    report(
+        result.render()
+        + "\n\npaper reference: period 1 pays 10M Algos (~20 Algos/round),"
+        + " flattening at 38M"
+        + f"\nmeasured:        period 1 -> {rows[0][2]:.0f} Algos/round,"
+        + f" period 12 -> {rows[-1][2]:.0f} Algos/round"
+    )
+    assert rows[0] == (1, 10, 20.0)

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the measured rows next to the paper's reference values, so a benchmark run
+doubles as the reproduction record (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment output through the capture barrier.
+
+    Benchmarks print their paper-vs-measured tables live so that
+    ``pytest benchmarks/ --benchmark-only`` shows them without ``-s``.
+    """
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Adaptive reward planner: what the Algorand Foundation would run.
+
+Given a stake-population profile, computes the minimal per-round reward
+``B_i`` and the role split ``(alpha, beta, gamma)`` that make cooperation a
+Nash equilibrium (paper Algorithm 1 / Theorem 3), and compares the spend
+against the Foundation's Table III schedule.  Also shows how removing
+small-stake nodes from the rewarded set shrinks the required reward
+(paper Figure 7(c)).
+
+Usage::
+
+    python examples/adaptive_reward_planner.py                    # N(100,10)
+    python examples/adaptive_reward_planner.py --population U(1,200)
+    python examples/adaptive_reward_planner.py --nodes 200000 --total 2e7
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.plotting import format_table
+from repro.core import RoleCosts, minimize_reward_analytic, paper_aggregates
+from repro.core.rewards import RewardSchedule
+from repro.stakes.distributions import paper_distributions
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--population",
+        default="N(100,10)",
+        choices=sorted(paper_distributions()),
+        help="stake distribution profile",
+    )
+    parser.add_argument("--nodes", type=int, default=500_000, help="population size")
+    parser.add_argument(
+        "--total", type=float, default=50_000_000, help="total network stake (Algos)"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--horizon", type=int, default=500_000, help="rounds for the savings estimate"
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    costs = RoleCosts.paper_defaults()
+    schedule = RewardSchedule()
+    distribution = paper_distributions()[args.population]
+
+    print(f"Sampling {args.nodes:,} nodes from {args.population}, "
+          f"total stake {args.total:,.0f} Algos ...")
+    stakes = np.asarray(distribution.sample_total(args.nodes, args.total, args.seed))
+
+    rows = []
+    for floor in (0.0, 3.0, 5.0, 7.0, 10.0):
+        aggregates = paper_aggregates(stakes, k_floor=floor)
+        split = minimize_reward_analytic(costs, aggregates)
+        label = "population min" if floor == 0 else f"stakes >= {floor:g}"
+        rows.append(
+            (
+                label,
+                f"{aggregates.min_other:.2f}",
+                f"{split.alpha:.2e}",
+                f"{split.beta:.2e}",
+                f"{split.gamma:.4f}",
+                f"{split.b_i:.3f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("rewarded set", "s*_k", "alpha", "beta", "gamma", "B_i (Algos)"),
+            rows,
+            title="Algorithm 1 — minimal incentive-compatible reward per round",
+        )
+    )
+
+    baseline = paper_aggregates(stakes, k_floor=0.0)
+    ours = minimize_reward_analytic(costs, baseline).b_i
+    foundation_total = schedule.cumulative_reward(args.horizon)
+    ours_total = ours * args.horizon
+    print()
+    print(f"Foundation schedule over {args.horizon:,} rounds: "
+          f"{foundation_total:,.0f} Algos")
+    print(f"Algorithm 1 over the same horizon:            {ours_total:,.0f} Algos")
+    if ours_total < foundation_total:
+        saving = foundation_total - ours_total
+        print(f"saving: {saving:,.0f} Algos "
+              f"({saving / foundation_total:.0%} of the planned spend)")
+    else:
+        print(
+            "note: this population needs MORE than the schedule — many "
+            "small-stake nodes make cooperation expensive (see Figure 6, "
+            "U(1,200)); consider a stake floor for the rewarded set."
+        )
+
+
+if __name__ == "__main__":
+    main()

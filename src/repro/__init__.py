@@ -1,0 +1,37 @@
+"""repro — reproduction of "On Incentive Compatible Role-based Reward
+Distribution in Algorand" (Fooladgar et al., DSN 2020).
+
+The package has four layers:
+
+* :mod:`repro.sim` — an Algorand discrete-event simulator (sortition,
+  gossip, BA* consensus, behaviours), the substrate of the paper's
+  empirical results.
+* :mod:`repro.core` — the paper's contribution: the cost model, the
+  Foundation and role-based reward-sharing mechanisms, the game
+  G_Al / G_Al+, equilibrium analysis, and Algorithm 1.
+* :mod:`repro.stakes` — stake-distribution generators and the synthetic
+  exchange used in the evaluation.
+* :mod:`repro.analysis` — experiment drivers regenerating every table and
+  figure, with CSV and ASCII-chart rendering.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ConfigurationError,
+    GameError,
+    InfeasibleRewardError,
+    MechanismError,
+    ReproError,
+    SimulationError,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "GameError",
+    "InfeasibleRewardError",
+    "MechanismError",
+    "ReproError",
+    "SimulationError",
+    "__version__",
+]

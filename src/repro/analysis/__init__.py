@@ -1,0 +1,60 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+========  ======================================  =============================
+Artifact  Paper content                           Driver
+========  ======================================  =============================
+Table II  task/cost/role matrix                   :func:`repro.analysis.tables.table2`
+Table III Foundation reward schedule              :func:`repro.analysis.tables.table3`
+Fig 3     defection cascade (DES simulation)      :func:`repro.analysis.defection.run_defection_experiment`
+Fig 5     min B_i over (alpha, beta)              :func:`repro.analysis.reward_surface.run_reward_surface`
+Fig 6     B_i distribution per stake population   :func:`repro.analysis.reward_comparison.run_reward_comparison`
+Fig 7a/b  adaptive vs Foundation rewards          same result object
+Fig 7c    small-stake removal                     :func:`repro.analysis.reward_comparison.run_truncation_experiment`
+========  ======================================  =============================
+"""
+
+from repro.analysis.defection import (
+    PAPER_DEFECTION_RATES,
+    DefectionExperimentConfig,
+    DefectionExperimentResult,
+    run_defection_experiment,
+    shape_assertions,
+)
+from repro.analysis.reward_comparison import (
+    PAPER_TOTALS,
+    RewardComparisonConfig,
+    RewardComparisonResult,
+    TruncationResult,
+    run_reward_comparison,
+    run_truncation_experiment,
+)
+from repro.analysis.reward_surface import (
+    RewardSurfaceConfig,
+    RewardSurfaceResult,
+    run_reward_surface,
+)
+from repro.analysis.runner import EXPERIMENTS, run_experiment
+from repro.analysis.tables import Table2Result, Table3Result, table2, table3
+
+__all__ = [
+    "DefectionExperimentConfig",
+    "DefectionExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "PAPER_DEFECTION_RATES",
+    "PAPER_TOTALS",
+    "RewardComparisonConfig",
+    "RewardComparisonResult",
+    "RewardSurfaceConfig",
+    "RewardSurfaceResult",
+    "Table2Result",
+    "Table3Result",
+    "TruncationResult",
+    "run_defection_experiment",
+    "run_reward_comparison",
+    "run_reward_surface",
+    "run_truncation_experiment",
+    "shape_assertions",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,52 @@
+"""Small CSV helpers for persisting experiment outputs."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+def write_rows(
+    path: PathLike, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> Path:
+    """Write a header + rows to ``path``; parent directories are created."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ConfigurationError(
+                    f"row width {len(row)} does not match header width {len(headers)}"
+                )
+            writer.writerow(row)
+    return target
+
+
+def write_dicts(path: PathLike, rows: Sequence[Mapping[str, object]]) -> Path:
+    """Write mapping rows with the union of keys as the header."""
+    if not rows:
+        raise ConfigurationError("write_dicts needs at least one row")
+    headers: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    return write_rows(
+        path, headers, [[row.get(key, "") for key in headers] for row in rows]
+    )
+
+
+def read_rows(path: PathLike) -> List[Dict[str, str]]:
+    """Read a CSV written by :func:`write_rows` back as dictionaries."""
+    target = Path(path)
+    if not target.exists():
+        raise ConfigurationError(f"no such CSV: {target}")
+    with target.open() as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,200 @@
+"""Figure 3: the defection cascade experiment.
+
+Reproduces the paper's Section III-C simulation: networks with 5 %, 10 %,
+15 %, 20 %, 25 % and 30 % of nodes defecting (online, sortition only, no
+tasks), stakes uniform U(1, 50), gossip fanout 5, repeated runs aggregated
+with a 20 % trimmed mean.  For every round the experiment records the
+fraction of online nodes that extracted a FINAL block, a TENTATIVE block,
+or NO block.
+
+Expected shape (paper Figure 3): healthy finalization at 5 % with tentative
+blocks appearing, progressive degradation through 10-25 %, and collapse at
+30 % "even in the first few rounds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis import plotting
+from repro.analysis.csvio import PathLike, write_rows
+from repro.errors import ConfigurationError
+from repro.sim import AlgorandSimulation, SimulationConfig, average_fractions
+from repro.sim.metrics import SimulationMetrics
+
+#: The paper's defection rates (Section III-C).
+PAPER_DEFECTION_RATES: Tuple[float, ...] = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+
+
+@dataclass(frozen=True)
+class DefectionExperimentConfig:
+    """Parameters of the Figure 3 sweep.
+
+    The paper runs 100 simulations per rate; the default here is smaller so
+    the experiment completes in benchmark time — raise ``n_runs`` for
+    publication-grade smoothness.
+    """
+
+    rates: Tuple[float, ...] = PAPER_DEFECTION_RATES
+    n_runs: int = 5
+    n_rounds: int = 20
+    n_nodes: int = 80
+    seed: int = 2020
+    trim: float = 0.2
+    tau_proposer: float = 8.0
+    tau_step: float = 60.0
+    tau_final: float = 80.0
+    verify_crypto: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            raise ConfigurationError("need at least one defection rate")
+        if any(not 0.0 <= rate <= 1.0 for rate in self.rates):
+            raise ConfigurationError(f"rates must be in [0, 1]: {self.rates}")
+        if self.n_runs < 1 or self.n_rounds < 1:
+            raise ConfigurationError("n_runs and n_rounds must be >= 1")
+
+    def simulation_config(self, rate: float, run: int) -> SimulationConfig:
+        """The per-run simulator configuration (paper Section III-C setup)."""
+        return SimulationConfig(
+            n_nodes=self.n_nodes,
+            seed=self.seed * 10_000 + int(rate * 100) * 100 + run,
+            defection_rate=rate,
+            stake_low=1.0,
+            stake_high=50.0,
+            gossip_fanout=5,
+            tau_proposer=self.tau_proposer,
+            tau_step=self.tau_step,
+            tau_final=self.tau_final,
+            verify_crypto=self.verify_crypto,
+        )
+
+
+@dataclass
+class DefectionSeries:
+    """Trimmed-mean per-round fractions for one defection rate."""
+
+    rate: float
+    fraction_final: List[float]
+    fraction_tentative: List[float]
+    fraction_none: List[float]
+
+    def mean_final(self) -> float:
+        return sum(self.fraction_final) / len(self.fraction_final)
+
+    def mean_tentative(self) -> float:
+        return sum(self.fraction_tentative) / len(self.fraction_tentative)
+
+    def mean_none(self) -> float:
+        return sum(self.fraction_none) / len(self.fraction_none)
+
+
+@dataclass
+class DefectionExperimentResult:
+    """All series of the Figure 3 sweep plus rendering/export helpers."""
+
+    config: DefectionExperimentConfig
+    series: Dict[float, DefectionSeries] = field(default_factory=dict)
+
+    def summary_rows(self) -> List[Tuple[float, float, float, float]]:
+        """(rate, mean final, mean tentative, mean none) rows."""
+        return [
+            (
+                rate,
+                self.series[rate].mean_final(),
+                self.series[rate].mean_tentative(),
+                self.series[rate].mean_none(),
+            )
+            for rate in sorted(self.series)
+        ]
+
+    def render(self) -> str:
+        """ASCII rendition of Figure 3 (one panel per defection rate)."""
+        panels: List[str] = []
+        for rate in sorted(self.series):
+            data = self.series[rate]
+            panels.append(
+                plotting.line_chart(
+                    {
+                        "final": data.fraction_final,
+                        "tentative": data.fraction_tentative,
+                        "none": data.fraction_none,
+                    },
+                    title=f"Figure 3 — defection rate {rate:.0%}",
+                    y_min=0.0,
+                    y_max=1.0,
+                    height=10,
+                )
+            )
+        return "\n\n".join(panels)
+
+    def to_csv(self, path: PathLike) -> None:
+        rows = []
+        for rate in sorted(self.series):
+            data = self.series[rate]
+            for round_index in range(len(data.fraction_final)):
+                rows.append(
+                    (
+                        rate,
+                        round_index + 1,
+                        data.fraction_final[round_index],
+                        data.fraction_tentative[round_index],
+                        data.fraction_none[round_index],
+                    )
+                )
+        write_rows(
+            path,
+            ("defection_rate", "round", "fraction_final", "fraction_tentative", "fraction_none"),
+            rows,
+        )
+
+
+def run_defection_experiment(
+    config: DefectionExperimentConfig = DefectionExperimentConfig(),
+) -> DefectionExperimentResult:
+    """Run the full Figure 3 sweep."""
+    result = DefectionExperimentResult(config=config)
+    for rate in config.rates:
+        runs: List[SimulationMetrics] = []
+        for run in range(config.n_runs):
+            simulation = AlgorandSimulation(config.simulation_config(rate, run))
+            runs.append(simulation.run(config.n_rounds))
+        result.series[rate] = DefectionSeries(
+            rate=rate,
+            fraction_final=average_fractions(runs, "fraction_final", config.trim),
+            fraction_tentative=average_fractions(runs, "fraction_tentative", config.trim),
+            fraction_none=average_fractions(runs, "fraction_none", config.trim),
+        )
+    return result
+
+
+def shape_assertions(result: DefectionExperimentResult) -> List[str]:
+    """Check the paper's qualitative claims; returns a list of violations.
+
+    * finalization degrades (weakly) as the defection rate rises,
+    * the lowest rate sustains a clearly healthier network than the highest,
+    * at 30 % defection finality is (almost) gone.
+    """
+    problems: List[str] = []
+    rows = result.summary_rows()
+    rates = [row[0] for row in rows]
+    finals = [row[1] for row in rows]
+    if finals != sorted(finals, reverse=True):
+        # Allow small non-monotonic wiggles from finite runs.
+        for (rate_a, final_a), (rate_b, final_b) in zip(
+            zip(rates, finals), zip(rates[1:], finals[1:])
+        ):
+            if final_b > final_a + 0.15:
+                problems.append(
+                    f"finalization rose from {final_a:.2f} at {rate_a:.0%} to "
+                    f"{final_b:.2f} at {rate_b:.0%}"
+                )
+    if finals and finals[0] < finals[-1] + 0.2:
+        problems.append(
+            f"low-rate finalization ({finals[0]:.2f}) not clearly above "
+            f"high-rate ({finals[-1]:.2f})"
+        )
+    if rates and rates[-1] >= 0.30 and finals[-1] > 1 / 3:
+        problems.append(f"30% defection still finalizes {finals[-1]:.2f} of rounds")
+    return problems

@@ -1,0 +1,187 @@
+"""Deterministic ASCII rendering of the paper's figures.
+
+Matplotlib is unavailable offline, so every figure is regenerated as data
+(CSV) plus an ASCII chart for eyeballing the shape in a terminal or in
+``EXPERIMENTS.md``.  Charts are pure functions of their inputs — no global
+state, no terminal detection — so their output is stable in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+_SERIES_GLYPHS = "#*o+x%@&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi == lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 72,
+    height: int = 16,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render one or more equally-sampled series as an ASCII line chart.
+
+    Each series gets a distinct glyph; the legend maps glyphs to names.
+    """
+    if not series:
+        raise ConfigurationError("line_chart needs at least one series")
+    if width < 8 or height < 4:
+        raise ConfigurationError("chart too small to render")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError(f"series lengths differ: {sorted(lengths)}")
+    (n_points,) = lengths
+    if n_points == 0:
+        raise ConfigurationError("series are empty")
+
+    all_values = [v for values in series.values() for v in values]
+    lo = min(all_values) if y_min is None else y_min
+    hi = max(all_values) if y_max is None else y_max
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = _SERIES_GLYPHS[index % len(_SERIES_GLYPHS)]
+        for i, value in enumerate(values):
+            x = _scale(i, 0, max(n_points - 1, 1), width)
+            y = height - 1 - _scale(value, lo, hi, height)
+            grid[y][x] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.4g}"
+    bottom_label = f"{lo:.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    legend = "   ".join(
+        f"{_SERIES_GLYPHS[i % len(_SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "   " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Horizontal bar chart with value annotations."""
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"labels ({len(labels)}) and values ({len(values)}) differ in length"
+        )
+    if not labels:
+        raise ConfigurationError("bar_chart needs at least one bar")
+    peak = max(max(values), 0.0)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = 0 if peak == 0 else int(round(width * max(value, 0.0) / peak))
+        lines.append(f"{label.rjust(label_width)} |{'#' * filled} {value:.4g}")
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    edges: Sequence[float],
+    counts: Sequence[int],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Render :func:`repro.analysis.stats.histogram` output as bars."""
+    if len(edges) != len(counts) + 1:
+        raise ConfigurationError(
+            f"expected len(edges) == len(counts) + 1, got {len(edges)} and {len(counts)}"
+        )
+    labels = [f"[{edges[i]:.3g}, {edges[i + 1]:.3g})" for i in range(len(counts))]
+    return bar_chart(labels, [float(c) for c in counts], title=title, width=width)
+
+
+def surface_table(
+    row_labels: Sequence[float],
+    col_labels: Sequence[float],
+    surface: Sequence[Sequence[float]],
+    title: str = "",
+    cell_format: str = "{:.2f}",
+    max_rows: int = 12,
+    max_cols: int = 10,
+) -> str:
+    """Render a 2-D surface (e.g. Figure 5's B_i over alpha x beta) as a table.
+
+    Down-samples evenly when the surface exceeds ``max_rows x max_cols``.
+    """
+    n_rows, n_cols = len(row_labels), len(col_labels)
+    if n_rows == 0 or n_cols == 0:
+        raise ConfigurationError("surface_table needs non-empty axes")
+    row_idx = _downsample_indices(n_rows, max_rows)
+    col_idx = _downsample_indices(n_cols, max_cols)
+
+    header = ["a\\b"] + [f"{col_labels[j]:.3g}" for j in col_idx]
+    rows: List[List[str]] = [header]
+    for i in row_idx:
+        row = [f"{row_labels[i]:.3g}"]
+        for j in col_idx:
+            value = surface[i][j]
+            row.append("inf" if value == float("inf") else cell_format.format(value))
+        rows.append(row)
+
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines: List[str] = [title] if title else []
+    for r_i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(widths[c]) for c, cell in enumerate(row)))
+        if r_i == 0:
+            lines.append("  ".join("-" * widths[c] for c in range(len(widths))))
+    return "\n".join(lines)
+
+
+def _downsample_indices(n: int, limit: int) -> List[int]:
+    if n <= limit:
+        return list(range(n))
+    step = (n - 1) / (limit - 1)
+    return sorted({int(round(i * step)) for i in range(limit)})
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Plain fixed-width text table used for Table II / Table III output."""
+    if not headers:
+        raise ConfigurationError("format_table needs headers")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in text_rows)) if text_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines: List[str] = [title] if title else []
+    lines.append("  ".join(headers[c].ljust(widths[c]) for c in range(len(headers))))
+    lines.append("  ".join("-" * widths[c] for c in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Experiment registry and command-line runner.
+
+Regenerate any of the paper's artifacts from the command line::
+
+    python -m repro.analysis.runner table2
+    python -m repro.analysis.runner fig5 --out results/
+    python -m repro.analysis.runner all --out results/ --scale small
+
+Each experiment prints its ASCII rendition and, with ``--out``, writes the
+underlying data as CSV.  ``--scale`` trades fidelity for runtime:
+``small`` for smoke runs, ``bench`` (default) for benchmark-sized runs,
+``paper`` for publication-sized runs (slow for fig3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.analysis.defection import DefectionExperimentConfig, run_defection_experiment
+from repro.analysis.reward_comparison import (
+    RewardComparisonConfig,
+    run_reward_comparison,
+    run_truncation_experiment,
+)
+from repro.analysis.reward_surface import RewardSurfaceConfig, run_reward_surface
+from repro.analysis.tables import table2, table3
+from repro.errors import ConfigurationError
+
+#: Per-scale experiment parameters: (fig3 runs/rounds/nodes, fig6 instances).
+_SCALES = {
+    "small": {"fig3": (2, 6, 40), "instances": 2, "surface_nodes": 50_000},
+    "bench": {"fig3": (3, 12, 60), "instances": 8, "surface_nodes": 500_000},
+    "paper": {"fig3": (100, 60, 100), "instances": 200, "surface_nodes": 500_000},
+}
+
+
+@dataclass
+class ExperimentOutcome:
+    """What a registry entry produced (render text + optional CSV path)."""
+
+    name: str
+    rendered: str
+    csv_path: Optional[Path] = None
+
+
+def _run_table2(scale: str, out: Optional[Path]) -> ExperimentOutcome:
+    result = table2()
+    csv_path = None
+    if out is not None:
+        csv_path = out / "table2.csv"
+        result.to_csv(csv_path)
+    return ExperimentOutcome("table2", result.render(), csv_path)
+
+
+def _run_table3(scale: str, out: Optional[Path]) -> ExperimentOutcome:
+    result = table3()
+    csv_path = None
+    if out is not None:
+        csv_path = out / "table3.csv"
+        result.to_csv(csv_path)
+    return ExperimentOutcome("table3", result.render(), csv_path)
+
+
+def _run_fig3(scale: str, out: Optional[Path]) -> ExperimentOutcome:
+    runs, rounds, nodes = _SCALES[scale]["fig3"]
+    config = DefectionExperimentConfig(n_runs=runs, n_rounds=rounds, n_nodes=nodes)
+    result = run_defection_experiment(config)
+    csv_path = None
+    if out is not None:
+        csv_path = out / "fig3.csv"
+        result.to_csv(csv_path)
+    return ExperimentOutcome("fig3", result.render(), csv_path)
+
+
+def _run_fig5(scale: str, out: Optional[Path]) -> ExperimentOutcome:
+    config = RewardSurfaceConfig(n_nodes=_SCALES[scale]["surface_nodes"])
+    result = run_reward_surface(config)
+    csv_path = None
+    if out is not None:
+        csv_path = out / "fig5.csv"
+        result.to_csv(csv_path)
+    return ExperimentOutcome("fig5", result.render(), csv_path)
+
+
+def _run_fig6(scale: str, out: Optional[Path]) -> ExperimentOutcome:
+    config = RewardComparisonConfig(n_instances=_SCALES[scale]["instances"])
+    result = run_reward_comparison(config)
+    csv_path = None
+    if out is not None:
+        csv_path = out / "fig6.csv"
+        result.to_csv(csv_path)
+    rendered = "\n\n".join(
+        [result.render_figure6(), result.render_figure7a(), result.render_figure7b()]
+    )
+    return ExperimentOutcome("fig6", rendered, csv_path)
+
+
+def _run_fig7c(scale: str, out: Optional[Path]) -> ExperimentOutcome:
+    config = RewardComparisonConfig(
+        n_instances=max(2, _SCALES[scale]["instances"] // 2), n_rounds=3
+    )
+    result = run_truncation_experiment(config)
+    csv_path = None
+    if out is not None:
+        csv_path = out / "fig7c.csv"
+        result.to_csv(csv_path)
+    return ExperimentOutcome("fig7c", result.render(), csv_path)
+
+
+EXPERIMENTS: Dict[str, Callable[[str, Optional[Path]], ExperimentOutcome]] = {
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "fig3": _run_fig3,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7c": _run_fig7c,
+}
+
+
+def run_experiment(
+    name: str, scale: str = "bench", out: Optional[Path] = None
+) -> ExperimentOutcome:
+    """Run one registered experiment by name."""
+    if name not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)} or 'all'"
+        )
+    if scale not in _SCALES:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; choose from {sorted(_SCALES)}"
+        )
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+    return EXPERIMENTS[name](scale, out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment", choices=[*sorted(EXPERIMENTS), "all"])
+    parser.add_argument("--scale", default="bench", choices=sorted(_SCALES))
+    parser.add_argument("--out", type=Path, default=None, help="CSV output directory")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        outcome = run_experiment(name, scale=args.scale, out=args.out)
+        print(f"=== {outcome.name} ===")
+        print(outcome.rendered)
+        if outcome.csv_path is not None:
+            print(f"[data written to {outcome.csv_path}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Statistical helpers used across the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def trimmed_mean(values: Sequence[float], trim: float = 0.2) -> float:
+    """Mean with the top and bottom ``trim/2`` fractions discarded.
+
+    The paper's simulation results are 20 % trimmed means over 100 runs
+    ("we compute trimmed mean which ignores 20% top and bottom data",
+    Section III-C) — ``trim`` is the *total* fraction removed, split evenly
+    between the two tails.  With fewer than five values trimming would
+    discard everything meaningful, so the plain mean is returned.
+    """
+    if not values:
+        raise ConfigurationError("trimmed_mean of an empty sequence")
+    if not 0.0 <= trim < 1.0:
+        raise ConfigurationError(f"trim must be in [0, 1), got {trim}")
+    ordered = sorted(values)
+    cut = int(len(ordered) * trim / 2)
+    kept = ordered[cut : len(ordered) - cut] if cut else ordered
+    if not kept:
+        kept = ordered
+    return sum(kept) / len(kept)
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ConfigurationError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    if not values:
+        raise ConfigurationError("std of an empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ConfigurationError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def summary(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / std / min / median / max bundle for experiment logs."""
+    return {
+        "n": float(len(values)),
+        "mean": mean(values),
+        "std": std(values),
+        "min": min(values),
+        "median": percentile(values, 50),
+        "max": max(values),
+    }
+
+
+def histogram(
+    values: Sequence[float], bins: int = 20, lo: float = None, hi: float = None
+) -> Tuple[List[float], List[int]]:
+    """Fixed-width histogram; returns (bin_edges, counts).
+
+    ``bin_edges`` has ``bins + 1`` entries.  Values equal to the top edge
+    land in the last bin.
+    """
+    if not values:
+        raise ConfigurationError("histogram of an empty sequence")
+    if bins <= 0:
+        raise ConfigurationError(f"bins must be positive, got {bins}")
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi < lo:
+        raise ConfigurationError(f"need lo <= hi, got [{lo}, {hi}]")
+    if hi == lo:
+        hi = lo + 1.0
+    width = (hi - lo) / bins
+    edges = [lo + i * width for i in range(bins + 1)]
+    counts = [0] * bins
+    for value in values:
+        index = int((value - lo) / width)
+        index = min(max(index, 0), bins - 1)
+        counts[index] += 1
+    return edges, counts

@@ -1,0 +1,128 @@
+"""Tables II and III of the paper, regenerated as text artifacts.
+
+* **Table II** — the task/cost/role matrix: which cost symbols apply to
+  leaders, committee members, and other online nodes, plus the derived
+  aggregates c_fix, c_L, c_M, c_K (Eqs. 1 and 2).
+* **Table III** — the Foundation's projected reward per reward period, and
+  the implied per-round reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.csvio import PathLike, write_rows
+from repro.analysis.plotting import format_table
+from repro.core.costs import MICRO_ALGO, TaskCosts
+from repro.core.rewards import RewardSchedule
+
+#: (task name, symbol, attribute on TaskCosts, leader, committee, others)
+TABLE2_TASKS: Tuple[Tuple[str, str, str, bool, bool, bool], ...] = (
+    ("Transaction Verification", "c_ve", "verification", True, True, True),
+    ("Seed Generation", "c_se", "seed_generation", True, True, True),
+    ("Sortition Algorithm", "c_so", "sortition", True, True, True),
+    ("Verify Sortition Proof", "c_vs", "proof_verification", True, True, True),
+    ("Block Proposition", "c_bl", "block_proposal", True, False, False),
+    ("Gossiping", "c_go", "gossip", True, True, True),
+    ("Block Selection", "c_bs", "block_selection", False, True, False),
+    ("Vote", "c_vo", "vote", False, True, False),
+    ("Vote Counting", "c_vc", "vote_counting", True, True, True),
+)
+
+
+@dataclass
+class Table2Result:
+    """The cost-matrix table plus derived role aggregates."""
+
+    costs: TaskCosts
+
+    def rows(self) -> List[Tuple[str, str, float, str, str, str]]:
+        out = []
+        for name, symbol, attribute, leader, committee, others in TABLE2_TASKS:
+            out.append(
+                (
+                    name,
+                    symbol,
+                    getattr(self.costs, attribute) / MICRO_ALGO,
+                    "x" if leader else "",
+                    "x" if committee else "",
+                    "x" if others else "",
+                )
+            )
+        return out
+
+    def aggregates(self) -> List[Tuple[str, float]]:
+        return [
+            ("c_fix (Eq. 1)", self.costs.fixed / MICRO_ALGO),
+            ("c_L = c_fix + c_bl", self.costs.leader / MICRO_ALGO),
+            ("c_M = c_fix + c_bs + c_vo", self.costs.committee / MICRO_ALGO),
+            ("c_K = c_fix", self.costs.online / MICRO_ALGO),
+        ]
+
+    def render(self) -> str:
+        task_table = format_table(
+            ("Task", "Symbol", "µAlgos", "Leader", "Committee", "Others"),
+            [
+                (name, symbol, f"{cost:.2f}", leader, committee, others)
+                for name, symbol, cost, leader, committee, others in self.rows()
+            ],
+            title="Table II — Algorand tasks and costs by role",
+        )
+        aggregate_table = format_table(
+            ("Aggregate", "µAlgos"),
+            [(name, f"{value:.2f}") for name, value in self.aggregates()],
+            title="Derived role costs (Eqs. 1-2)",
+        )
+        return task_table + "\n\n" + aggregate_table
+
+    def to_csv(self, path: PathLike) -> None:
+        write_rows(
+            path,
+            ("task", "symbol", "micro_algos", "leader", "committee", "others"),
+            self.rows(),
+        )
+
+
+@dataclass
+class Table3Result:
+    """The projected reward schedule."""
+
+    schedule: RewardSchedule
+
+    def rows(self) -> List[Tuple[int, float, float]]:
+        """(period, projected millions, per-round Algos) rows."""
+        out = []
+        for period, millions in self.schedule.table_rows():
+            first_round = (period - 1) * self.schedule.period_blocks + 1
+            out.append(
+                (period, millions, self.schedule.per_round_reward(first_round))
+            )
+        return out
+
+    def render(self) -> str:
+        return format_table(
+            ("Period", "Projected reward (M Algos)", "Per-round reward (Algos)"),
+            [
+                (period, f"{millions:g}", f"{per_round:.1f}")
+                for period, millions, per_round in self.rows()
+            ],
+            title="Table III — Foundation reward schedule (12 periods x 500k blocks)",
+        )
+
+    def to_csv(self, path: PathLike) -> None:
+        write_rows(
+            path, ("period", "projected_millions", "per_round_algos"), self.rows()
+        )
+
+
+def table2(costs: TaskCosts = None) -> Table2Result:
+    """Regenerate Table II (defaults to the paper-consistent breakdown)."""
+    return Table2Result(costs=costs if costs is not None else TaskCosts.paper_defaults())
+
+
+def table3(schedule: RewardSchedule = None) -> Table3Result:
+    """Regenerate Table III."""
+    return Table3Result(
+        schedule=schedule if schedule is not None else RewardSchedule()
+    )

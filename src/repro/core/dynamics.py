@@ -1,0 +1,186 @@
+"""Best-response dynamics: repeated play of the round game.
+
+The paper analyses one round as a static game; its conclusion motivates
+studying how a population of honest-but-selfish nodes *evolves* when the
+game repeats.  This module implements synchronous and inertial
+best-response dynamics over repeated rounds:
+
+* each round, a fraction of strategic players (``revision_rate``) revise
+  their strategy to a best response against the previous round's profile;
+* roles can be resampled between rounds (sortition churn) while stakes
+  persist.
+
+Two headline results emerge, extending Theorems 1-3 dynamically:
+
+* under **Foundation sharing**, cooperation unravels — from any initial
+  profile the population converges to All-Defect (Theorem 1's equilibrium
+  is the global attractor);
+* under **role-based sharing funded above the Theorem 3 bound**, the
+  cooperative profile (L, M, Y cooperate) is absorbing: once reached it is
+  never left, and nearby profiles flow back to it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.equilibrium import best_response
+from repro.core.game import AlgorandGame, Strategy, StrategyProfile
+from repro.errors import GameError
+
+#: A rule producing the game for round ``t`` (roles may churn between
+#: rounds); receives the round index and returns the game to be played.
+GameSchedule = Callable[[int], AlgorandGame]
+
+
+@dataclass
+class DynamicsRecord:
+    """One round of the dynamic: profile statistics after revisions."""
+
+    round_index: int
+    n_cooperating: int
+    n_defecting: int
+    n_offline: int
+    block_produced: bool
+    revisions: int
+
+    @property
+    def cooperation_rate(self) -> float:
+        total = self.n_cooperating + self.n_defecting + self.n_offline
+        return self.n_cooperating / total if total else 0.0
+
+
+@dataclass
+class DynamicsResult:
+    """Trajectory of a best-response dynamics run."""
+
+    records: List[DynamicsRecord] = field(default_factory=list)
+    final_profile: Dict[int, Strategy] = field(default_factory=dict)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.records)
+
+    def cooperation_series(self) -> List[float]:
+        return [record.cooperation_rate for record in self.records]
+
+    def converged_to_all_defect(self) -> bool:
+        return bool(self.records) and self.records[-1].n_cooperating == 0
+
+    def reached_fixed_point(self, window: int = 3) -> bool:
+        """True when the last ``window`` rounds saw no strategy revisions."""
+        if len(self.records) < window:
+            return False
+        return all(record.revisions == 0 for record in self.records[-window:])
+
+
+class BestResponseDynamics:
+    """Inertial synchronous best-response dynamics on a (repeated) game.
+
+    Parameters
+    ----------
+    game:
+        The stage game, or a :data:`GameSchedule` for role churn.
+    revision_rate:
+        Fraction of players revising each round (1.0 = full synchronous
+        best response; smaller values model inertia/asynchronous updates).
+    seed:
+        Reproducibility seed for revision sampling.
+    """
+
+    def __init__(
+        self,
+        game: AlgorandGame | GameSchedule,
+        revision_rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < revision_rate <= 1.0:
+            raise GameError(f"revision rate must be in (0, 1], got {revision_rate}")
+        self._schedule: GameSchedule = (
+            game if callable(game) else (lambda _round_index: game)
+        )
+        self.revision_rate = revision_rate
+        self._rng = random.Random(seed)
+
+    def run(
+        self,
+        initial_profile: StrategyProfile,
+        n_rounds: int,
+        stop_at_fixed_point: bool = True,
+    ) -> DynamicsResult:
+        """Iterate the dynamic for up to ``n_rounds`` rounds."""
+        if n_rounds < 1:
+            raise GameError(f"n_rounds must be >= 1, got {n_rounds}")
+        profile: Dict[int, Strategy] = dict(initial_profile)
+        result = DynamicsResult()
+        for round_index in range(1, n_rounds + 1):
+            game = self._schedule(round_index)
+            missing = set(game.players) - set(profile)
+            if missing:
+                raise GameError(
+                    f"profile missing strategies for players {sorted(missing)}"
+                )
+            revisions = self._revise(game, profile)
+            result.records.append(
+                DynamicsRecord(
+                    round_index=round_index,
+                    n_cooperating=sum(
+                        1 for s in profile.values() if s is Strategy.COOPERATE
+                    ),
+                    n_defecting=sum(
+                        1 for s in profile.values() if s is Strategy.DEFECT
+                    ),
+                    n_offline=sum(
+                        1 for s in profile.values() if s is Strategy.OFFLINE
+                    ),
+                    block_produced=game.block_succeeds(profile),
+                    revisions=revisions,
+                )
+            )
+            if stop_at_fixed_point and result.reached_fixed_point():
+                break
+        result.final_profile = dict(profile)
+        return result
+
+    def _revise(self, game: AlgorandGame, profile: Dict[int, Strategy]) -> int:
+        """One synchronous revision step; returns the number of changes."""
+        revising = [
+            pid
+            for pid in game.players
+            if self.revision_rate >= 1.0 or self._rng.random() < self.revision_rate
+        ]
+        responses: Dict[int, Strategy] = {}
+        for pid in revising:
+            strategy, _payoff = best_response(game, pid, profile)
+            responses[pid] = strategy
+        changes = 0
+        for pid, strategy in responses.items():
+            if profile[pid] is not strategy:
+                profile[pid] = strategy
+                changes += 1
+        return changes
+
+
+def random_profile(
+    game: AlgorandGame,
+    cooperate_probability: float,
+    seed: int = 0,
+    allow_offline: bool = False,
+) -> Dict[int, Strategy]:
+    """A random initial profile for dynamics experiments."""
+    if not 0.0 <= cooperate_probability <= 1.0:
+        raise GameError(
+            f"cooperate probability must be in [0, 1], got {cooperate_probability}"
+        )
+    rng = random.Random(seed)
+    profile: Dict[int, Strategy] = {}
+    for pid in game.players:
+        if rng.random() < cooperate_probability:
+            profile[pid] = Strategy.COOPERATE
+        elif allow_offline and rng.random() < 0.1:
+            profile[pid] = Strategy.OFFLINE
+        else:
+            profile[pid] = Strategy.DEFECT
+    return profile

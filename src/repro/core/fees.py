@@ -1,0 +1,134 @@
+"""Transaction-fee based reward sharing (the paper's future-work direction).
+
+The paper's conclusion: "we can also get in touch with the Algorand
+Foundation to introduce our proposed mechanism for ... the distribution of
+transaction fees as reward in near future."  This module implements that
+post-bootstrap regime:
+
+* during the bootstrap phase, fees accumulate in the
+  :class:`~repro.core.rewards.TransactionFeePool` while the Foundation
+  Reward Pool funds the per-round reward;
+* once the 1.75B-Algo Foundation ceiling is exhausted, rewards switch to
+  the fee pool, still distributed via the incentive-compatible role-based
+  split so Theorem 3's equilibrium carries over — with the additional
+  constraint that a round's reward cannot exceed the fee balance.
+
+:class:`FeeFundedSharing` composes with either the fixed
+:class:`~repro.core.role_based.RoleBasedSharing` split or Algorithm 1's
+adaptive split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.mechanism import IncentiveCompatibleSharing
+from repro.core.rewards import FoundationRewardPool, TransactionFeePool
+from repro.core.role_based import allocate_role_based
+from repro.errors import InfeasibleRewardError, MechanismError
+from repro.sim.roles import RewardAllocation, RoleSnapshot
+
+
+@dataclass
+class FeeRegimeReport:
+    """Per-round record of which pool funded the reward."""
+
+    round_index: int
+    source: str  # "foundation" or "fees"
+    requested: float
+    funded: float
+
+
+class FeeFundedSharing:
+    """Bootstrap on the Foundation pool, then switch to transaction fees.
+
+    Parameters
+    ----------
+    inner:
+        The incentive-compatible mechanism computing the per-round split
+        and reward (defaults to Algorithm 1 with ``on_infeasible='skip'``).
+    foundation_pool:
+        The capped bootstrap pool; pass a small ceiling to test the
+        switchover quickly.
+    fee_pool:
+        Where collected transaction fees accumulate (via
+        :meth:`collect_fees`).
+    foundation_deposit_per_round:
+        R_i deposited into the Foundation pool each round during bootstrap.
+    """
+
+    name = "fee_funded"
+
+    def __init__(
+        self,
+        inner: Optional[IncentiveCompatibleSharing] = None,
+        foundation_pool: Optional[FoundationRewardPool] = None,
+        fee_pool: Optional[TransactionFeePool] = None,
+        foundation_deposit_per_round: float = 20.0,
+    ) -> None:
+        if foundation_deposit_per_round < 0:
+            raise MechanismError("foundation deposit must be >= 0")
+        self.inner = inner if inner is not None else IncentiveCompatibleSharing(
+            on_infeasible="skip"
+        )
+        self.foundation_pool = (
+            foundation_pool if foundation_pool is not None else FoundationRewardPool()
+        )
+        self.fee_pool = fee_pool if fee_pool is not None else TransactionFeePool()
+        self.foundation_deposit_per_round = foundation_deposit_per_round
+        self.reports: list[FeeRegimeReport] = []
+
+    # -- fee intake -------------------------------------------------------------
+
+    def collect_fees(self, amount: float) -> None:
+        """Deposit fees from a block's transactions (paper Figure 2)."""
+        self.fee_pool.deposit(amount)
+
+    @property
+    def in_bootstrap(self) -> bool:
+        """Whether the Foundation pool still funds rewards."""
+        return not self.foundation_pool.exhausted
+
+    # -- RewardMechanism interface --------------------------------------------------
+
+    def allocate(self, snapshot: RoleSnapshot) -> RewardAllocation:
+        """Fund the inner mechanism's reward from the active pool."""
+        try:
+            report = self.inner.compute_parameters(snapshot)
+        except (MechanismError, InfeasibleRewardError):
+            if self.inner.on_infeasible == "raise":
+                raise
+            return RewardAllocation(per_node={}, total=0.0, params={"skipped": 1.0})
+
+        requested = report.b_i
+        if self.in_bootstrap:
+            deposited = self.foundation_pool.deposit(self.foundation_deposit_per_round)
+            available = self.foundation_pool.balance
+            funded = min(requested, available)
+            self.foundation_pool.withdraw(funded)
+            source = "foundation"
+        else:
+            funded = min(requested, self.fee_pool.balance)
+            self.fee_pool.balance -= funded
+            source = "fees"
+
+        self.reports.append(
+            FeeRegimeReport(
+                round_index=snapshot.round_index,
+                source=source,
+                requested=requested,
+                funded=funded,
+            )
+        )
+        if funded <= 0:
+            return RewardAllocation(
+                per_node={}, total=0.0, params={"underfunded": 1.0, "source_fees": float(source == "fees")}
+            )
+        allocation = allocate_role_based(snapshot, report.alpha, report.beta, funded)
+        params: Dict[str, float] = dict(allocation.params)
+        params["source_fees"] = float(source == "fees")
+        params["requested"] = requested
+        return RewardAllocation(
+            per_node=allocation.per_node, total=allocation.total, params=params
+        )

@@ -1,0 +1,79 @@
+"""The Algorand Foundation's stake-proportional reward sharing (paper Eq. 3).
+
+In each round the Foundation disburses ``B_i`` Algos among users in
+proportion to their stake, *irrespective of role*:
+
+    r_i^L = r_i^M = r_i^K = r_i = B_i / S_N,
+    reward of node j = r_i * s_j.
+
+There is no punishment mechanism, so defecting nodes that merely stay
+online collect the same per-stake rate as cooperating leaders — the root of
+the incentive incompatibility proven in Theorem 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from repro.core.rewards import FoundationRewardPool, RewardSchedule
+from repro.errors import MechanismError
+from repro.sim.roles import RewardAllocation, RoleSnapshot
+
+#: Per-round reward: a constant, or a callable of the round index.
+RewardSource = Union[float, Callable[[int], float], RewardSchedule]
+
+
+def resolve_reward(source: RewardSource, round_index: int) -> float:
+    """Evaluate a :data:`RewardSource` for one round."""
+    if isinstance(source, RewardSchedule):
+        return source.per_round_reward(round_index)
+    if callable(source):
+        return float(source(round_index))
+    return float(source)
+
+
+class FoundationSharing:
+    """Stake-proportional reward distribution (the paper's baseline).
+
+    Parameters
+    ----------
+    reward:
+        ``B_i`` per round: a constant, a callable of the round index, or a
+        :class:`RewardSchedule` (defaults to the Table III schedule).
+    pool:
+        Optional :class:`FoundationRewardPool`; when given, each round's
+        ``R_i`` is deposited and ``B_i`` withdrawn, enforcing the 1.75B
+        ceiling.
+    """
+
+    name = "foundation"
+
+    def __init__(
+        self,
+        reward: Optional[RewardSource] = None,
+        pool: Optional[FoundationRewardPool] = None,
+    ) -> None:
+        self.reward: RewardSource = reward if reward is not None else RewardSchedule()
+        self.pool = pool
+
+    def allocate(self, snapshot: RoleSnapshot) -> RewardAllocation:
+        """Pay every node ``B_i * s_j / S_N`` (paper Eq. 3)."""
+        stakes = snapshot.all_stakes()
+        total_stake = snapshot.stake_total
+        if total_stake <= 0:
+            raise MechanismError("cannot distribute rewards over zero total stake")
+        b_i = resolve_reward(self.reward, snapshot.round_index)
+        if b_i < 0:
+            raise MechanismError(f"negative per-round reward {b_i}")
+        if self.pool is not None:
+            deposited = self.pool.deposit(b_i)
+            b_i = self.pool.withdraw(min(b_i, deposited + 0.0))
+        rate = b_i / total_stake
+        per_node: Dict[int, float] = {
+            node_id: rate * stake for node_id, stake in stakes.items()
+        }
+        return RewardAllocation(
+            per_node=per_node,
+            total=b_i,
+            params={"b_i": b_i, "r_i": rate},
+        )

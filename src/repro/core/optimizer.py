@@ -1,0 +1,257 @@
+"""Minimizing the per-round reward over the split (Algorithm 1, line 12).
+
+Algorithm 1 asks for the ``(alpha, beta)`` that minimizes ``B_i`` subject
+to the three Theorem 3 bounds.  This module offers three solvers:
+
+* :func:`minimize_reward_grid` — the paper's approach: evaluate the bound
+  surface on an ``(alpha, beta)`` grid and take the argmin.  This also
+  yields the Figure 5 surface.
+* :func:`minimize_reward_analytic` — an exact solver.  At the optimum all
+  three bounds coincide: for a candidate reward ``B`` the smallest
+  feasible slices are
+
+      alpha_min(B) = S_L * (gamma/(S_K + s*_l) + (c_L - c_so)/(B * s*_l)),
+      beta_min(B)  = S_M * (gamma/(S_K + s*_m) + (c_M - c_so)/(B * s*_m)),
+
+  with ``gamma = C_K / B`` pinned by the online bound
+  (``C_K = (c_K - c_so) * S_K / s*_k``).  The slack function
+  ``g(B) = alpha_min + beta_min + gamma`` is strictly decreasing in ``B``,
+  so the minimal feasible reward is the unique root of ``g(B) = 1``,
+  found with Brent's method.
+* :func:`minimize_reward_scipy` — a Nelder-Mead refinement used as an
+  independent cross-check in the test suite.
+
+The paper's own numbers are consistent with the grid approach: with the
+Section V-A parameters the grid argmin lands at ``(alpha, beta) =
+(0.02, 0.03)`` with ``B_i ≈ 5.2`` Algos, while the analytic optimum pushes
+``alpha, beta`` much lower still (the third bound dominates, exactly as the
+paper's discussion of Figure 5 observes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.bounds import RoleAggregates, minimum_feasible_reward, reward_bounds
+from repro.core.costs import RoleCosts
+from repro.errors import InfeasibleRewardError
+
+
+@dataclass(frozen=True)
+class OptimalSplit:
+    """The solution of Algorithm 1's minimization."""
+
+    alpha: float
+    beta: float
+    b_i: float
+    method: str
+
+    @property
+    def gamma(self) -> float:
+        return 1.0 - self.alpha - self.beta
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Full surface + argmin of a grid sweep (the Figure 5 artifact)."""
+
+    alphas: np.ndarray
+    betas: np.ndarray
+    surface: np.ndarray  # shape (len(alphas), len(betas)); inf = infeasible
+    best: OptimalSplit
+
+    def surface_rows(self) -> Sequence[Tuple[float, float, float]]:
+        """Flatten to (alpha, beta, min B_i) rows for CSV export."""
+        rows = []
+        for i, alpha in enumerate(self.alphas):
+            for j, beta in enumerate(self.betas):
+                rows.append((float(alpha), float(beta), float(self.surface[i, j])))
+        return rows
+
+
+def default_alpha_grid() -> np.ndarray:
+    """The Figure 5 alpha axis: 0.02 to 0.30 in steps of 0.01."""
+    return np.round(np.arange(0.02, 0.301, 0.01), 4)
+
+
+def default_beta_grid() -> np.ndarray:
+    """The Figure 5 beta axis: 0.03 to 0.30 in steps of 0.01."""
+    return np.round(np.arange(0.03, 0.301, 0.01), 4)
+
+
+def minimize_reward_grid(
+    costs: RoleCosts,
+    aggregates: RoleAggregates,
+    alphas: Optional[Sequence[float]] = None,
+    betas: Optional[Sequence[float]] = None,
+) -> GridSearchResult:
+    """Sweep the bound surface over an ``(alpha, beta)`` grid (paper Fig. 5)."""
+    alpha_axis = np.asarray(alphas if alphas is not None else default_alpha_grid())
+    beta_axis = np.asarray(betas if betas is not None else default_beta_grid())
+    surface = np.full((len(alpha_axis), len(beta_axis)), math.inf)
+    best: Optional[Tuple[float, float, float]] = None
+    for i, alpha in enumerate(alpha_axis):
+        for j, beta in enumerate(beta_axis):
+            if alpha <= 0 or beta <= 0 or alpha + beta >= 1:
+                continue
+            value = minimum_feasible_reward(costs, aggregates, float(alpha), float(beta))
+            surface[i, j] = value
+            if math.isfinite(value) and (best is None or value < best[2]):
+                best = (float(alpha), float(beta), value)
+    if best is None:
+        raise InfeasibleRewardError(
+            "no grid point satisfies the Lemma 2 feasibility conditions"
+        )
+    return GridSearchResult(
+        alphas=alpha_axis,
+        betas=beta_axis,
+        surface=surface,
+        best=OptimalSplit(alpha=best[0], beta=best[1], b_i=best[2], method="grid"),
+    )
+
+
+def _online_constant(costs: RoleCosts, aggregates: RoleAggregates) -> float:
+    """C_K = (c_K - c_so) * S_K / s*_k, the online bound numerator."""
+    return (
+        (costs.online - costs.sortition)
+        * aggregates.stake_others
+        / aggregates.min_other
+    )
+
+
+def _alpha_min(
+    costs: RoleCosts, aggregates: RoleAggregates, gamma: float, b_i: float
+) -> float:
+    """Smallest leader slice keeping the leader bound at or below ``b_i``."""
+    return aggregates.stake_leaders * (
+        gamma / (aggregates.stake_others + aggregates.min_leader)
+        + (costs.leader - costs.sortition) / (b_i * aggregates.min_leader)
+    )
+
+
+def _beta_min(
+    costs: RoleCosts, aggregates: RoleAggregates, gamma: float, b_i: float
+) -> float:
+    """Smallest committee slice keeping the committee bound at or below ``b_i``."""
+    return aggregates.stake_committee * (
+        gamma / (aggregates.stake_others + aggregates.min_committee)
+        + (costs.committee - costs.sortition) / (b_i * aggregates.min_committee)
+    )
+
+
+def minimize_reward_analytic(
+    costs: RoleCosts,
+    aggregates: RoleAggregates,
+    gamma_floor: float = 1e-9,
+) -> OptimalSplit:
+    """Exact minimizer of the Theorem 3 reward bound.
+
+    See the module docstring for the derivation.  ``gamma_floor`` handles
+    the degenerate case ``c_K == c_so`` (online nodes need no incentive),
+    where the online bound vanishes and gamma shrinks to a token share.
+    """
+    c_k = _online_constant(costs, aggregates)
+    if c_k <= 0:
+        return _minimize_without_online_bound(costs, aggregates, gamma_floor)
+
+    def slack(b_i: float) -> float:
+        gamma = c_k / b_i
+        return _alpha_min(costs, aggregates, gamma, b_i) + _beta_min(
+            costs, aggregates, gamma, b_i
+        ) + gamma - 1.0
+
+    lo = c_k * (1.0 + 1e-12)
+    hi = max(2.0 * c_k, 1e-12)
+    for _ in range(200):
+        if slack(hi) < 0:
+            break
+        hi *= 2.0
+    else:
+        raise InfeasibleRewardError(
+            "no finite reward satisfies the Theorem 3 bounds for these aggregates"
+        )
+    b_star = optimize.brentq(slack, lo, hi, xtol=1e-15, rtol=1e-14)
+    gamma = c_k / b_star
+    alpha = _alpha_min(costs, aggregates, gamma, b_star)
+    beta = _beta_min(costs, aggregates, gamma, b_star)
+    return OptimalSplit(alpha=alpha, beta=beta, b_i=b_star, method="analytic")
+
+
+def _minimize_without_online_bound(
+    costs: RoleCosts, aggregates: RoleAggregates, gamma_floor: float
+) -> OptimalSplit:
+    """Limit case c_K == c_so: split (1 - gamma_floor) to equalize L and M.
+
+    With the online bound gone, ``B_i`` is minimized by vanishing gamma and
+    balancing the leader and committee bounds:
+    ``(c_L - c_so) S_L / (alpha s*_l) = (c_M - c_so) S_M / (beta s*_m)``.
+    """
+    weight_l = (costs.leader - costs.sortition) * aggregates.stake_leaders / (
+        aggregates.min_leader
+    )
+    weight_m = (costs.committee - costs.sortition) * aggregates.stake_committee / (
+        aggregates.min_committee
+    )
+    if weight_l <= 0 and weight_m <= 0:
+        # All costs degenerate: any token reward works.
+        share = (1.0 - gamma_floor) / 2.0
+        return OptimalSplit(alpha=share, beta=share, b_i=0.0, method="analytic")
+    budget = 1.0 - gamma_floor
+    alpha = budget * weight_l / (weight_l + weight_m)
+    beta = budget - alpha
+    b_i = minimum_feasible_reward(costs, aggregates, alpha, beta)
+    return OptimalSplit(alpha=alpha, beta=beta, b_i=b_i, method="analytic")
+
+
+def minimize_reward_scipy(
+    costs: RoleCosts,
+    aggregates: RoleAggregates,
+    start: Optional[Tuple[float, float]] = None,
+) -> OptimalSplit:
+    """Nelder-Mead refinement of the bound minimization (cross-check).
+
+    Works in logit space so the simplex constraints hold by construction.
+    """
+
+    def unpack(z: np.ndarray) -> Tuple[float, float]:
+        # Map R^2 to the open simplex {alpha, beta > 0, alpha + beta < 1}.
+        expz = np.exp(z - np.max(z))
+        weights = expz / (expz.sum() + math.exp(-np.max(z)))
+        return float(weights[0]), float(weights[1])
+
+    def objective(z: np.ndarray) -> float:
+        alpha, beta = unpack(z)
+        if alpha <= 0 or beta <= 0 or alpha + beta >= 1:
+            return math.inf
+        value = minimum_feasible_reward(costs, aggregates, alpha, beta)
+        return value if math.isfinite(value) else 1e30
+
+    if start is None:
+        seed = minimize_reward_analytic(costs, aggregates)
+        start = (max(seed.alpha, 1e-12), max(seed.beta, 1e-12))
+    gamma0 = max(1.0 - start[0] - start[1], 1e-12)
+    z0 = np.log(np.array([start[0], start[1]]) / gamma0)
+    result = optimize.minimize(objective, z0, method="Nelder-Mead", options={"xatol": 1e-12, "fatol": 1e-14, "maxiter": 5000})
+    alpha, beta = unpack(result.x)
+    return OptimalSplit(
+        alpha=alpha,
+        beta=beta,
+        b_i=minimum_feasible_reward(costs, aggregates, alpha, beta),
+        method="scipy",
+    )
+
+
+def verify_split(
+    costs: RoleCosts,
+    aggregates: RoleAggregates,
+    split: OptimalSplit,
+    margin: float = 1e-6,
+) -> bool:
+    """True when ``split.b_i * (1 + margin)`` strictly clears all bounds."""
+    bounds = reward_bounds(costs, aggregates, split.alpha, split.beta)
+    return split.b_i * (1.0 + margin) > bounds.overall and bounds.feasible

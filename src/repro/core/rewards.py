@@ -1,0 +1,154 @@
+"""Reward pools and the Algorand Foundation reward schedule.
+
+Implements the machinery of paper Section III-B and Figure 2:
+
+* the **Foundation Reward Pool**, capped at 1.75 billion Algos, receiving
+  ``R_i`` per round and disbursing ``B_i <= R_i``,
+* the **Transaction Fee Pool**, which accumulates fees for later use and is
+  *not* disbursed during the bootstrap phase,
+* the projected reward schedule of Table III: twelve reward periods of
+  500,000 blocks each, disbursing 10, 13, 16, 19, 22, 25, 28, 31, 34, 36,
+  38, 38 million Algos respectively (about 20 Algos per round in period 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import MechanismError
+
+#: Blocks per reward period (paper Table III caption).
+REWARD_PERIOD_BLOCKS = 500_000
+
+#: Projected rewards per period, in millions of Algos (paper Table III).
+PROJECTED_REWARDS_MILLIONS: Tuple[float, ...] = (
+    10, 13, 16, 19, 22, 25, 28, 31, 34, 36, 38, 38,
+)
+
+#: Ceiling of the Foundation Reward Pool (paper Section III-B).
+FOUNDATION_CEILING_ALGOS = 1_750_000_000.0
+
+
+@dataclass(frozen=True)
+class RewardSchedule:
+    """The Foundation's projected per-round reward ``R_i`` (Table III).
+
+    Rounds past the last tabulated period keep the final period's rate,
+    matching the table's flattening at 38M Algos.
+    """
+
+    period_blocks: int = REWARD_PERIOD_BLOCKS
+    projected_millions: Tuple[float, ...] = PROJECTED_REWARDS_MILLIONS
+
+    def __post_init__(self) -> None:
+        if self.period_blocks <= 0:
+            raise MechanismError("period_blocks must be positive")
+        if not self.projected_millions:
+            raise MechanismError("schedule needs at least one period")
+        if any(value <= 0 for value in self.projected_millions):
+            raise MechanismError("projected rewards must be positive")
+
+    @property
+    def n_periods(self) -> int:
+        return len(self.projected_millions)
+
+    def period_of_round(self, round_index: int) -> int:
+        """1-based reward period containing ``round_index`` (1-based rounds)."""
+        if round_index < 1:
+            raise MechanismError(f"round index must be >= 1, got {round_index}")
+        period = (round_index - 1) // self.period_blocks + 1
+        return min(period, self.n_periods)
+
+    def period_total(self, period: int) -> float:
+        """Total Algos projected for a reward period."""
+        if period < 1:
+            raise MechanismError(f"period must be >= 1, got {period}")
+        period = min(period, self.n_periods)
+        return self.projected_millions[period - 1] * 1_000_000.0
+
+    def per_round_reward(self, round_index: int) -> float:
+        """R_i: the per-round reward in Algos.
+
+        Period 1 disburses 10M Algos over 500k blocks — "approximately 20
+        Algos for each round" (paper Section III-B).
+        """
+        period = self.period_of_round(round_index)
+        return self.period_total(period) / self.period_blocks
+
+    def cumulative_reward(self, rounds: int) -> float:
+        """Total Algos disbursed over the first ``rounds`` rounds."""
+        if rounds < 0:
+            raise MechanismError(f"rounds must be >= 0, got {rounds}")
+        total = 0.0
+        for period in range(1, self.n_periods + 1):
+            start = (period - 1) * self.period_blocks
+            in_period = min(rounds - start, self.period_blocks)
+            if in_period <= 0:
+                break
+            total += in_period * self.period_total(period) / self.period_blocks
+        full_schedule = self.n_periods * self.period_blocks
+        if rounds > full_schedule:
+            total += (rounds - full_schedule) * self.per_round_reward(full_schedule)
+        return total
+
+    def table_rows(self) -> List[Tuple[int, float]]:
+        """(period, projected millions) rows — regenerates Table III."""
+        return [(i + 1, value) for i, value in enumerate(self.projected_millions)]
+
+
+@dataclass
+class FoundationRewardPool:
+    """The capped Algo pool funding per-round rewards (paper Figure 2)."""
+
+    ceiling: float = FOUNDATION_CEILING_ALGOS
+    balance: float = 0.0
+    deposited_total: float = field(default=0.0)
+    disbursed_total: float = field(default=0.0)
+
+    def deposit(self, amount: float) -> float:
+        """Add ``R_i`` Algos, clamped so lifetime deposits respect the ceiling.
+
+        Returns the amount actually deposited.
+        """
+        if amount < 0:
+            raise MechanismError(f"cannot deposit negative amount {amount}")
+        room = self.ceiling - self.deposited_total
+        accepted = max(0.0, min(amount, room))
+        self.balance += accepted
+        self.deposited_total += accepted
+        return accepted
+
+    def withdraw(self, amount: float) -> float:
+        """Disburse ``B_i`` Algos; fails if the pool cannot cover it."""
+        if amount < 0:
+            raise MechanismError(f"cannot withdraw negative amount {amount}")
+        if amount > self.balance + 1e-9:
+            raise MechanismError(
+                f"withdrawal of {amount} exceeds pool balance {self.balance}"
+            )
+        self.balance -= amount
+        self.disbursed_total += amount
+        return amount
+
+    @property
+    def exhausted(self) -> bool:
+        """True once lifetime deposits hit the 1.75B ceiling."""
+        return self.deposited_total >= self.ceiling - 1e-9
+
+
+@dataclass
+class TransactionFeePool:
+    """Accumulates transaction fees for post-bootstrap use (paper Fig. 2).
+
+    The paper notes this pool "is not planned to be used for reward
+    disbursement until the 1.75 billion Algo ceiling ... is met"; the
+    simulator therefore only deposits into it.
+    """
+
+    balance: float = 0.0
+
+    def deposit(self, amount: float) -> None:
+        if amount < 0:
+            raise MechanismError(f"cannot deposit negative fee {amount}")
+        self.balance += amount

@@ -1,0 +1,108 @@
+"""The paper's role-based reward sharing (Section IV-B, Figure 4, Eq. 5).
+
+The per-round reward ``B_i`` is split into three slices — ``alpha * B_i``
+for leaders, ``beta * B_i`` for committee members, and
+``gamma * B_i = (1 - alpha - beta) * B_i`` for the remaining online nodes —
+each slice then distributed within its role in proportion to stake:
+
+    r_i^L = alpha * B_i / S_L,
+    r_i^M = beta  * B_i / S_M,
+    r_i^K = gamma * B_i / S_K.
+
+Role classification is by *performed* task: a selected leader that defected
+performed nothing and is paid from the K slice (see the deviation payoffs
+in Lemma 2), which is what makes the bounds of Theorem 3 bite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.foundation import RewardSource, resolve_reward
+from repro.errors import MechanismError
+from repro.sim.roles import RewardAllocation, RoleSnapshot
+
+
+class RoleBasedSharing:
+    """Fixed-split role-based distribution of a per-round reward.
+
+    Parameters
+    ----------
+    alpha / beta:
+        Leader and committee reward fractions, each in (0, 1) with
+        ``alpha + beta < 1``; ``gamma = 1 - alpha - beta`` goes to the
+        remaining online nodes.
+    reward:
+        ``B_i`` per round (constant, callable, or schedule).
+    pay_empty_roles_to_pool:
+        When a role set is empty (e.g. no leader performed in a collapsed
+        round) its slice cannot be distributed; it is reported in the
+        allocation params as ``undistributed`` and simply not paid,
+        mirroring "saved for future use" in paper Figure 2.
+    """
+
+    name = "role_based"
+
+    def __init__(self, alpha: float, beta: float, reward: RewardSource) -> None:
+        validate_split(alpha, beta)
+        self.alpha = alpha
+        self.beta = beta
+        self.reward = reward
+
+    @property
+    def gamma(self) -> float:
+        return 1.0 - self.alpha - self.beta
+
+    def allocate(self, snapshot: RoleSnapshot) -> RewardAllocation:
+        """Distribute ``B_i`` according to Eq. 5 over the snapshot roles."""
+        b_i = resolve_reward(self.reward, snapshot.round_index)
+        if b_i < 0:
+            raise MechanismError(f"negative per-round reward {b_i}")
+        return allocate_role_based(snapshot, self.alpha, self.beta, b_i)
+
+
+def validate_split(alpha: float, beta: float) -> None:
+    """Check the (alpha, beta, gamma) split of paper Section IV-B."""
+    if not 0.0 < alpha < 1.0:
+        raise MechanismError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0.0 < beta < 1.0:
+        raise MechanismError(f"beta must be in (0, 1), got {beta}")
+    if alpha + beta >= 1.0:
+        raise MechanismError(
+            f"alpha + beta must be < 1 so gamma > 0, got {alpha + beta}"
+        )
+
+
+def allocate_role_based(
+    snapshot: RoleSnapshot, alpha: float, beta: float, b_i: float
+) -> RewardAllocation:
+    """Core Eq. 5 computation shared by the fixed and adaptive mechanisms."""
+    validate_split(alpha, beta)
+    gamma = 1.0 - alpha - beta
+    per_node: Dict[int, float] = {}
+    undistributed = 0.0
+
+    for fraction, group, total in (
+        (alpha, snapshot.leaders, snapshot.stake_leaders),
+        (beta, snapshot.committee, snapshot.stake_committee),
+        (gamma, snapshot.others, snapshot.stake_others),
+    ):
+        slice_total = fraction * b_i
+        if total <= 0 or not group:
+            undistributed += slice_total
+            continue
+        rate = slice_total / total
+        for node_id, stake in group.items():
+            per_node[node_id] = per_node.get(node_id, 0.0) + rate * stake
+
+    return RewardAllocation(
+        per_node=per_node,
+        total=b_i - undistributed,
+        params={
+            "b_i": b_i,
+            "alpha": alpha,
+            "beta": beta,
+            "gamma": gamma,
+            "undistributed": undistributed,
+        },
+    )

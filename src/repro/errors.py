@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class CryptoError(ReproError):
+    """A simulated cryptographic check (signature, VRF proof) failed."""
+
+
+class SortitionError(CryptoError):
+    """A sortition proof failed verification or was malformed."""
+
+
+class LedgerError(SimulationError):
+    """An operation on the block ledger violated chain integrity."""
+
+
+class NetworkError(SimulationError):
+    """A gossip-network operation referenced unknown nodes or edges."""
+
+
+class MechanismError(ReproError):
+    """A reward-sharing mechanism was asked to do something infeasible."""
+
+
+class InfeasibleRewardError(MechanismError):
+    """No reward satisfies the incentive bounds for the given parameters.
+
+    Raised by Algorithm 1 when the feasibility conditions of Lemma 2
+    (paper Eqs. 8 and 9) cannot be met for any ``(alpha, beta)`` split,
+    for instance when a role has zero total stake.
+    """
+
+
+class GameError(ReproError):
+    """A game-theoretic query was malformed (unknown player, bad profile)."""

@@ -1,0 +1,58 @@
+"""The Algorand discrete-event simulator substrate.
+
+Modules
+-------
+engine
+    Deterministic discrete-event executor.
+rng
+    Named, independently seeded random substreams.
+crypto
+    Simulated keys, signatures, VRF and round seeds.
+sortition
+    Stake-weighted binomial committee selection with verifiable proofs.
+messages / blocks
+    Gossip message types; blocks, transactions, per-node ledgers.
+network
+    Gossip overlay with delays, drops, and priority relay filtering.
+behavior / node
+    Node behaviour categories and the per-node protocol logic.
+ba_star
+    The Reduction + BinaryBA* consensus state machine.
+protocol
+    Multi-round simulation driver with reward-mechanism hooks.
+config / metrics / roles
+    Tunables, per-round measurements, and role snapshots.
+"""
+
+from repro.sim.behavior import Behavior, assign_behaviors
+from repro.sim.blocks import Block, ConsensusLabel, Ledger, Transaction
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import EventEngine
+from repro.sim.metrics import RoundRecord, SimulationMetrics, average_fractions
+from repro.sim.protocol import AlgorandSimulation, RewardMechanism
+from repro.sim.rng import RngStreams
+from repro.sim.roles import RewardAllocation, RoleSnapshot
+from repro.sim.sortition import Role, SortitionProof, sortition, verify_sortition
+
+__all__ = [
+    "AlgorandSimulation",
+    "Behavior",
+    "Block",
+    "ConsensusLabel",
+    "EventEngine",
+    "Ledger",
+    "RewardAllocation",
+    "RewardMechanism",
+    "RngStreams",
+    "Role",
+    "RoleSnapshot",
+    "RoundRecord",
+    "SimulationConfig",
+    "SimulationMetrics",
+    "SortitionProof",
+    "Transaction",
+    "assign_behaviors",
+    "average_fractions",
+    "sortition",
+    "verify_sortition",
+]

@@ -1,0 +1,130 @@
+"""Node behaviour models (paper Section III-C).
+
+The paper classifies Algorand nodes into four behavioural categories; the
+simulator implements each as a :class:`Behavior` value plus a set of
+capability predicates the node consults before performing a protocol task.
+
+* **HONEST** — altruistic: always cooperates, performs every assigned task.
+* **SELFISH_COOPERATE** — honest-but-selfish node whose strategic choice in
+  the current round is Cooperate; behaves like HONEST but is counted as a
+  strategic player by the reward analysis.
+* **SELFISH_DEFECT** — honest-but-selfish node whose choice is Defect: it
+  stays online and runs sortition (paying ``c_so``), but does not verify,
+  propose, vote, gossip, or count votes.  It still receives messages and may
+  read the chain.  This is the "defective" behaviour of Figures 3, 6 and 7.
+* **MALICIOUS** — byzantine: proposes equivocating blocks and votes for
+  arbitrary values.
+* **FAULTY** — offline: neither sends nor receives anything.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class Behavior(str, Enum):
+    """Behavioural category of a node."""
+
+    HONEST = "honest"
+    SELFISH_COOPERATE = "selfish_cooperate"
+    SELFISH_DEFECT = "selfish_defect"
+    MALICIOUS = "malicious"
+    FAULTY = "faulty"
+
+    # --- capability predicates -------------------------------------------
+
+    @property
+    def is_online(self) -> bool:
+        """Whether the node participates in the network at all."""
+        return self is not Behavior.FAULTY
+
+    @property
+    def cooperates(self) -> bool:
+        """Whether the node performs its assigned protocol tasks."""
+        return self in (Behavior.HONEST, Behavior.SELFISH_COOPERATE)
+
+    @property
+    def relays(self) -> bool:
+        """Whether the node forwards gossip (cost ``c_go``)."""
+        return self.cooperates or self is Behavior.MALICIOUS
+
+    @property
+    def proposes(self) -> bool:
+        """Whether the node proposes blocks when selected as leader."""
+        return self.cooperates or self is Behavior.MALICIOUS
+
+    @property
+    def votes(self) -> bool:
+        """Whether the node votes when selected for a committee."""
+        return self.cooperates or self is Behavior.MALICIOUS
+
+    @property
+    def counts_votes(self) -> bool:
+        """Whether the node tallies votes to follow consensus (cost ``c_vc``).
+
+        Defective nodes skip the tally work during the round, but they can
+        still *extract* the outcome from the votes they passively received;
+        the paper measures extraction for all online nodes.
+        """
+        return self.cooperates
+
+    @property
+    def equivocates(self) -> bool:
+        """Whether the node sends conflicting protocol messages."""
+        return self is Behavior.MALICIOUS
+
+    @property
+    def is_strategic(self) -> bool:
+        """Whether the node is a player of the game G_Al (honest-but-selfish)."""
+        return self in (Behavior.SELFISH_COOPERATE, Behavior.SELFISH_DEFECT)
+
+
+def assign_behaviors(
+    n_nodes: int,
+    defection_rate: float,
+    malicious_rate: float,
+    offline_rate: float,
+    rng,
+) -> List[Behavior]:
+    """Randomly assign behaviours to ``n_nodes`` nodes.
+
+    Mirrors the paper's experimental setup (Section III-C): defective nodes
+    are drawn uniformly at random; counts are rounded to the nearest node.
+    The remaining nodes are HONEST.
+    """
+    if n_nodes <= 0:
+        raise ConfigurationError(f"n_nodes must be positive, got {n_nodes}")
+    total_rate = defection_rate + malicious_rate + offline_rate
+    if total_rate > 1.0 + 1e-9:
+        raise ConfigurationError(f"behaviour rates sum to {total_rate:.3f} > 1")
+
+    n_defect = round(n_nodes * defection_rate)
+    n_malicious = round(n_nodes * malicious_rate)
+    n_offline = round(n_nodes * offline_rate)
+    if n_defect + n_malicious + n_offline > n_nodes:
+        raise ConfigurationError("rounded behaviour counts exceed n_nodes")
+
+    indices = list(range(n_nodes))
+    rng.shuffle(indices)
+    behaviors = [Behavior.HONEST] * n_nodes
+    cursor = 0
+    for count, behavior in (
+        (n_defect, Behavior.SELFISH_DEFECT),
+        (n_malicious, Behavior.MALICIOUS),
+        (n_offline, Behavior.FAULTY),
+    ):
+        for index in indices[cursor : cursor + count]:
+            behaviors[index] = behavior
+        cursor += count
+    return behaviors
+
+
+def defective_fraction(behaviors: Sequence[Behavior]) -> float:
+    """Fraction of nodes that are defecting (for metrics and assertions)."""
+    if not behaviors:
+        return 0.0
+    defecting = sum(1 for b in behaviors if b is Behavior.SELFISH_DEFECT)
+    return defecting / len(behaviors)

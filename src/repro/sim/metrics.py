@@ -1,0 +1,124 @@
+"""Per-round and per-run metrics of the Algorand simulation.
+
+The central figure of merit is the paper's Figure 3 triple: the fraction of
+online nodes that extracted a FINAL block, a TENTATIVE block, or NO block
+in each round.  Records also carry the reward-mechanism parameters so the
+Figure 6/7 experiments can read B_i, alpha, beta straight off the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.sim.blocks import ConsensusLabel
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything measured about one simulated round."""
+
+    round_index: int
+    n_online: int
+    n_final: int
+    n_tentative: int
+    n_none: int
+    n_concluded_empty: int = 0
+    n_desynced: int = 0
+    n_caught_up: int = 0
+    authoritative_label: ConsensusLabel = ConsensusLabel.NONE
+    authoritative_value: Optional[int] = None
+    steps_used: int = 0
+    reward_total: float = 0.0
+    reward_params: Mapping[str, float] = field(default_factory=dict)
+    n_leaders: int = 0
+    n_committee: int = 0
+
+    @property
+    def fraction_final(self) -> float:
+        return self.n_final / self.n_online if self.n_online else 0.0
+
+    @property
+    def fraction_tentative(self) -> float:
+        return self.n_tentative / self.n_online if self.n_online else 0.0
+
+    @property
+    def fraction_none(self) -> float:
+        return self.n_none / self.n_online if self.n_online else 0.0
+
+
+class SimulationMetrics:
+    """Accumulates :class:`RoundRecord` objects across a run."""
+
+    def __init__(self) -> None:
+        self._records: List[RoundRecord] = []
+
+    def record(self, record: RoundRecord) -> None:
+        self._records.append(record)
+
+    @property
+    def records(self) -> List[RoundRecord]:
+        return list(self._records)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self._records)
+
+    def series(self, attribute: str) -> List[float]:
+        """Extract one attribute across rounds (e.g. ``'fraction_final'``)."""
+        return [getattr(record, attribute) for record in self._records]
+
+    def final_block_rate(self) -> float:
+        """Fraction of rounds whose authoritative outcome was FINAL."""
+        if not self._records:
+            return 0.0
+        final = sum(
+            1
+            for record in self._records
+            if record.authoritative_label is ConsensusLabel.FINAL
+        )
+        return final / len(self._records)
+
+    def total_rewards(self) -> float:
+        return sum(record.reward_total for record in self._records)
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Flatten records to dictionaries (CSV-friendly)."""
+        rows: List[Dict[str, object]] = []
+        for record in self._records:
+            rows.append(
+                {
+                    "round": record.round_index,
+                    "online": record.n_online,
+                    "final": record.n_final,
+                    "tentative": record.n_tentative,
+                    "none": record.n_none,
+                    "fraction_final": record.fraction_final,
+                    "fraction_tentative": record.fraction_tentative,
+                    "fraction_none": record.fraction_none,
+                    "authoritative": record.authoritative_label.value,
+                    "steps_used": record.steps_used,
+                    "reward_total": record.reward_total,
+                }
+            )
+        return rows
+
+
+def average_fractions(
+    runs: Sequence[SimulationMetrics], attribute: str, trim: float = 0.2
+) -> List[float]:
+    """Per-round trimmed mean of an attribute across repeated runs.
+
+    The paper computes a 20 % trimmed mean over 100 simulations
+    (Section III-C); ``trim`` is the total fraction discarded (0.2 drops the
+    top 10 % and bottom 10 %).
+    """
+    from repro.analysis.stats import trimmed_mean
+
+    if not runs:
+        return []
+    n_rounds = min(run.n_rounds for run in runs)
+    series = [run.series(attribute)[:n_rounds] for run in runs]
+    return [
+        trimmed_mean([s[i] for s in series], trim=trim) for i in range(n_rounds)
+    ]

@@ -1,0 +1,257 @@
+"""The gossip peer-to-peer network (paper Sections II-B2 and III-C).
+
+Each node maintains ``gossip_fanout`` outgoing links to uniformly random
+peers (the paper uses 5).  A message injected at a node is processed locally
+and then relayed hop by hop: every node that sees a message for the first
+time processes it and — if its behaviour relays gossip — forwards it to its
+own neighbours after a sampled per-hop delay.  Duplicate deliveries are
+suppressed by message id.
+
+Two knobs model network synchrony (paper Definitions 2 and 3):
+
+* ``delay_scale`` multiplies every hop delay; raising it simulates the
+  asynchronous periods of the weak-synchrony assumption, and
+* ``drop_probability`` loses individual hops.
+
+The overlay also implements Algorand's priority-based relay filtering: once
+a node has seen a credential or proposal with a better (lower) priority for
+the current round, it stops relaying worse proposals, which is how Algorand
+bounds proposal floods (paper Section II-B2, Credential messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Set
+
+import networkx as nx
+
+from repro.errors import NetworkError
+from repro.sim.engine import EventEngine
+from repro.sim.messages import BlockProposalMessage, CredentialMessage, Message
+
+
+class GossipParticipant(Protocol):
+    """What the network needs from a node object."""
+
+    node_id: int
+
+    def on_receive(self, message: Message, now: float) -> bool:
+        """Process a first-time delivery; return True to relay the message."""
+
+    @property
+    def relays_gossip(self) -> bool:
+        """Whether this node forwards gossip at all (behaviour-dependent)."""
+
+    @property
+    def is_online(self) -> bool:
+        """Offline nodes neither receive nor send."""
+
+
+@dataclass
+class NetworkStats:
+    """Counters for traffic accounting (used by cost metrics and tests)."""
+
+    messages_injected: int = 0
+    deliveries: int = 0
+    duplicates_suppressed: int = 0
+    drops: int = 0
+    relay_filtered: int = 0
+    per_kind_deliveries: Dict[str, int] = field(default_factory=dict)
+
+    def record_delivery(self, kind: str) -> None:
+        self.deliveries += 1
+        self.per_kind_deliveries[kind] = self.per_kind_deliveries.get(kind, 0) + 1
+
+
+def build_random_overlay(
+    node_ids: Sequence[int], fanout: int, rng
+) -> Dict[int, List[int]]:
+    """Build the neighbour lists of the gossip overlay.
+
+    Each node *selects* ``fanout`` distinct random peers, never itself
+    (paper Section III-C: "each node sends the messages to 5 other nodes
+    that are randomly selected").  Peer links are TCP connections (paper
+    Section II-B2), so messages relay in both directions: a node's
+    neighbour set is the union of the peers it selected and the peers that
+    selected it.  The construction retries until the resulting undirected
+    graph is connected, so a fully honest network can always disseminate.
+    """
+    ids = list(node_ids)
+    if fanout >= len(ids):
+        raise NetworkError(
+            f"fanout {fanout} must be smaller than the number of nodes {len(ids)}"
+        )
+    for _attempt in range(100):
+        selected: Dict[int, List[int]] = {}
+        for node_id in ids:
+            candidates = [other for other in ids if other != node_id]
+            selected[node_id] = rng.sample(candidates, fanout)
+        neighbors: Dict[int, Set[int]] = {node_id: set() for node_id in ids}
+        for source, targets in selected.items():
+            for target in targets:
+                neighbors[source].add(target)
+                neighbors[target].add(source)
+        graph = nx.Graph()
+        graph.add_nodes_from(ids)
+        for source, targets in neighbors.items():
+            graph.add_edges_from((source, target) for target in targets)
+        if nx.is_connected(graph):
+            return {node_id: sorted(peers) for node_id, peers in neighbors.items()}
+    raise NetworkError("failed to build a connected overlay in 100 attempts")
+
+
+class GossipNetwork:
+    """Event-driven gossip dissemination over a fixed random overlay."""
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        neighbors: Dict[int, List[int]],
+        delay_sampler: Callable[[], float],
+        drop_probability: float = 0.0,
+        drop_rng=None,
+    ) -> None:
+        if drop_probability and drop_rng is None:
+            raise NetworkError("drop_probability > 0 requires a drop_rng")
+        self._engine = engine
+        self._neighbors = neighbors
+        self._delay_sampler = delay_sampler
+        self._drop_probability = drop_probability
+        self._drop_rng = drop_rng
+        self._participants: Dict[int, GossipParticipant] = {}
+        self._seen: Dict[int, Set[int]] = {node_id: set() for node_id in neighbors}
+        #: Best (lowest) proposal priority seen per node for the current
+        #: round; used for credential-based relay filtering.
+        self._best_priority: Dict[int, float] = {}
+        self.stats = NetworkStats()
+        self.delay_scale = 1.0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, participant: GossipParticipant) -> None:
+        node_id = participant.node_id
+        if node_id not in self._neighbors:
+            raise NetworkError(f"node {node_id} is not part of the overlay")
+        self._participants[node_id] = participant
+
+    def neighbors_of(self, node_id: int) -> List[int]:
+        try:
+            return list(self._neighbors[node_id])
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id}") from None
+
+    def participant(self, node_id: int) -> GossipParticipant:
+        try:
+            return self._participants[node_id]
+        except KeyError:
+            raise NetworkError(f"node {node_id} is not registered") from None
+
+    # -- round lifecycle ----------------------------------------------------
+
+    def begin_round(self) -> None:
+        """Reset per-round relay-filter state (priorities are per round)."""
+        self._best_priority.clear()
+
+    def reset_seen(self) -> None:
+        """Forget seen-message ids (between independent simulations)."""
+        for seen in self._seen.values():
+            seen.clear()
+
+    # -- dissemination -------------------------------------------------------
+
+    def broadcast(self, origin_id: int, message: Message) -> None:
+        """Inject ``message`` at ``origin_id``: process locally, then gossip.
+
+        The origin always processes its own message (a node knows what it
+        sent); forwarding to peers only happens when the origin is online.
+        """
+        origin = self.participant(origin_id)
+        if not origin.is_online:
+            return
+        self.stats.messages_injected += 1
+        self._mark_seen(origin_id, message)
+        origin.on_receive(message, self._engine.now)
+        self._note_priority(origin_id, message)
+        self._forward(origin_id, message)
+
+    def _deliver(self, target_id: int, message: Message) -> None:
+        target = self._participants.get(target_id)
+        if target is None or not target.is_online:
+            return
+        if message.message_id in self._seen[target_id]:
+            self.stats.duplicates_suppressed += 1
+            return
+        self._mark_seen(target_id, message)
+        self.stats.record_delivery(message.kind)
+        relay_wanted = target.on_receive(message, self._engine.now)
+        self._note_priority(target_id, message)
+        if not relay_wanted or not target.relays_gossip:
+            return
+        if self._filtered_by_priority(target_id, message):
+            self.stats.relay_filtered += 1
+            return
+        self._forward(target_id, message)
+
+    def _forward(self, from_id: int, message: Message) -> None:
+        for neighbor_id in self._neighbors[from_id]:
+            if self._drop_probability and self._drop_rng.random() < self._drop_probability:
+                self.stats.drops += 1
+                continue
+            delay = self._delay_sampler() * self.delay_scale
+            self._engine.schedule_after(
+                delay,
+                lambda target=neighbor_id, msg=message: self._deliver(target, msg),
+                label=f"deliver:{message.kind}:{message.message_id}->{neighbor_id}",
+            )
+
+    def _mark_seen(self, node_id: int, message: Message) -> None:
+        self._seen[node_id].add(message.message_id)
+
+    # -- priority-based relay filtering --------------------------------------
+
+    def _note_priority(self, node_id: int, message: Message) -> None:
+        priority = self._message_priority(message)
+        if priority is None:
+            return
+        best = self._best_priority.get(node_id)
+        if best is None or priority < best:
+            self._best_priority[node_id] = priority
+
+    def _filtered_by_priority(self, node_id: int, message: Message) -> bool:
+        """Drop relays of proposals strictly worse than the best seen."""
+        if not isinstance(message, BlockProposalMessage):
+            return False
+        best = self._best_priority.get(node_id)
+        return best is not None and message.priority > best
+
+    @staticmethod
+    def _message_priority(message: Message) -> Optional[float]:
+        if isinstance(message, (BlockProposalMessage, CredentialMessage)):
+            return message.priority
+        return None
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def as_networkx(self) -> nx.DiGraph:
+        """Return the overlay as a networkx digraph (for topology analysis)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._neighbors)
+        for source, targets in self._neighbors.items():
+            graph.add_edges_from((source, target) for target in targets)
+        return graph
+
+    def honest_subgraph(self) -> nx.DiGraph:
+        """The overlay restricted to nodes that relay gossip.
+
+        Defective nodes stop relaying, which thins this graph; its
+        connectivity governs whether votes still reach everyone — the
+        mechanism behind the Figure 3 collapse.
+        """
+        graph = self.as_networkx()
+        relaying = [
+            node_id
+            for node_id, participant in self._participants.items()
+            if participant.relays_gossip and participant.is_online
+        ]
+        return graph.subgraph(relaying).copy()

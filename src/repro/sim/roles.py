@@ -1,0 +1,130 @@
+"""Per-round role assignment snapshots, shared by simulator and mechanisms.
+
+A :class:`RoleSnapshot` captures who *performed* which role in a round —
+the sets L (leaders), M (committee members) and K (remaining online nodes)
+of the paper — together with their stakes.  Reward mechanisms consume
+snapshots; the game model builds them for hypothetical strategy profiles.
+
+Note the behavioural subtlety from Theorem 2's proof: a node *selected* as
+leader that defects "acts as an online node", so role classification is by
+performed task, not by sortition outcome.  Defectors therefore land in K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.errors import MechanismError
+
+
+@dataclass(frozen=True)
+class RoleSnapshot:
+    """Stakes of the performing leaders, committee members, and other nodes.
+
+    Attributes
+    ----------
+    round_index:
+        The Algorand round this snapshot describes.
+    leaders / committee / others:
+        Mappings from node id to stake.  A node appears in exactly one set.
+    """
+
+    round_index: int
+    leaders: Mapping[int, float] = field(default_factory=dict)
+    committee: Mapping[int, float] = field(default_factory=dict)
+    others: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        seen: Dict[int, str] = {}
+        for name, group in (
+            ("leaders", self.leaders),
+            ("committee", self.committee),
+            ("others", self.others),
+        ):
+            for node_id, stake in group.items():
+                if stake <= 0:
+                    raise MechanismError(
+                        f"{name} node {node_id} has non-positive stake {stake}"
+                    )
+                if node_id in seen:
+                    raise MechanismError(
+                        f"node {node_id} appears in both {seen[node_id]} and {name}"
+                    )
+                seen[node_id] = name
+
+    # -- aggregate stakes (paper Table I symbols) ---------------------------
+
+    @property
+    def stake_leaders(self) -> float:
+        """S_L: total stake of the performing leaders."""
+        return float(sum(self.leaders.values()))
+
+    @property
+    def stake_committee(self) -> float:
+        """S_M: total stake of the performing committee members."""
+        return float(sum(self.committee.values()))
+
+    @property
+    def stake_others(self) -> float:
+        """S_K: total stake of the remaining online nodes."""
+        return float(sum(self.others.values()))
+
+    @property
+    def stake_total(self) -> float:
+        """S_N = S_L + S_M + S_K."""
+        return self.stake_leaders + self.stake_committee + self.stake_others
+
+    # -- minimum stakes (s*_l, s*_m, s*_k of Lemma 2 / Theorem 3) -------------
+
+    def min_leader_stake(self) -> Optional[float]:
+        return min(self.leaders.values(), default=None)
+
+    def min_committee_stake(self) -> Optional[float]:
+        return min(self.committee.values(), default=None)
+
+    def min_other_stake(self, floor: float = 0.0) -> Optional[float]:
+        """Minimum stake among other nodes with stake >= ``floor``.
+
+        The paper's numerical analysis ignores strong-synchrony sets that
+        contain nodes below a stake floor (s*_k = 10 in Section V-A), which
+        this filter implements.
+        """
+        eligible = [stake for stake in self.others.values() if stake >= floor]
+        return min(eligible, default=None)
+
+    def all_stakes(self) -> Dict[int, float]:
+        """Stakes of every node in the snapshot, as one mapping."""
+        merged: Dict[int, float] = {}
+        merged.update(self.leaders)
+        merged.update(self.committee)
+        merged.update(self.others)
+        return merged
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.leaders) + len(self.committee) + len(self.others)
+
+
+@dataclass(frozen=True)
+class RewardAllocation:
+    """The result of one reward distribution round.
+
+    Attributes
+    ----------
+    per_node:
+        Node id to Algos paid this round.
+    total:
+        Total Algos disbursed (B_i actually paid out).
+    params:
+        Mechanism-specific parameters for the round, e.g. ``alpha``,
+        ``beta``, ``gamma``, ``b_i`` for the role-based mechanism or
+        ``r_i`` for the Foundation mechanism.
+    """
+
+    per_node: Mapping[int, float]
+    total: float
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def paid_to(self, node_id: int) -> float:
+        return float(self.per_node.get(node_id, 0.0))

@@ -1,0 +1,190 @@
+"""Cryptographic sortition: private, stake-weighted role selection.
+
+Algorand selects block proposers and per-step committee members by having
+every node evaluate a VRF locally and map the uniform output to a number of
+selected "sub-users" via the binomial distribution (Gilad et al., SOSP'17;
+paper Section II-B4).  A node with stake ``w`` out of total stake ``W``,
+for an expected committee size of ``tau`` sub-users, is selected with weight
+
+    j  such that  vrf_value ∈ [ F(j-1; w, p), F(j; w, p) ),   p = tau / W,
+
+where ``F`` is the binomial CDF.  The expected total selected weight across
+the network is exactly ``tau``, selection is private (nobody can predict or
+bias who is chosen), and the proof is publicly verifiable.
+
+The selection is per *sub-user*: a node voting with weight ``j`` counts as
+``j`` committee votes, which is how stake-weighting enters vote counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import SortitionError
+from repro.sim import crypto
+from repro.sim.crypto import KeyPair, VrfOutput
+
+
+class Role(str, Enum):
+    """Protocol roles a node can be selected for in a round.
+
+    ``PROPOSER`` corresponds to leaders (set L in the paper), ``STEP`` to a
+    BA* voting-step committee, and ``FINAL`` to the final-vote committee.
+    """
+
+    PROPOSER = "proposer"
+    STEP = "step"
+    FINAL = "final"
+
+
+@dataclass(frozen=True)
+class SortitionProof:
+    """The verifiable outcome of one sortition evaluation.
+
+    Attributes
+    ----------
+    public_key:
+        Identity of the node that ran sortition.
+    role / round_index / step:
+        The context the proof is bound to.  ``step`` is 0 for proposers.
+    vrf:
+        The underlying VRF output and proof.
+    weight:
+        Number of selected sub-users ``j`` (0 means not selected).
+    priority:
+        Minimum sub-user priority hash; lower is better.  ``None`` when
+        ``weight == 0``.  Used to rank competing block proposals
+        (paper Section II-B2, Credential messages).
+    stake / total_stake / expected_size:
+        The public inputs needed for verification.
+    """
+
+    public_key: int
+    role: Role
+    round_index: int
+    step: int
+    vrf: VrfOutput
+    weight: int
+    priority: Optional[float]
+    stake: float
+    total_stake: float
+    expected_size: float
+
+    @property
+    def selected(self) -> bool:
+        """Whether the node was selected for the role (weight > 0)."""
+        return self.weight > 0
+
+
+def _role_step_tag(role: Role, step: int) -> int:
+    """Encode (role, step) into the VRF step argument to separate domains."""
+    base = {Role.PROPOSER: 0, Role.STEP: 1_000, Role.FINAL: 2_000}[role]
+    return base + step
+
+
+def binomial_weight(vrf_value: float, stake_units: int, probability: float) -> int:
+    """Invert the binomial CDF at ``vrf_value`` for ``Binom(stake_units, p)``.
+
+    Returns the unique ``j`` with ``F(j-1) <= vrf_value < F(j)``.  Computed
+    with the standard multiplicative pmf recurrence, which is numerically
+    stable for the small ``p`` regime sortition operates in.
+    """
+    if not 0.0 <= vrf_value < 1.0:
+        raise SortitionError(f"vrf value must be in [0, 1), got {vrf_value}")
+    if stake_units < 0:
+        raise SortitionError(f"stake units must be non-negative, got {stake_units}")
+    if not 0.0 <= probability <= 1.0:
+        raise SortitionError(f"selection probability must be in [0, 1], got {probability}")
+    if stake_units == 0 or probability == 0.0:
+        return 0
+    if probability == 1.0:
+        return stake_units
+
+    # pmf(0) = (1-p)^w, then pmf(k+1) = pmf(k) * (w-k)/(k+1) * p/(1-p).
+    pmf = (1.0 - probability) ** stake_units
+    cdf = pmf
+    j = 0
+    ratio = probability / (1.0 - probability)
+    while cdf <= vrf_value and j < stake_units:
+        pmf *= (stake_units - j) / (j + 1) * ratio
+        j += 1
+        cdf += pmf
+        if pmf < 1e-300 and cdf <= vrf_value:
+            # Floating-point underflow in an extreme tail: everything that
+            # remains is mass we can no longer resolve; select all of it.
+            return stake_units
+    return j
+
+
+def sortition(
+    keypair: KeyPair,
+    seed: int,
+    round_index: int,
+    role: Role,
+    stake: float,
+    total_stake: float,
+    expected_size: float,
+    step: int = 0,
+) -> SortitionProof:
+    """Run sortition for one node and one role; always returns a proof.
+
+    A proof with ``weight == 0`` means "not selected" and is never gossiped,
+    but the paper's cost model still charges ``c_so`` for computing it.
+    """
+    if stake < 0:
+        raise SortitionError(f"stake must be non-negative, got {stake}")
+    if total_stake <= 0:
+        raise SortitionError(f"total stake must be positive, got {total_stake}")
+    if stake > total_stake:
+        raise SortitionError(f"stake {stake} exceeds total stake {total_stake}")
+    if expected_size <= 0:
+        raise SortitionError(f"expected committee size must be positive, got {expected_size}")
+
+    vrf = crypto.vrf_evaluate(keypair, seed, round_index, _role_step_tag(role, step))
+    stake_units = int(stake)
+    probability = min(1.0, expected_size / total_stake)
+    weight = binomial_weight(vrf.value, stake_units, probability)
+    priority = None
+    if weight > 0:
+        priority = min(
+            crypto.subuser_priority(vrf.proof, index) for index in range(weight)
+        )
+    return SortitionProof(
+        public_key=keypair.public,
+        role=role,
+        round_index=round_index,
+        step=step,
+        vrf=vrf,
+        weight=weight,
+        priority=priority,
+        stake=stake,
+        total_stake=total_stake,
+        expected_size=expected_size,
+    )
+
+
+def verify_sortition(proof: SortitionProof, keypair: KeyPair, seed: int) -> bool:
+    """Publicly verify a proof against the round seed ``Q_{r-1}`` (cost ``c_vs``).
+
+    Recomputes the VRF under the claimed identity's key and re-derives the
+    weight and priority from the public inputs carried by the proof.  The
+    seed is public ledger state in the real protocol.
+    """
+    if proof.public_key != keypair.public:
+        return False
+    if not crypto.vrf_verify(
+        proof.vrf, keypair, seed, proof.round_index, _role_step_tag(proof.role, proof.step)
+    ):
+        return False
+    stake_units = int(proof.stake)
+    probability = min(1.0, proof.expected_size / proof.total_stake)
+    if binomial_weight(proof.vrf.value, stake_units, probability) != proof.weight:
+        return False
+    if proof.weight == 0:
+        return proof.priority is None
+    expected_priority = min(
+        crypto.subuser_priority(proof.vrf.proof, index) for index in range(proof.weight)
+    )
+    return proof.priority == expected_priority

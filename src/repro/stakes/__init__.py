@@ -1,0 +1,24 @@
+"""Stake populations and the synthetic exchange (paper Section V-B)."""
+
+from repro.stakes.distributions import (
+    StakeDistribution,
+    figure7c_distributions,
+    paper_distributions,
+    summarize,
+    truncated_normal,
+    truncated_uniform,
+    uniform,
+)
+from repro.stakes.exchange import ExchangeRound, ExchangeSimulator
+
+__all__ = [
+    "ExchangeRound",
+    "ExchangeSimulator",
+    "StakeDistribution",
+    "figure7c_distributions",
+    "paper_distributions",
+    "summarize",
+    "truncated_normal",
+    "truncated_uniform",
+    "uniform",
+]

@@ -1,0 +1,170 @@
+"""Stake-population generators for the paper's evaluation (Section V-B).
+
+The paper distributes 50 million Algos among 500,000 nodes using
+
+* a uniform distribution U(1, 200),
+* normal distributions N(100, 20) and N(100, 10) ("the initial phase of
+  Algorand"), and
+* N(2000, 25) ("current status of Algorand with more than 1 billion
+  Algos"),
+
+plus truncated populations U_w(1, 200) in which nodes with stakes up to
+``w`` (3, 5, 7) are removed from the rewarded set (Figure 7(c)).
+
+Normal draws are truncated at a positive minimum stake by *resampling*
+(not clipping), so no artificial probability mass accumulates at the
+boundary — the population minimum drives the Theorem 3 online bound, so
+this detail matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Generator signature: (rng, size) -> stake vector.
+StakeSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class StakeDistribution:
+    """A named, reproducible stake-population generator."""
+
+    name: str
+    sampler: StakeSampler
+    description: str = ""
+
+    def sample(self, size: int, seed: int = 0) -> np.ndarray:
+        """Draw a stake vector of ``size`` nodes."""
+        if size <= 0:
+            raise ConfigurationError(f"population size must be positive, got {size}")
+        rng = np.random.default_rng(seed)
+        stakes = np.asarray(self.sampler(rng, size), dtype=float)
+        if stakes.shape != (size,):
+            raise ConfigurationError(
+                f"sampler for {self.name!r} returned shape {stakes.shape}, "
+                f"expected ({size},)"
+            )
+        if np.any(stakes <= 0):
+            raise ConfigurationError(f"sampler for {self.name!r} produced non-positive stakes")
+        return stakes
+
+    def sample_total(self, size: int, total: float, seed: int = 0) -> np.ndarray:
+        """Draw ``size`` stakes rescaled to sum to ``total`` Algos.
+
+        Matches the paper's "we distribute 50 millions Algos among these
+        500K nodes using <distribution>" phrasing.
+        """
+        if total <= 0:
+            raise ConfigurationError(f"total stake must be positive, got {total}")
+        stakes = self.sample(size, seed)
+        return stakes * (total / stakes.sum())
+
+
+def uniform(low: float = 1.0, high: float = 200.0) -> StakeDistribution:
+    """U(low, high) — the paper's U(1, 200)."""
+    if not 0 < low < high:
+        raise ConfigurationError(f"need 0 < low < high, got [{low}, {high}]")
+    return StakeDistribution(
+        name=f"U({low:g},{high:g})",
+        sampler=lambda rng, size: rng.uniform(low, high, size),
+        description=f"uniform stakes between {low:g} and {high:g} Algos",
+    )
+
+
+def truncated_normal(
+    mean: float, std: float, minimum: float = 1.0
+) -> StakeDistribution:
+    """N(mean, std) truncated below at ``minimum`` by resampling.
+
+    The truncation only matters for wide distributions (N(100, 20) has a
+    ~4.5-sigma left tail at 500k draws); narrow ones are untouched.
+    """
+    if std <= 0:
+        raise ConfigurationError(f"std must be positive, got {std}")
+    if minimum <= 0:
+        raise ConfigurationError(f"minimum stake must be positive, got {minimum}")
+    if mean <= minimum:
+        raise ConfigurationError(
+            f"mean {mean} must exceed the minimum stake {minimum}"
+        )
+
+    def sampler(rng: np.random.Generator, size: int) -> np.ndarray:
+        stakes = rng.normal(mean, std, size)
+        for _ in range(100):
+            bad = stakes < minimum
+            if not bad.any():
+                return stakes
+            stakes[bad] = rng.normal(mean, std, int(bad.sum()))
+        # Pathological parameters (mean barely above minimum): fall back to
+        # reflecting the stragglers, which preserves positivity.
+        stakes[stakes < minimum] = minimum + np.abs(stakes[stakes < minimum] - minimum)
+        return stakes
+
+    return StakeDistribution(
+        name=f"N({mean:g},{std:g})",
+        sampler=sampler,
+        description=f"normal stakes, mean {mean:g}, std {std:g}, min {minimum:g}",
+    )
+
+
+def truncated_uniform(
+    removal_threshold: float, low: float = 1.0, high: float = 200.0
+) -> StakeDistribution:
+    """U_w(low, high): uniform stakes with nodes of stake <= w removed.
+
+    Figure 7(c) removes nodes with stakes up to 3, 5 and 7 from the
+    rewarded set; the surviving population is uniform on
+    (max(low, w), high].
+    """
+    if removal_threshold >= high:
+        raise ConfigurationError(
+            f"removal threshold {removal_threshold} must be below high {high}"
+        )
+    effective_low = max(low, removal_threshold)
+    return StakeDistribution(
+        name=f"U{removal_threshold:g}({low:g},{high:g})",
+        sampler=lambda rng, size: rng.uniform(effective_low, high, size),
+        description=(
+            f"uniform stakes on ({effective_low:g}, {high:g}]: nodes with "
+            f"stake <= {removal_threshold:g} removed from the rewarded set"
+        ),
+    )
+
+
+def paper_distributions() -> Dict[str, StakeDistribution]:
+    """The four stake distributions of Figure 6, keyed by paper name."""
+    return {
+        "U(1,200)": uniform(1, 200),
+        "N(100,20)": truncated_normal(100, 20),
+        "N(100,10)": truncated_normal(100, 10),
+        "N(2000,25)": truncated_normal(2000, 25),
+    }
+
+
+def figure7c_distributions() -> Dict[str, StakeDistribution]:
+    """The truncated populations of Figure 7(c)."""
+    return {
+        "U(1,200)": uniform(1, 200),
+        "U3(1,200)": truncated_uniform(3),
+        "U5(1,200)": truncated_uniform(5),
+        "U7(1,200)": truncated_uniform(7),
+    }
+
+
+def summarize(stakes: np.ndarray) -> Dict[str, float]:
+    """Summary statistics used in experiment logs."""
+    if stakes.size == 0:
+        raise ConfigurationError("cannot summarize an empty stake vector")
+    return {
+        "n": float(stakes.size),
+        "total": float(stakes.sum()),
+        "mean": float(stakes.mean()),
+        "std": float(stakes.std()),
+        "min": float(stakes.min()),
+        "max": float(stakes.max()),
+    }

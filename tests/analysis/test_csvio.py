@@ -1,0 +1,44 @@
+"""Unit tests for CSV persistence helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.csvio import read_rows, write_dicts, write_rows
+from repro.errors import ConfigurationError
+
+
+class TestWriteRows:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_rows(path, ("a", "b"), [(1, 2), (3, 4)])
+        rows = read_rows(path)
+        assert rows == [{"a": "1", "b": "2"}, {"a": "3", "b": "4"}]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "out.csv"
+        write_rows(path, ("a",), [(1,)])
+        assert path.exists()
+
+    def test_row_width_validated(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_rows(tmp_path / "bad.csv", ("a", "b"), [(1,)])
+
+
+class TestWriteDicts:
+    def test_union_of_keys(self, tmp_path):
+        path = tmp_path / "d.csv"
+        write_dicts(path, [{"a": 1}, {"a": 2, "b": 3}])
+        rows = read_rows(path)
+        assert rows[0] == {"a": "1", "b": ""}
+        assert rows[1] == {"a": "2", "b": "3"}
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_dicts(tmp_path / "e.csv", [])
+
+
+class TestReadRows:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            read_rows(tmp_path / "nope.csv")

@@ -1,0 +1,128 @@
+"""Unit tests for ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plotting import (
+    bar_chart,
+    format_table,
+    histogram_chart,
+    line_chart,
+    surface_table,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLineChart:
+    def test_renders_title_and_legend(self):
+        chart = line_chart({"final": [0.0, 0.5, 1.0]}, title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+        assert "# final" in chart
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = line_chart({"a": [0.0, 1.0], "b": [1.0, 0.0]})
+        assert "# a" in chart and "* b" in chart
+
+    def test_monotone_series_renders_monotone(self):
+        chart = line_chart({"up": [0.0, 1.0, 2.0, 3.0]}, width=12, height=6)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        columns = {}
+        for y, row in enumerate(rows):
+            body = row.split("|", 1)[1]
+            for x, glyph in enumerate(body):
+                if glyph == "#":
+                    columns[x] = y
+        xs = sorted(columns)
+        ys = [columns[x] for x in xs]
+        assert ys == sorted(ys, reverse=True)  # larger value = higher row
+
+    def test_y_axis_labels_present(self):
+        chart = line_chart({"a": [2.0, 8.0]}, y_min=0.0, y_max=10.0)
+        assert "10" in chart
+        assert "0" in chart
+
+    def test_deterministic(self):
+        a = line_chart({"a": [0.1, 0.7, 0.3]})
+        assert a == line_chart({"a": [0.1, 0.7, 0.3]})
+
+    def test_errors(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({})
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [1.0], "b": [1.0, 2.0]})
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": []})
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [1.0]}, width=2)
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(["small", "large"], [1.0, 10.0], width=20)
+        lines = chart.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_values_annotated(self):
+        chart = bar_chart(["x"], [3.25])
+        assert "3.25" in chart
+
+    def test_zero_values_render(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in chart and "b" in chart
+
+    def test_errors(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart([], [])
+
+
+class TestHistogramChart:
+    def test_renders_bin_labels(self):
+        chart = histogram_chart([0.0, 1.0, 2.0], [3, 5])
+        assert "[0," in chart
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            histogram_chart([0.0, 1.0], [1, 2])
+
+
+class TestSurfaceTable:
+    def test_renders_values(self):
+        text = surface_table([0.1, 0.2], [0.3, 0.4], [[1.0, 2.0], [3.0, 4.0]])
+        assert "1.00" in text and "4.00" in text
+
+    def test_infinite_cells_marked(self):
+        text = surface_table([0.1], [0.3], [[float("inf")]])
+        assert "inf" in text
+
+    def test_downsamples_large_surfaces(self):
+        rows = 40
+        cols = 40
+        surface = [[float(i + j) for j in range(cols)] for i in range(rows)]
+        text = surface_table(
+            list(range(rows)), list(range(cols)), surface, max_rows=5, max_cols=5
+        )
+        data_lines = [l for l in text.splitlines() if l and not l.startswith("-")]
+        assert len(data_lines) <= 8
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            surface_table([], [], [])
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(("Name", "Value"), [("x", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(("a",), [("x", "y")])
+
+    def test_title_prepended(self):
+        text = format_table(("a",), [("1",)], title="T")
+        assert text.splitlines()[0] == "T"

@@ -1,0 +1,125 @@
+"""Unit and property tests for statistical helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import histogram, mean, percentile, std, summary, trimmed_mean
+from repro.errors import ConfigurationError
+
+_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestTrimmedMean:
+    def test_trims_outliers(self):
+        values = [1.0] * 8 + [1000.0, -1000.0]
+        assert trimmed_mean(values, trim=0.2) == pytest.approx(1.0)
+
+    def test_zero_trim_is_plain_mean(self):
+        values = [1.0, 2.0, 3.0]
+        assert trimmed_mean(values, trim=0.0) == pytest.approx(2.0)
+
+    def test_small_samples_fall_back_to_mean(self):
+        assert trimmed_mean([5.0, 7.0], trim=0.2) == pytest.approx(6.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_mean([])
+
+    def test_invalid_trim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_mean([1.0], trim=1.0)
+
+    @given(_values)
+    @settings(max_examples=100)
+    def test_result_within_range(self, values):
+        import math
+
+        result = trimmed_mean(values, trim=0.2)
+        # Allow 1-ulp slack: float summation can round a hair past the max.
+        assert result >= min(values) or math.isclose(result, min(values), rel_tol=1e-12)
+        assert result <= max(values) or math.isclose(result, max(values), rel_tol=1e-12)
+
+    @given(_values, st.floats(min_value=0.0, max_value=0.8))
+    @settings(max_examples=100)
+    def test_shift_invariance(self, values, trim):
+        shifted = [v + 10.0 for v in values]
+        assert trimmed_mean(shifted, trim=trim) == pytest.approx(
+            trimmed_mean(values, trim=trim) + 10.0, abs=1e-6
+        )
+
+
+class TestBasicStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_std_of_constant_is_zero(self):
+        assert std([4.0, 4.0, 4.0]) == 0.0
+
+    def test_std_known_value(self):
+        assert std([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_percentile_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+
+    def test_percentile_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_summary_bundle(self):
+        bundle = summary([1.0, 2.0, 3.0])
+        assert bundle["n"] == 3
+        assert bundle["median"] == 2.0
+
+    def test_empty_inputs_rejected(self):
+        for fn in (mean, std, summary):
+            with pytest.raises(ConfigurationError):
+                fn([])
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self):
+        edges, counts = histogram([1.0, 2.0, 3.0, 4.0], bins=3)
+        assert sum(counts) == 4
+        assert len(edges) == 4
+
+    def test_top_edge_value_in_last_bin(self):
+        _, counts = histogram([0.0, 1.0], bins=2)
+        assert counts == [1, 1]
+
+    def test_constant_values_handled(self):
+        edges, counts = histogram([5.0, 5.0], bins=4)
+        assert sum(counts) == 2
+
+    def test_explicit_range(self):
+        edges, counts = histogram([5.0], bins=2, lo=0.0, hi=10.0)
+        assert edges[0] == 0.0
+        assert edges[-1] == 10.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            histogram([], bins=2)
+        with pytest.raises(ConfigurationError):
+            histogram([1.0], bins=0)
+        with pytest.raises(ConfigurationError):
+            histogram([1.0], bins=2, lo=5.0, hi=1.0)
+
+    @given(_values, st.integers(min_value=1, max_value=30))
+    @settings(max_examples=100)
+    def test_total_count_preserved(self, values, bins):
+        _, counts = histogram(values, bins=bins)
+        assert sum(counts) == len(values)

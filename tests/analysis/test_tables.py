@@ -1,0 +1,68 @@
+"""Unit tests regenerating Tables II and III."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import table2, table3
+from repro.core.costs import TaskCosts
+from repro.core.rewards import RewardSchedule
+
+
+class TestTable2:
+    def test_nine_tasks_listed(self):
+        assert len(table2().rows()) == 9
+
+    def test_role_matrix_matches_paper(self):
+        """Table II: block proposition is leader-only; vote is committee-only."""
+        rows = {row[1]: row for row in table2().rows()}
+        assert rows["c_bl"][3:] == ("x", "", "")
+        assert rows["c_vo"][3:] == ("", "x", "")
+        assert rows["c_bs"][3:] == ("", "x", "")
+        assert rows["c_ve"][3:] == ("x", "x", "x")
+        assert rows["c_go"][3:] == ("x", "x", "x")
+
+    def test_aggregates_in_micro_algos(self):
+        import pytest
+
+        aggregates = dict(table2().aggregates())
+        assert aggregates["c_fix (Eq. 1)"] == pytest.approx(6.0)
+        assert aggregates["c_L = c_fix + c_bl"] == pytest.approx(16.0)
+        assert aggregates["c_M = c_fix + c_bs + c_vo"] == pytest.approx(12.0)
+        assert aggregates["c_K = c_fix"] == pytest.approx(6.0)
+
+    def test_render_contains_header(self):
+        text = table2().render()
+        assert "Table II" in text
+        assert "c_so" in text
+
+    def test_custom_costs_flow_through(self):
+        costs = TaskCosts(1, 1, 1, 1, 1, 1, 1, 1, 1)
+        result = table2(costs)
+        assert all(row[2] == 1 / 1e-6 for row in result.rows())
+
+    def test_csv_export(self, tmp_path):
+        table2().to_csv(tmp_path / "t2.csv")
+        assert (tmp_path / "t2.csv").exists()
+
+
+class TestTable3:
+    def test_twelve_periods(self):
+        assert len(table3().rows()) == 12
+
+    def test_per_round_rewards(self):
+        rows = table3().rows()
+        assert rows[0] == (1, 10, 20.0)
+        assert rows[-1] == (12, 38, 76.0)
+
+    def test_render(self):
+        text = table3().render()
+        assert "Table III" in text
+        assert "20.0" in text
+
+    def test_custom_schedule(self):
+        schedule = RewardSchedule(period_blocks=100, projected_millions=(1,))
+        rows = table3(schedule).rows()
+        assert rows == [(1, 1, 10_000.0)]
+
+    def test_csv_export(self, tmp_path):
+        table3().to_csv(tmp_path / "t3.csv")
+        assert (tmp_path / "t3.csv").exists()

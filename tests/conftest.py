@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import RoleAggregates
+from repro.core.costs import RoleCosts, TaskCosts
+from repro.sim.config import SimulationConfig
+from repro.sim.crypto import KeyPair
+
+
+@pytest.fixture
+def paper_costs() -> RoleCosts:
+    """The paper's Section V-A cost aggregates (in Algos)."""
+    return RoleCosts.paper_defaults()
+
+
+@pytest.fixture
+def paper_task_costs() -> TaskCosts:
+    return TaskCosts.paper_defaults()
+
+
+@pytest.fixture
+def small_aggregates() -> RoleAggregates:
+    """Hand-sized role aggregates for bound arithmetic tests."""
+    return RoleAggregates(
+        stake_leaders=8.0,
+        stake_committee=16.0,
+        stake_others=26.0,
+        min_leader=3.0,
+        min_committee=4.0,
+        min_other=2.0,
+    )
+
+
+@pytest.fixture
+def small_sim_config() -> SimulationConfig:
+    """A small but healthy simulator configuration for fast tests."""
+    return SimulationConfig(
+        n_nodes=40,
+        seed=11,
+        tau_proposer=6.0,
+        tau_step=60.0,
+        tau_final=80.0,
+        verify_crypto=True,
+    )
+
+
+@pytest.fixture
+def keypair() -> KeyPair:
+    return KeyPair.generate("test-keypair")

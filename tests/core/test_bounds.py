@@ -1,0 +1,186 @@
+"""Unit and property tests for the Lemma 2 / Theorem 3 reward bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    RoleAggregates,
+    committee_bound,
+    feasibility_conditions,
+    leader_bound,
+    minimum_feasible_reward,
+    online_bound,
+    paper_aggregates,
+    reward_bounds,
+)
+from repro.core.costs import RoleCosts
+from repro.errors import MechanismError
+from repro.sim.roles import RoleSnapshot
+
+
+class TestRoleAggregates:
+    def test_stake_total(self, small_aggregates):
+        assert small_aggregates.stake_total == pytest.approx(50.0)
+
+    def test_from_snapshot(self):
+        snapshot = RoleSnapshot(
+            round_index=1,
+            leaders={1: 5.0, 2: 3.0},
+            committee={3: 4.0},
+            others={4: 10.0, 5: 2.0},
+        )
+        aggregates = RoleAggregates.from_snapshot(snapshot)
+        assert aggregates.stake_leaders == 8.0
+        assert aggregates.min_leader == 3.0
+        assert aggregates.min_other == 2.0
+
+    def test_from_snapshot_applies_k_floor(self):
+        snapshot = RoleSnapshot(
+            round_index=1, leaders={1: 5.0}, committee={3: 4.0},
+            others={4: 10.0, 5: 2.0},
+        )
+        aggregates = RoleAggregates.from_snapshot(snapshot, k_floor=5.0)
+        assert aggregates.min_other == 10.0
+
+    def test_from_snapshot_requires_all_roles(self):
+        snapshot = RoleSnapshot(round_index=1, others={4: 10.0})
+        with pytest.raises(MechanismError):
+            RoleAggregates.from_snapshot(snapshot)
+
+    def test_invalid_aggregates_rejected(self):
+        with pytest.raises(MechanismError):
+            RoleAggregates(0.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(MechanismError):
+            RoleAggregates(1.0, 1.0, 1.0, 2.0, 1.0, 1.0)  # min above total
+
+    def test_population_constructor(self):
+        stakes = [10.0] * 100
+        aggregates = RoleAggregates.from_stake_population(
+            stakes, stake_leaders=26.0, stake_committee=100.0
+        )
+        assert aggregates.stake_others == pytest.approx(1000.0 - 126.0)
+        assert aggregates.min_other == 10.0
+
+    def test_population_roles_must_fit(self):
+        with pytest.raises(MechanismError):
+            RoleAggregates.from_stake_population([1.0], 26.0, 13000.0)
+
+
+class TestPaperAggregates:
+    def test_pinned_floor_regime(self):
+        """Section V-A: s*_k is the floor itself (10 Algos)."""
+        stakes = [100.0] * 1000
+        aggregates = paper_aggregates(stakes, k_floor=10.0)
+        assert aggregates.min_other == 10.0
+        assert aggregates.stake_leaders == 26.0
+        assert aggregates.stake_committee == 13_000.0
+
+    def test_population_minimum_regime(self):
+        """Figures 6/7: s*_k is the true population minimum."""
+        stakes = [100.0] * 999 + [7.0]
+        aggregates = paper_aggregates(stakes, k_floor=0.0)
+        assert aggregates.min_other == 7.0
+
+    def test_floor_above_population_rejected(self):
+        with pytest.raises(MechanismError):
+            paper_aggregates([5.0] * 10000, k_floor=10.0)
+
+
+class TestBoundFormulas:
+    def test_leader_bound_matches_equation_6(self, paper_costs, small_aggregates):
+        alpha, gamma = 0.2, 0.5
+        margin = alpha / 8.0 - gamma / (26.0 + 3.0)
+        expected = (paper_costs.leader - paper_costs.sortition) / (margin * 3.0)
+        assert leader_bound(paper_costs, small_aggregates, alpha, gamma) == pytest.approx(expected)
+
+    def test_committee_bound_matches_equation_7(self, paper_costs, small_aggregates):
+        beta, gamma = 0.3, 0.5
+        margin = beta / 16.0 - gamma / (26.0 + 4.0)
+        expected = (paper_costs.committee - paper_costs.sortition) / (margin * 4.0)
+        assert committee_bound(paper_costs, small_aggregates, beta, gamma) == pytest.approx(expected)
+
+    def test_online_bound_matches_equation_10(self, paper_costs, small_aggregates):
+        gamma = 0.5
+        expected = (paper_costs.online - paper_costs.sortition) * 26.0 / (2.0 * gamma)
+        assert online_bound(paper_costs, small_aggregates, gamma) == pytest.approx(expected)
+
+    def test_infeasible_split_gives_infinite_bound(self, paper_costs, small_aggregates):
+        # alpha tiny, gamma huge: leading pays worse than idling (Eq. 8 fails).
+        assert leader_bound(paper_costs, small_aggregates, 1e-9, 0.99) == math.inf
+
+    def test_zero_gamma_online_bound_infinite(self, paper_costs, small_aggregates):
+        assert online_bound(paper_costs, small_aggregates, 0.0) == math.inf
+
+    def test_overall_is_max_of_three(self, paper_costs, small_aggregates):
+        bounds = reward_bounds(paper_costs, small_aggregates, 0.2, 0.3)
+        assert bounds.overall == max(bounds.leader, bounds.committee, bounds.online)
+        assert bounds.binding in ("leader", "committee", "online")
+
+    def test_invalid_split_rejected(self, paper_costs, small_aggregates):
+        with pytest.raises(MechanismError):
+            reward_bounds(paper_costs, small_aggregates, 0.7, 0.4)
+
+    def test_feasibility_conditions_detect_violations(self, small_aggregates):
+        assert feasibility_conditions(small_aggregates, 1e-9, 0.3) is not None
+        assert feasibility_conditions(small_aggregates, 0.2, 1e-9) is not None
+        assert feasibility_conditions(small_aggregates, 0.2, 0.3) is None
+
+
+class TestBoundProperties:
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=0.45),
+        beta=st.floats(min_value=0.01, max_value=0.45),
+    )
+    @settings(max_examples=100)
+    def test_bounds_are_positive_or_infinite(self, alpha, beta, ):
+        costs = RoleCosts.paper_defaults()
+        aggregates = RoleAggregates(8.0, 16.0, 26.0, 3.0, 4.0, 2.0)
+        bounds = reward_bounds(costs, aggregates, alpha, beta)
+        for value in (bounds.leader, bounds.committee, bounds.online):
+            assert value > 0 or value == math.inf
+
+    @given(gamma=st.floats(min_value=0.01, max_value=0.98))
+    @settings(max_examples=60)
+    def test_online_bound_decreases_in_gamma(self, gamma):
+        costs = RoleCosts.paper_defaults()
+        aggregates = RoleAggregates(8.0, 16.0, 26.0, 3.0, 4.0, 2.0)
+        assert online_bound(costs, aggregates, gamma) >= online_bound(
+            costs, aggregates, min(gamma * 1.5, 0.99)
+        )
+
+    @given(
+        alpha=st.floats(min_value=0.05, max_value=0.4),
+        bump=st.floats(min_value=0.01, max_value=0.2),
+    )
+    @settings(max_examples=60)
+    def test_leader_bound_decreases_in_alpha(self, alpha, bump):
+        """More leader share -> leaders need less total reward (fixed gamma)."""
+        costs = RoleCosts.paper_defaults()
+        aggregates = RoleAggregates(8.0, 16.0, 26.0, 3.0, 4.0, 2.0)
+        gamma = 0.3
+        low = leader_bound(costs, aggregates, alpha, gamma)
+        high = leader_bound(costs, aggregates, alpha + bump, gamma)
+        assert high <= low
+
+    @given(
+        scale=st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(max_examples=60)
+    def test_min_reward_scales_with_population(self, scale):
+        """Scaling all stakes scales the online bound linearly (same s*)."""
+        costs = RoleCosts.paper_defaults()
+        base = RoleAggregates(8.0, 16.0, 26.0, 3.0, 4.0, 2.0)
+        scaled = RoleAggregates(8.0, 16.0, 26.0 * scale, 3.0, 4.0, 2.0)
+        b0 = online_bound(costs, base, 0.5)
+        b1 = online_bound(costs, scaled, 0.5)
+        assert b1 == pytest.approx(b0 * scale)
+
+    def test_minimum_feasible_reward_consistency(self, paper_costs, small_aggregates):
+        assert minimum_feasible_reward(
+            paper_costs, small_aggregates, 0.2, 0.3
+        ) == reward_bounds(paper_costs, small_aggregates, 0.2, 0.3).overall

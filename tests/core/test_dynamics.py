@@ -1,0 +1,186 @@
+"""Tests for best-response dynamics: the theorems, dynamically."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import RoleAggregates, minimum_feasible_reward
+from repro.core.costs import RoleCosts
+from repro.core.dynamics import (
+    BestResponseDynamics,
+    DynamicsResult,
+    random_profile,
+)
+from repro.core.game import (
+    AlgorandGame,
+    FoundationRule,
+    RoleBasedRule,
+    Strategy,
+    all_cooperate,
+    all_defect,
+    theorem3_profile,
+)
+from repro.errors import GameError
+
+_COSTS = RoleCosts.paper_defaults()
+_LEADERS = [5.0, 3.0]
+_COMMITTEE = [4.0] * 6
+_ONLINE = [40.0, 30.0, 20.0, 10.0]
+
+
+def _foundation_game(b_i=20.0) -> AlgorandGame:
+    return AlgorandGame.from_role_stakes(
+        _LEADERS, _COMMITTEE, _ONLINE,
+        costs=_COSTS,
+        reward_rule=FoundationRule(b_i=b_i),
+        synchrony_size=4,
+    )
+
+
+def _funded_role_game(factor=1.01, alpha=0.2, beta=0.3) -> AlgorandGame:
+    aggregates = RoleAggregates(
+        stake_leaders=sum(_LEADERS),
+        stake_committee=sum(_COMMITTEE),
+        stake_others=sum(_ONLINE),
+        min_leader=min(_LEADERS),
+        min_committee=min(_COMMITTEE),
+        min_other=min(_ONLINE),
+    )
+    bound = minimum_feasible_reward(_COSTS, aggregates, alpha, beta)
+    return AlgorandGame.from_role_stakes(
+        _LEADERS, _COMMITTEE, _ONLINE,
+        costs=_COSTS,
+        reward_rule=RoleBasedRule(alpha, beta, bound * factor),
+        synchrony_size=4,
+    )
+
+
+class TestFoundationDynamics:
+    """Under Foundation sharing, cooperation unravels to All-Defect."""
+
+    def test_all_cooperate_unravels(self):
+        game = _foundation_game()
+        dynamics = BestResponseDynamics(game)
+        result = dynamics.run(all_cooperate(game), n_rounds=20)
+        assert result.converged_to_all_defect()
+
+    def test_random_profiles_unravel(self):
+        game = _foundation_game()
+        for seed in range(5):
+            start = random_profile(game, cooperate_probability=0.7, seed=seed)
+            result = BestResponseDynamics(game, seed=seed).run(start, n_rounds=30)
+            assert result.converged_to_all_defect()
+
+    def test_all_defect_is_absorbing(self):
+        game = _foundation_game()
+        result = BestResponseDynamics(game).run(all_defect(game), n_rounds=5)
+        assert result.records[0].revisions == 0
+        assert result.converged_to_all_defect()
+
+    def test_cooperation_rate_is_monotone_decreasing(self):
+        game = _foundation_game()
+        result = BestResponseDynamics(game).run(all_cooperate(game), n_rounds=20)
+        series = result.cooperation_series()
+        assert all(a >= b for a, b in zip(series, series[1:]))
+
+    def test_inertial_dynamics_also_unravel(self):
+        game = _foundation_game()
+        dynamics = BestResponseDynamics(game, revision_rate=0.3, seed=4)
+        result = dynamics.run(all_cooperate(game), n_rounds=200)
+        assert result.converged_to_all_defect()
+
+
+class TestRoleBasedDynamics:
+    """Funded above the Theorem 3 bound, cooperation is absorbing."""
+
+    def test_theorem3_profile_is_a_fixed_point(self):
+        game = _funded_role_game()
+        start = theorem3_profile(game)
+        result = BestResponseDynamics(game).run(start, n_rounds=10)
+        assert result.records[0].revisions == 0
+        assert result.final_profile == start
+
+    def test_nearby_profiles_flow_back(self):
+        """Perturb one cooperator to D: it flows back to cooperation."""
+        game = _funded_role_game()
+        start = theorem3_profile(game)
+        perturbed = dict(start)
+        some_cooperator = next(
+            pid for pid, s in start.items() if s is Strategy.COOPERATE
+        )
+        perturbed[some_cooperator] = Strategy.DEFECT
+        result = BestResponseDynamics(game).run(perturbed, n_rounds=10)
+        assert result.final_profile[some_cooperator] is Strategy.COOPERATE
+
+    def test_starved_reward_unravels_even_role_based(self):
+        game = _funded_role_game(factor=0.3)
+        start = theorem3_profile(game)
+        result = BestResponseDynamics(game).run(start, n_rounds=30)
+        assert result.records[-1].n_cooperating < sum(
+            1 for s in start.values() if s is Strategy.COOPERATE
+        )
+
+    def test_blocks_produced_at_the_cooperative_fixed_point(self):
+        game = _funded_role_game()
+        result = BestResponseDynamics(game).run(theorem3_profile(game), n_rounds=3)
+        assert all(record.block_produced for record in result.records)
+
+
+class TestDynamicsMachinery:
+    def test_records_track_counts(self):
+        game = _foundation_game()
+        result = BestResponseDynamics(game).run(all_cooperate(game), n_rounds=1)
+        record = result.records[0]
+        assert record.n_cooperating + record.n_defecting + record.n_offline == len(
+            game.players
+        )
+
+    def test_stop_at_fixed_point_short_circuits(self):
+        game = _foundation_game()
+        result = BestResponseDynamics(game).run(all_defect(game), n_rounds=50)
+        assert result.n_rounds < 50
+
+    def test_fixed_point_detection_window(self):
+        result = DynamicsResult()
+        assert not result.reached_fixed_point()
+
+    def test_game_schedule_with_role_churn(self):
+        """Roles resampled between rounds still unravel under Foundation."""
+        def schedule(round_index: int) -> AlgorandGame:
+            rotated = _ONLINE[round_index % len(_ONLINE):] + _ONLINE[: round_index % len(_ONLINE)]
+            return AlgorandGame.from_role_stakes(
+                _LEADERS, _COMMITTEE, rotated,
+                costs=_COSTS,
+                reward_rule=FoundationRule(b_i=20.0),
+            )
+
+        dynamics = BestResponseDynamics(schedule)
+        start = {pid: Strategy.COOPERATE for pid in schedule(1).players}
+        result = dynamics.run(start, n_rounds=20)
+        assert result.converged_to_all_defect()
+
+    def test_invalid_revision_rate_rejected(self):
+        with pytest.raises(GameError):
+            BestResponseDynamics(_foundation_game(), revision_rate=0.0)
+
+    def test_invalid_round_count_rejected(self):
+        game = _foundation_game()
+        with pytest.raises(GameError):
+            BestResponseDynamics(game).run(all_defect(game), n_rounds=0)
+
+    def test_incomplete_profile_rejected(self):
+        game = _foundation_game()
+        with pytest.raises(GameError):
+            BestResponseDynamics(game).run({0: Strategy.DEFECT}, n_rounds=1)
+
+    def test_random_profile_probability_bounds(self):
+        game = _foundation_game()
+        with pytest.raises(GameError):
+            random_profile(game, cooperate_probability=1.5)
+
+    def test_random_profile_extremes(self):
+        game = _foundation_game()
+        all_c = random_profile(game, 1.0)
+        assert set(all_c.values()) == {Strategy.COOPERATE}
+        all_d = random_profile(game, 0.0)
+        assert Strategy.COOPERATE not in set(all_d.values())

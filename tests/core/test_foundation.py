@@ -1,0 +1,79 @@
+"""Unit tests for the Foundation's stake-proportional sharing (Eq. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.foundation import FoundationSharing, resolve_reward
+from repro.core.rewards import FoundationRewardPool, RewardSchedule
+from repro.errors import MechanismError
+from repro.sim.roles import RoleSnapshot
+
+
+def _snapshot(round_index=1):
+    return RoleSnapshot(
+        round_index=round_index,
+        leaders={1: 10.0},
+        committee={2: 20.0},
+        others={3: 30.0, 4: 40.0},
+    )
+
+
+class TestResolveReward:
+    def test_constant(self):
+        assert resolve_reward(5.0, 1) == 5.0
+
+    def test_callable(self):
+        assert resolve_reward(lambda r: r * 2.0, 3) == 6.0
+
+    def test_schedule(self):
+        assert resolve_reward(RewardSchedule(), 1) == pytest.approx(20.0)
+
+
+class TestFoundationSharing:
+    def test_everyone_paid_proportionally_to_stake(self):
+        mechanism = FoundationSharing(reward=100.0)
+        allocation = mechanism.allocate(_snapshot())
+        # r_i = 100 / 100 = 1 Algo per staked Algo, regardless of role.
+        assert allocation.paid_to(1) == pytest.approx(10.0)
+        assert allocation.paid_to(2) == pytest.approx(20.0)
+        assert allocation.paid_to(3) == pytest.approx(30.0)
+        assert allocation.paid_to(4) == pytest.approx(40.0)
+
+    def test_roles_are_ignored(self):
+        """Same stake -> same reward whether leader or idle (the Thm 2 flaw)."""
+        snapshot = RoleSnapshot(
+            round_index=1, leaders={1: 10.0}, committee={2: 10.0}, others={3: 10.0}
+        )
+        allocation = FoundationSharing(reward=30.0).allocate(snapshot)
+        assert allocation.paid_to(1) == allocation.paid_to(2) == allocation.paid_to(3)
+
+    def test_total_equals_b_i(self):
+        allocation = FoundationSharing(reward=100.0).allocate(_snapshot())
+        assert allocation.total == pytest.approx(100.0)
+        assert sum(allocation.per_node.values()) == pytest.approx(100.0)
+
+    def test_params_report_rate(self):
+        allocation = FoundationSharing(reward=100.0).allocate(_snapshot())
+        assert allocation.params["b_i"] == pytest.approx(100.0)
+        assert allocation.params["r_i"] == pytest.approx(1.0)
+
+    def test_default_reward_follows_table3(self):
+        allocation = FoundationSharing().allocate(_snapshot())
+        assert allocation.total == pytest.approx(20.0)
+
+    def test_pool_enforces_ceiling(self):
+        pool = FoundationRewardPool(ceiling=30.0)
+        mechanism = FoundationSharing(reward=20.0, pool=pool)
+        first = mechanism.allocate(_snapshot(1))
+        assert first.total == pytest.approx(20.0)
+        second = mechanism.allocate(_snapshot(2))
+        assert second.total == pytest.approx(10.0)  # only the remaining room
+
+    def test_negative_reward_rejected(self):
+        with pytest.raises(MechanismError):
+            FoundationSharing(reward=-1.0).allocate(_snapshot())
+
+    def test_callable_reward_by_round(self):
+        mechanism = FoundationSharing(reward=lambda r: float(r))
+        assert mechanism.allocate(_snapshot(3)).total == pytest.approx(3.0)

@@ -1,0 +1,131 @@
+"""Unit tests for the reward schedule and pools (paper Table III, Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewards import (
+    FOUNDATION_CEILING_ALGOS,
+    PROJECTED_REWARDS_MILLIONS,
+    REWARD_PERIOD_BLOCKS,
+    FoundationRewardPool,
+    RewardSchedule,
+    TransactionFeePool,
+)
+from repro.errors import MechanismError
+
+
+class TestRewardSchedule:
+    def test_table3_values(self):
+        assert PROJECTED_REWARDS_MILLIONS == (10, 13, 16, 19, 22, 25, 28, 31, 34, 36, 38, 38)
+        assert REWARD_PERIOD_BLOCKS == 500_000
+
+    def test_first_period_pays_about_20_per_round(self):
+        """Paper Section III-B: 10M Algos / 500k blocks = 20 Algos per round."""
+        schedule = RewardSchedule()
+        assert schedule.per_round_reward(1) == pytest.approx(20.0)
+        assert schedule.per_round_reward(500_000) == pytest.approx(20.0)
+
+    def test_period_boundaries(self):
+        schedule = RewardSchedule()
+        assert schedule.period_of_round(1) == 1
+        assert schedule.period_of_round(500_000) == 1
+        assert schedule.period_of_round(500_001) == 2
+        assert schedule.per_round_reward(500_001) == pytest.approx(26.0)
+
+    def test_schedule_flattens_after_last_period(self):
+        schedule = RewardSchedule()
+        last = 12 * 500_000
+        assert schedule.per_round_reward(last + 10_000_000) == pytest.approx(76.0)
+
+    def test_cumulative_reward_one_period(self):
+        schedule = RewardSchedule()
+        assert schedule.cumulative_reward(500_000) == pytest.approx(10_000_000.0)
+
+    def test_cumulative_reward_partial_period(self):
+        schedule = RewardSchedule()
+        assert schedule.cumulative_reward(250_000) == pytest.approx(5_000_000.0)
+
+    def test_cumulative_reward_spans_periods(self):
+        schedule = RewardSchedule()
+        expected = 10_000_000 + 13_000_000 / 2
+        assert schedule.cumulative_reward(750_000) == pytest.approx(expected)
+
+    def test_cumulative_full_schedule_totals_300m(self):
+        schedule = RewardSchedule()
+        assert schedule.cumulative_reward(12 * 500_000) == pytest.approx(
+            sum(PROJECTED_REWARDS_MILLIONS) * 1e6
+        )
+
+    def test_cumulative_beyond_schedule_extends_at_final_rate(self):
+        schedule = RewardSchedule()
+        base = schedule.cumulative_reward(12 * 500_000)
+        assert schedule.cumulative_reward(12 * 500_000 + 10) == pytest.approx(base + 760.0)
+
+    def test_table_rows_regenerate_table3(self):
+        rows = RewardSchedule().table_rows()
+        assert rows[0] == (1, 10)
+        assert rows[-1] == (12, 38)
+        assert len(rows) == 12
+
+    def test_invalid_round_raises(self):
+        with pytest.raises(MechanismError):
+            RewardSchedule().per_round_reward(0)
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(MechanismError):
+            RewardSchedule(projected_millions=())
+        with pytest.raises(MechanismError):
+            RewardSchedule(period_blocks=0)
+        with pytest.raises(MechanismError):
+            RewardSchedule(projected_millions=(10, -1))
+
+
+class TestFoundationRewardPool:
+    def test_deposit_and_withdraw(self):
+        pool = FoundationRewardPool()
+        assert pool.deposit(100.0) == 100.0
+        assert pool.withdraw(40.0) == 40.0
+        assert pool.balance == pytest.approx(60.0)
+
+    def test_ceiling_clamps_lifetime_deposits(self):
+        pool = FoundationRewardPool(ceiling=100.0)
+        assert pool.deposit(80.0) == 80.0
+        assert pool.deposit(50.0) == 20.0  # only the remaining room
+        assert pool.exhausted
+        assert pool.deposit(10.0) == 0.0
+
+    def test_default_ceiling_is_1_75_billion(self):
+        assert FoundationRewardPool().ceiling == FOUNDATION_CEILING_ALGOS
+
+    def test_overdraw_rejected(self):
+        pool = FoundationRewardPool()
+        pool.deposit(10.0)
+        with pytest.raises(MechanismError):
+            pool.withdraw(20.0)
+
+    def test_negative_amounts_rejected(self):
+        pool = FoundationRewardPool()
+        with pytest.raises(MechanismError):
+            pool.deposit(-1.0)
+        with pytest.raises(MechanismError):
+            pool.withdraw(-1.0)
+
+    def test_totals_tracked(self):
+        pool = FoundationRewardPool()
+        pool.deposit(100.0)
+        pool.withdraw(30.0)
+        assert pool.deposited_total == 100.0
+        assert pool.disbursed_total == 30.0
+
+
+class TestTransactionFeePool:
+    def test_accumulates_only(self):
+        pool = TransactionFeePool()
+        pool.deposit(5.0)
+        pool.deposit(2.5)
+        assert pool.balance == pytest.approx(7.5)
+
+    def test_negative_fee_rejected(self):
+        with pytest.raises(MechanismError):
+            TransactionFeePool().deposit(-0.1)

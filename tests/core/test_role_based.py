@@ -1,0 +1,86 @@
+"""Unit tests for role-based reward sharing (paper Eq. 5, Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.role_based import RoleBasedSharing, allocate_role_based, validate_split
+from repro.errors import MechanismError
+from repro.sim.roles import RoleSnapshot
+
+
+def _snapshot():
+    return RoleSnapshot(
+        round_index=1,
+        leaders={1: 10.0, 2: 30.0},
+        committee={3: 50.0},
+        others={4: 25.0, 5: 75.0},
+    )
+
+
+class TestValidateSplit:
+    @pytest.mark.parametrize("alpha,beta", [(0.0, 0.5), (1.0, 0.5), (0.5, 0.0), (0.6, 0.4)])
+    def test_invalid_splits_rejected(self, alpha, beta):
+        with pytest.raises(MechanismError):
+            validate_split(alpha, beta)
+
+    def test_valid_split_accepted(self):
+        validate_split(0.02, 0.03)
+
+
+class TestAllocation:
+    def test_slices_by_role(self):
+        allocation = allocate_role_based(_snapshot(), alpha=0.2, beta=0.3, b_i=100.0)
+        # Leaders share 20 over stake 40: rate 0.5.
+        assert allocation.paid_to(1) == pytest.approx(5.0)
+        assert allocation.paid_to(2) == pytest.approx(15.0)
+        # Committee shares 30 over stake 50: rate 0.6.
+        assert allocation.paid_to(3) == pytest.approx(30.0)
+        # Others share 50 over stake 100: rate 0.5.
+        assert allocation.paid_to(4) == pytest.approx(12.5)
+        assert allocation.paid_to(5) == pytest.approx(37.5)
+
+    def test_total_conserved(self):
+        allocation = allocate_role_based(_snapshot(), 0.2, 0.3, 100.0)
+        assert allocation.total == pytest.approx(100.0)
+        assert sum(allocation.per_node.values()) == pytest.approx(100.0)
+
+    def test_leader_rate_differs_from_online_rate(self):
+        """The whole point of the mechanism: roles can earn different rates."""
+        allocation = allocate_role_based(_snapshot(), 0.4, 0.3, 100.0)
+        leader_rate = allocation.paid_to(1) / 10.0
+        online_rate = allocation.paid_to(4) / 25.0
+        assert leader_rate > online_rate
+
+    def test_empty_role_slice_is_withheld(self):
+        snapshot = RoleSnapshot(round_index=1, others={4: 100.0})
+        allocation = allocate_role_based(snapshot, 0.2, 0.3, 100.0)
+        assert allocation.paid_to(4) == pytest.approx(50.0)
+        assert allocation.total == pytest.approx(50.0)
+        assert allocation.params["undistributed"] == pytest.approx(50.0)
+
+    def test_params_capture_split(self):
+        allocation = allocate_role_based(_snapshot(), 0.2, 0.3, 100.0)
+        assert allocation.params["alpha"] == 0.2
+        assert allocation.params["beta"] == 0.3
+        assert allocation.params["gamma"] == pytest.approx(0.5)
+
+
+class TestRoleBasedSharing:
+    def test_gamma_property(self):
+        mechanism = RoleBasedSharing(alpha=0.02, beta=0.03, reward=5.2)
+        assert mechanism.gamma == pytest.approx(0.95)
+
+    def test_allocate_uses_reward_source(self):
+        mechanism = RoleBasedSharing(0.2, 0.3, reward=lambda r: 10.0 * r)
+        allocation = mechanism.allocate(_snapshot())
+        assert allocation.total == pytest.approx(10.0)
+
+    def test_negative_reward_rejected(self):
+        mechanism = RoleBasedSharing(0.2, 0.3, reward=-5.0)
+        with pytest.raises(MechanismError):
+            mechanism.allocate(_snapshot())
+
+    def test_invalid_constructor_split_rejected(self):
+        with pytest.raises(MechanismError):
+            RoleBasedSharing(0.7, 0.4, reward=1.0)

@@ -1,0 +1,135 @@
+"""End-to-end checks against the numbers the paper reports.
+
+Each test pins one headline quantity from the paper's evaluation; see
+EXPERIMENTS.md for the full paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RoleCosts,
+    minimize_reward_analytic,
+    minimize_reward_grid,
+    paper_aggregates,
+)
+from repro.core.rewards import RewardSchedule
+from repro.stakes.distributions import paper_distributions
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return RoleCosts.paper_defaults()
+
+
+@pytest.fixture(scope="module")
+def section5_stakes():
+    """500k nodes, 50M Algos, N(100,10) — the paper's Section V-B setup."""
+    return paper_distributions()["N(100,10)"].sample_total(500_000, 50_000_000, seed=5)
+
+
+class TestFigure5:
+    """Paper: min B_i ≈ 5.2 Algos at (alpha, beta) = (0.02, 0.03)."""
+
+    def test_grid_minimum_location_and_value(self, costs, section5_stakes):
+        aggregates = paper_aggregates(section5_stakes, k_floor=10.0)
+        result = minimize_reward_grid(costs, aggregates)
+        assert result.best.alpha == pytest.approx(0.02)
+        assert result.best.beta == pytest.approx(0.03)
+        assert result.best.b_i == pytest.approx(5.2, rel=0.05)
+
+    def test_online_bound_dominates(self, costs, section5_stakes):
+        """Paper: 'the calculated bound ... is usually a function of the
+        third bound' — gamma should be maximized."""
+        from repro.core.bounds import reward_bounds
+
+        aggregates = paper_aggregates(section5_stakes, k_floor=10.0)
+        bounds = reward_bounds(costs, aggregates, 0.02, 0.03)
+        assert bounds.binding == "online"
+
+    def test_analytic_minimum_is_close_to_online_limit(self, costs, section5_stakes):
+        """As gamma -> 1 the bound approaches (c_K - c_so) S_K / s*_k = 5.
+
+        The optimum keeps ~2% of the split for the committee (beta_min), so
+        the achieved B_i sits slightly above the pure-online limit.
+        """
+        aggregates = paper_aggregates(section5_stakes, k_floor=10.0)
+        split = minimize_reward_analytic(costs, aggregates)
+        limit = (costs.online - costs.sortition) * aggregates.stake_others / 10.0
+        assert split.b_i == pytest.approx(limit, rel=0.03)
+        assert split.b_i < 5.2  # strictly better than the paper's grid point
+
+
+class TestFigure6Ordering:
+    """Paper: B_i ordering U(1,200) >> N(100,20) > ... >> N(2000,25)."""
+
+    @pytest.fixture(scope="class")
+    def rewards_by_distribution(self, costs):
+        totals = {
+            "U(1,200)": 50_000_000,
+            "N(100,20)": 50_000_000,
+            "N(100,10)": 50_000_000,
+            "N(2000,25)": 1_000_000_000,
+        }
+        out = {}
+        for name, distribution in paper_distributions().items():
+            stakes = distribution.sample_total(500_000, totals[name], seed=11)
+            aggregates = paper_aggregates(np.asarray(stakes), k_floor=0.0)
+            out[name] = minimize_reward_analytic(costs, aggregates).b_i
+        return out
+
+    def test_uniform_needs_about_50_algos(self, rewards_by_distribution):
+        assert rewards_by_distribution["U(1,200)"] == pytest.approx(50.0, rel=0.05)
+
+    def test_ordering_matches_paper(self, rewards_by_distribution):
+        r = rewards_by_distribution
+        # N(100,20)'s extreme-value minimum fluctuates between ~3 and ~9
+        # Algos across seeds, so the U(1,200) gap is asserted loosely.
+        assert r["U(1,200)"] > 2 * r["N(100,20)"]
+        assert r["N(100,20)"] > r["N(100,10)"]
+        assert r["N(100,10)"] > r["N(2000,25)"]
+
+    def test_rich_network_needs_least(self, rewards_by_distribution):
+        assert rewards_by_distribution["N(2000,25)"] < 1.5  # paper: ~1.2
+
+
+class TestFigure7:
+    """Ours stays flat and far below the Foundation schedule."""
+
+    def test_foundation_pays_20_per_round_in_period_1(self):
+        assert RewardSchedule().per_round_reward(1) == pytest.approx(20.0)
+
+    def test_adaptive_reward_beats_foundation_for_normal_stakes(self, costs):
+        stakes = paper_distributions()["N(100,10)"].sample_total(
+            500_000, 50_000_000, seed=3
+        )
+        aggregates = paper_aggregates(np.asarray(stakes), k_floor=10.0)
+        ours = minimize_reward_analytic(costs, aggregates).b_i
+        assert ours < 20.0 / 3  # at least 3x cheaper than the Foundation
+
+    def test_ours_does_not_ramp_with_periods(self, costs):
+        """Foundation ramps 20 -> 76 Algos; Algorithm 1 depends only on the
+        stake state, so with a fixed population the reward stays flat."""
+        stakes = paper_distributions()["N(100,10)"].sample_total(
+            500_000, 50_000_000, seed=3
+        )
+        aggregates = paper_aggregates(np.asarray(stakes), k_floor=10.0)
+        first = minimize_reward_analytic(costs, aggregates).b_i
+        # Re-solving at any later round index is identical: no round input.
+        second = minimize_reward_analytic(costs, aggregates).b_i
+        assert first == second
+
+    def test_truncation_shrinks_reward_like_figure_7c(self, costs):
+        """U_w thresholds 3/5/7 divide the U(1,200) reward by ~w."""
+        stakes = paper_distributions()["U(1,200)"].sample_total(
+            500_000, 50_000_000, seed=9
+        )
+        rewards = {}
+        for w in (0.0, 3.0, 5.0, 7.0):
+            aggregates = paper_aggregates(np.asarray(stakes), k_floor=w)
+            rewards[w] = minimize_reward_analytic(costs, aggregates).b_i
+        assert rewards[0.0] > rewards[3.0] > rewards[5.0] > rewards[7.0]
+        assert rewards[3.0] == pytest.approx(rewards[0.0] / 3, rel=0.1)
+        assert rewards[7.0] == pytest.approx(rewards[0.0] / 7, rel=0.1)

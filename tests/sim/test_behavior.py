@@ -1,0 +1,86 @@
+"""Unit tests for node behaviour categories."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.behavior import Behavior, assign_behaviors, defective_fraction
+
+
+class TestCapabilities:
+    def test_honest_does_everything(self):
+        b = Behavior.HONEST
+        assert b.is_online and b.cooperates and b.relays and b.proposes
+        assert b.votes and b.counts_votes and not b.equivocates
+
+    def test_selfish_cooperate_acts_like_honest_but_is_strategic(self):
+        b = Behavior.SELFISH_COOPERATE
+        assert b.cooperates and b.relays and b.votes
+        assert b.is_strategic
+        assert not Behavior.HONEST.is_strategic
+
+    def test_defector_is_online_but_does_no_tasks(self):
+        b = Behavior.SELFISH_DEFECT
+        assert b.is_online
+        assert not b.cooperates
+        assert not b.relays  # no gossiping (saves c_go)
+        assert not b.proposes
+        assert not b.votes
+        assert not b.counts_votes
+        assert b.is_strategic
+
+    def test_malicious_participates_but_equivocates(self):
+        b = Behavior.MALICIOUS
+        assert b.is_online and b.relays and b.proposes and b.votes
+        assert b.equivocates
+        assert not b.cooperates
+
+    def test_faulty_is_fully_offline(self):
+        b = Behavior.FAULTY
+        assert not b.is_online
+        assert not b.relays
+
+
+class TestAssignment:
+    def test_counts_match_rates(self):
+        rng = random.Random(0)
+        behaviors = assign_behaviors(100, 0.15, 0.05, 0.10, rng)
+        assert behaviors.count(Behavior.SELFISH_DEFECT) == 15
+        assert behaviors.count(Behavior.MALICIOUS) == 5
+        assert behaviors.count(Behavior.FAULTY) == 10
+        assert behaviors.count(Behavior.HONEST) == 70
+
+    def test_zero_rates_give_all_honest(self):
+        behaviors = assign_behaviors(10, 0, 0, 0, random.Random(0))
+        assert set(behaviors) == {Behavior.HONEST}
+
+    def test_assignment_is_random_but_seeded(self):
+        a = assign_behaviors(50, 0.2, 0, 0, random.Random(7))
+        b = assign_behaviors(50, 0.2, 0, 0, random.Random(7))
+        c = assign_behaviors(50, 0.2, 0, 0, random.Random(8))
+        assert a == b
+        assert a != c  # overwhelmingly likely
+
+    def test_rates_above_one_raise(self):
+        with pytest.raises(ConfigurationError):
+            assign_behaviors(10, 0.6, 0.6, 0, random.Random(0))
+
+    def test_non_positive_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            assign_behaviors(0, 0, 0, 0, random.Random(0))
+
+    def test_full_defection_allowed(self):
+        behaviors = assign_behaviors(10, 1.0, 0, 0, random.Random(0))
+        assert set(behaviors) == {Behavior.SELFISH_DEFECT}
+
+
+class TestDefectiveFraction:
+    def test_matches_assignment(self):
+        behaviors = assign_behaviors(40, 0.25, 0, 0, random.Random(0))
+        assert defective_fraction(behaviors) == pytest.approx(0.25)
+
+    def test_empty_is_zero(self):
+        assert defective_fraction([]) == 0.0

@@ -1,0 +1,75 @@
+"""Unit tests for simulation configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        SimulationConfig().validate()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n_nodes": 1},
+            {"gossip_fanout": 0},
+            {"gossip_fanout": 100, "n_nodes": 50},
+            {"delay_min": -1.0},
+            {"delay_min": 0.5, "delay_max": 0.1},
+            {"drop_probability": 1.0},
+            {"delay_scale": 0.0},
+            {"proposal_wait": 0.0},
+            {"step_timeout": -1.0},
+            {"tau_proposer": 0.0},
+            {"tau_step": -5.0},
+            {"tau_final": 0.0},
+            {"t_step": 0.5},
+            {"t_final": 1.0},
+            {"max_binary_steps": 2},
+            {"seed_refresh_interval": 0},
+            {"stake_low": 0.0},
+            {"stake_low": 60.0, "stake_high": 50.0},
+            {"defection_rate": -0.1},
+            {"defection_rate": 1.5},
+            {"defection_rate": 0.6, "malicious_rate": 0.6},
+        ],
+    )
+    def test_invalid_settings_raise(self, overrides):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**overrides)
+
+    def test_stakes_length_must_match(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n_nodes=3, stakes=[1.0, 2.0])
+
+    def test_stakes_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n_nodes=2, stakes=[1.0, 0.0])
+
+    def test_explicit_stakes_accepted(self):
+        config = SimulationConfig(n_nodes=3, gossip_fanout=2, stakes=[1.0, 2.0, 3.0])
+        assert list(config.stakes) == [1.0, 2.0, 3.0]
+
+
+class TestDerivedQuantities:
+    def test_total_step_count(self):
+        config = SimulationConfig(max_binary_steps=11)
+        assert config.total_step_count() == 13  # 2 reduction + 11 binary
+
+    def test_round_duration(self):
+        config = SimulationConfig(proposal_wait=2.0, step_timeout=1.0, max_binary_steps=11)
+        assert config.round_duration() == pytest.approx(2.0 + 13 * 1.0)
+
+    def test_with_overrides_returns_new_config(self):
+        config = SimulationConfig()
+        other = config.with_overrides(defection_rate=0.2)
+        assert other.defection_rate == 0.2
+        assert config.defection_rate == 0.0
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig().with_overrides(defection_rate=2.0)

@@ -1,0 +1,95 @@
+"""Unit tests for metrics records and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.blocks import ConsensusLabel
+from repro.sim.metrics import RoundRecord, SimulationMetrics, average_fractions
+
+
+def _record(round_index=1, final=8, tentative=1, none=1, label=ConsensusLabel.FINAL):
+    return RoundRecord(
+        round_index=round_index,
+        n_online=final + tentative + none,
+        n_final=final,
+        n_tentative=tentative,
+        n_none=none,
+        authoritative_label=label,
+        reward_total=2.0,
+    )
+
+
+class TestRoundRecord:
+    def test_fractions(self):
+        record = _record(final=8, tentative=1, none=1)
+        assert record.fraction_final == pytest.approx(0.8)
+        assert record.fraction_tentative == pytest.approx(0.1)
+        assert record.fraction_none == pytest.approx(0.1)
+
+    def test_zero_online_fractions(self):
+        record = RoundRecord(round_index=1, n_online=0, n_final=0, n_tentative=0, n_none=0)
+        assert record.fraction_final == 0.0
+
+
+class TestSimulationMetrics:
+    def test_records_accumulate(self):
+        metrics = SimulationMetrics()
+        metrics.record(_record(1))
+        metrics.record(_record(2))
+        assert metrics.n_rounds == 2
+
+    def test_series_extraction(self):
+        metrics = SimulationMetrics()
+        metrics.record(_record(1, final=10, tentative=0, none=0))
+        metrics.record(_record(2, final=5, tentative=5, none=0))
+        assert metrics.series("fraction_final") == [1.0, 0.5]
+
+    def test_final_block_rate(self):
+        metrics = SimulationMetrics()
+        metrics.record(_record(1, label=ConsensusLabel.FINAL))
+        metrics.record(_record(2, label=ConsensusLabel.TENTATIVE))
+        assert metrics.final_block_rate() == 0.5
+
+    def test_final_block_rate_empty(self):
+        assert SimulationMetrics().final_block_rate() == 0.0
+
+    def test_total_rewards(self):
+        metrics = SimulationMetrics()
+        metrics.record(_record(1))
+        metrics.record(_record(2))
+        assert metrics.total_rewards() == 4.0
+
+    def test_to_rows_shape(self):
+        metrics = SimulationMetrics()
+        metrics.record(_record(1))
+        rows = metrics.to_rows()
+        assert rows[0]["round"] == 1
+        assert rows[0]["authoritative"] == "final"
+
+    def test_records_returns_copy(self):
+        metrics = SimulationMetrics()
+        metrics.record(_record(1))
+        metrics.records.append(_record(2))
+        assert metrics.n_rounds == 1
+
+
+class TestAverageFractions:
+    def _metrics_with(self, fractions):
+        metrics = SimulationMetrics()
+        for i, fraction in enumerate(fractions):
+            n_final = int(round(fraction * 10))
+            metrics.record(_record(i + 1, final=n_final, tentative=10 - n_final, none=0))
+        return metrics
+
+    def test_mean_across_runs(self):
+        runs = [self._metrics_with([1.0, 0.0]), self._metrics_with([0.0, 1.0])]
+        averaged = average_fractions(runs, "fraction_final", trim=0.0)
+        assert averaged == [0.5, 0.5]
+
+    def test_truncates_to_shortest_run(self):
+        runs = [self._metrics_with([1.0, 1.0, 1.0]), self._metrics_with([1.0])]
+        assert len(average_fractions(runs, "fraction_final")) == 1
+
+    def test_empty_runs(self):
+        assert average_fractions([], "fraction_final") == []

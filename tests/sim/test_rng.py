@@ -1,0 +1,116 @@
+"""Unit tests for deterministic RNG substreams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.rng import RngStreams, derive_seed, shuffled, weighted_sample_with_replacement
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    @given(st.integers(min_value=0, max_value=2**63), st.text(max_size=40))
+    def test_is_64_bit(self, root, label):
+        assert 0 <= derive_seed(root, label) < 2**64
+
+
+class TestRngStreams:
+    def test_same_label_returns_same_stream(self):
+        streams = RngStreams(7)
+        assert streams.get("x") is streams.get("x")
+
+    def test_different_labels_are_independent_objects(self):
+        streams = RngStreams(7)
+        assert streams.get("x") is not streams.get("y")
+
+    def test_equal_roots_reproduce_draws(self):
+        a = RngStreams(99).get("net")
+        b = RngStreams(99).get("net")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        lone = RngStreams(5)
+        values_before = [lone.get("a").random() for _ in range(5)]
+
+        pair = RngStreams(5)
+        pair.get("b").random()  # interleave a second consumer
+        values_after = [pair.get("a").random() for _ in range(5)]
+        assert values_before == values_after
+
+    def test_spawn_gives_independent_universe(self):
+        parent = RngStreams(3)
+        child = parent.spawn("run-1")
+        assert child.root_seed != parent.root_seed
+        assert parent.spawn("run-1").root_seed == child.root_seed
+
+    def test_labels_lists_created_streams(self):
+        streams = RngStreams(0)
+        streams.get("b")
+        streams.get("a")
+        assert streams.labels() == ["a", "b"]
+
+
+class TestWeightedSample:
+    def test_respects_sample_size(self):
+        rng = RngStreams(1).get("s")
+        out = weighted_sample_with_replacement(rng, ["a", "b"], [1.0, 1.0], 10)
+        assert len(out) == 10
+
+    def test_zero_weight_items_never_selected(self):
+        rng = RngStreams(1).get("s")
+        out = weighted_sample_with_replacement(rng, ["a", "b"], [0.0, 1.0], 50)
+        assert set(out) == {"b"}
+
+    def test_heavier_items_selected_more(self):
+        rng = RngStreams(2).get("s")
+        out = weighted_sample_with_replacement(rng, ["light", "heavy"], [1.0, 9.0], 2000)
+        heavy = out.count("heavy")
+        assert heavy > 1500  # expectation 1800, generous slack
+
+    def test_length_mismatch_raises(self):
+        rng = RngStreams(1).get("s")
+        with pytest.raises(ValueError):
+            weighted_sample_with_replacement(rng, ["a"], [1.0, 2.0], 1)
+
+    def test_empty_population_raises(self):
+        rng = RngStreams(1).get("s")
+        with pytest.raises(ValueError):
+            weighted_sample_with_replacement(rng, [], [], 1)
+
+    def test_negative_weight_raises(self):
+        rng = RngStreams(1).get("s")
+        with pytest.raises(ValueError):
+            weighted_sample_with_replacement(rng, ["a"], [-1.0], 1)
+
+    def test_all_zero_weights_raises(self):
+        rng = RngStreams(1).get("s")
+        with pytest.raises(ValueError):
+            weighted_sample_with_replacement(rng, ["a"], [0.0], 1)
+
+    def test_negative_size_raises(self):
+        rng = RngStreams(1).get("s")
+        with pytest.raises(ValueError):
+            weighted_sample_with_replacement(rng, ["a"], [1.0], -1)
+
+
+class TestShuffled:
+    def test_preserves_elements(self):
+        rng = RngStreams(1).get("sh")
+        items = list(range(20))
+        assert sorted(shuffled(rng, items)) == items
+
+    def test_does_not_mutate_input(self):
+        rng = RngStreams(1).get("sh")
+        items = [3, 1, 2]
+        shuffled(rng, items)
+        assert items == [3, 1, 2]

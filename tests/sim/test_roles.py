@@ -1,0 +1,73 @@
+"""Unit tests for role snapshots and reward allocations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.sim.roles import RewardAllocation, RoleSnapshot
+
+
+def _snapshot(**overrides):
+    defaults = dict(
+        round_index=1,
+        leaders={1: 5.0, 2: 3.0},
+        committee={3: 4.0, 4: 4.0},
+        others={5: 10.0, 6: 2.0},
+    )
+    defaults.update(overrides)
+    return RoleSnapshot(**defaults)
+
+
+class TestRoleSnapshot:
+    def test_stake_totals(self):
+        snapshot = _snapshot()
+        assert snapshot.stake_leaders == 8.0
+        assert snapshot.stake_committee == 8.0
+        assert snapshot.stake_others == 12.0
+        assert snapshot.stake_total == 28.0
+
+    def test_minimum_stakes(self):
+        snapshot = _snapshot()
+        assert snapshot.min_leader_stake() == 3.0
+        assert snapshot.min_committee_stake() == 4.0
+        assert snapshot.min_other_stake() == 2.0
+
+    def test_min_other_with_floor(self):
+        snapshot = _snapshot()
+        assert snapshot.min_other_stake(floor=5.0) == 10.0
+
+    def test_min_other_floor_above_all_is_none(self):
+        snapshot = _snapshot()
+        assert snapshot.min_other_stake(floor=100.0) is None
+
+    def test_empty_roles_give_none_minima(self):
+        snapshot = RoleSnapshot(round_index=1, others={1: 5.0})
+        assert snapshot.min_leader_stake() is None
+        assert snapshot.min_committee_stake() is None
+
+    def test_node_count(self):
+        assert _snapshot().n_nodes == 6
+
+    def test_all_stakes_merges_groups(self):
+        merged = _snapshot().all_stakes()
+        assert set(merged) == {1, 2, 3, 4, 5, 6}
+
+    def test_duplicate_membership_rejected(self):
+        with pytest.raises(MechanismError):
+            _snapshot(others={1: 5.0})  # node 1 is already a leader
+
+    def test_non_positive_stake_rejected(self):
+        with pytest.raises(MechanismError):
+            _snapshot(leaders={1: 0.0})
+
+
+class TestRewardAllocation:
+    def test_paid_to_defaults_to_zero(self):
+        allocation = RewardAllocation(per_node={1: 2.5}, total=2.5)
+        assert allocation.paid_to(1) == 2.5
+        assert allocation.paid_to(99) == 0.0
+
+    def test_params_are_optional(self):
+        allocation = RewardAllocation(per_node={}, total=0.0)
+        assert dict(allocation.params) == {}

@@ -1,0 +1,187 @@
+"""Unit and property tests for cryptographic sortition."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.errors import SortitionError
+from repro.sim.crypto import KeyPair
+from repro.sim.sortition import (
+    Role,
+    binomial_weight,
+    sortition,
+    verify_sortition,
+)
+
+
+class TestBinomialWeight:
+    def test_zero_stake_never_selected(self):
+        assert binomial_weight(0.5, 0, 0.1) == 0
+
+    def test_zero_probability_never_selected(self):
+        assert binomial_weight(0.99, 100, 0.0) == 0
+
+    def test_probability_one_selects_everything(self):
+        assert binomial_weight(0.5, 17, 1.0) == 17
+
+    def test_low_vrf_value_gives_zero(self):
+        # F(0) = (1-p)^w; a value below it must select nothing.
+        p, w = 0.01, 10
+        f0 = (1 - p) ** w
+        assert binomial_weight(f0 / 2, w, p) == 0
+
+    def test_value_just_above_f0_selects_one(self):
+        p, w = 0.01, 10
+        f0 = (1 - p) ** w
+        assert binomial_weight(f0 * 1.0001, w, p) == 1
+
+    def test_weight_never_exceeds_stake(self):
+        assert binomial_weight(1.0 - 1e-12, 5, 0.9) <= 5
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+        st.integers(min_value=0, max_value=500),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200)
+    def test_weight_in_range(self, value, stake, probability):
+        weight = binomial_weight(value, stake, probability)
+        assert 0 <= weight <= stake
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.floats(min_value=1e-4, max_value=0.5),
+        st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    )
+    @settings(max_examples=200)
+    def test_weight_is_monotone_in_vrf_value(self, stake, probability, value):
+        """The CDF inversion must be monotone non-decreasing in the draw."""
+        lower = binomial_weight(value * 0.5, stake, probability)
+        upper = binomial_weight(value, stake, probability)
+        assert lower <= upper
+
+    def test_matches_scipy_cdf_inversion(self):
+        """Cross-check against scipy's binomial CDF on a grid."""
+        stake, probability = 40, 0.05
+        for value in (0.01, 0.13, 0.5, 0.9, 0.999, 0.999999):
+            ours = binomial_weight(value, stake, probability)
+            expected = int(scipy_stats.binom.ppf(value, stake, probability))
+            # ppf gives smallest k with F(k) >= q; our convention selects
+            # j with F(j-1) <= q < F(j), identical for continuous draws.
+            assert ours == expected
+
+    def test_invalid_vrf_value_raises(self):
+        with pytest.raises(SortitionError):
+            binomial_weight(1.0, 10, 0.1)
+
+    def test_negative_stake_raises(self):
+        with pytest.raises(SortitionError):
+            binomial_weight(0.5, -1, 0.1)
+
+    def test_bad_probability_raises(self):
+        with pytest.raises(SortitionError):
+            binomial_weight(0.5, 10, 1.5)
+
+
+class TestSortition:
+    def test_proof_roundtrip_verifies(self):
+        keypair = KeyPair.generate("node-1")
+        proof = sortition(keypair, seed=9, round_index=4, role=Role.STEP,
+                          stake=30, total_stake=1000, expected_size=100, step=2)
+        assert verify_sortition(proof, keypair, seed=9)
+
+    def test_verification_rejects_wrong_seed(self):
+        keypair = KeyPair.generate("node-1")
+        proof = sortition(keypair, 9, 4, Role.STEP, 30, 1000, 100, step=2)
+        assert not verify_sortition(proof, keypair, seed=10)
+
+    def test_verification_rejects_wrong_key(self):
+        keypair = KeyPair.generate("node-1")
+        other = KeyPair.generate("node-2")
+        proof = sortition(keypair, 9, 4, Role.STEP, 30, 1000, 100, step=2)
+        assert not verify_sortition(proof, other, seed=9)
+
+    def test_verification_rejects_inflated_weight(self):
+        keypair = KeyPair.generate("node-1")
+        proof = sortition(keypair, 9, 4, Role.STEP, 30, 1000, 100, step=2)
+        from dataclasses import replace
+
+        forged = replace(proof, weight=proof.weight + 1, priority=0.0)
+        assert not verify_sortition(forged, keypair, seed=9)
+
+    def test_unselected_proof_has_no_priority(self):
+        keypair = KeyPair.generate("tiny")
+        proof = sortition(keypair, 1, 1, Role.PROPOSER, stake=1,
+                          total_stake=10**9, expected_size=1)
+        assert proof.weight == 0
+        assert proof.priority is None
+        assert not proof.selected
+
+    def test_selected_proof_has_priority_in_unit_interval(self):
+        keypair = KeyPair.generate("whale")
+        proof = sortition(keypair, 1, 1, Role.PROPOSER, stake=1000,
+                          total_stake=1000, expected_size=900)
+        assert proof.selected
+        assert 0.0 <= proof.priority < 1.0
+
+    def test_roles_have_independent_outcomes(self):
+        keypair = KeyPair.generate("node")
+        kwargs = dict(seed=5, round_index=1, stake=100, total_stake=200, expected_size=100)
+        a = sortition(keypair, role=Role.PROPOSER, **kwargs)
+        b = sortition(keypair, role=Role.STEP, **kwargs)
+        assert a.vrf.proof != b.vrf.proof
+
+    def test_steps_have_independent_outcomes(self):
+        keypair = KeyPair.generate("node")
+        kwargs = dict(seed=5, round_index=1, role=Role.STEP, stake=100,
+                      total_stake=200, expected_size=100)
+        assert sortition(keypair, step=1, **kwargs).vrf.proof != sortition(
+            keypair, step=2, **kwargs
+        ).vrf.proof
+
+    def test_negative_stake_raises(self):
+        keypair = KeyPair.generate("node")
+        with pytest.raises(SortitionError):
+            sortition(keypair, 1, 1, Role.STEP, -1, 100, 10)
+
+    def test_stake_above_total_raises(self):
+        keypair = KeyPair.generate("node")
+        with pytest.raises(SortitionError):
+            sortition(keypair, 1, 1, Role.STEP, 200, 100, 10)
+
+    def test_zero_total_stake_raises(self):
+        keypair = KeyPair.generate("node")
+        with pytest.raises(SortitionError):
+            sortition(keypair, 1, 1, Role.STEP, 0, 0, 10)
+
+
+class TestSelectionStatistics:
+    def test_expected_committee_weight_close_to_tau(self):
+        """Across many nodes, total selected weight concentrates near tau."""
+        tau = 50.0
+        n_nodes, stake = 200, 20
+        total = n_nodes * stake
+        total_weight = 0
+        for i in range(n_nodes):
+            keypair = KeyPair.generate(("stat", i))
+            proof = sortition(keypair, seed=123, round_index=7, role=Role.STEP,
+                              stake=stake, total_stake=total, expected_size=tau, step=1)
+            total_weight += proof.weight
+        # Binomial(total=4000, p=50/4000): std ~ 7; allow 4 sigma.
+        assert abs(total_weight - tau) < 4 * math.sqrt(tau)
+
+    def test_richer_nodes_selected_more_often(self):
+        rich_hits = poor_hits = 0
+        for i in range(300):
+            rich = sortition(KeyPair.generate(("rich", i)), i, 1, Role.STEP,
+                             stake=100, total_stake=10_000, expected_size=500)
+            poor = sortition(KeyPair.generate(("poor", i)), i, 1, Role.STEP,
+                             stake=10, total_stake=10_000, expected_size=500)
+            rich_hits += rich.weight
+            poor_hits += poor.weight
+        assert rich_hits > 5 * poor_hits

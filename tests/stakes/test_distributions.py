@@ -1,0 +1,119 @@
+"""Unit and property tests for stake-population generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stakes.distributions import (
+    figure7c_distributions,
+    paper_distributions,
+    summarize,
+    truncated_normal,
+    truncated_uniform,
+    uniform,
+)
+
+
+class TestUniform:
+    def test_bounds_respected(self):
+        stakes = uniform(1, 200).sample(10_000, seed=1)
+        assert stakes.min() >= 1.0
+        assert stakes.max() <= 200.0
+
+    def test_mean_near_center(self):
+        stakes = uniform(1, 200).sample(50_000, seed=2)
+        assert stakes.mean() == pytest.approx(100.5, rel=0.02)
+
+    def test_seeded_reproducibility(self):
+        a = uniform(1, 200).sample(100, seed=5)
+        b = uniform(1, 200).sample(100, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform(200, 1)
+        with pytest.raises(ConfigurationError):
+            uniform(0, 10)
+
+
+class TestTruncatedNormal:
+    def test_no_mass_piles_at_minimum(self):
+        """Resampling (not clipping) must leave no atom at the boundary."""
+        stakes = truncated_normal(100, 40, minimum=1.0).sample(50_000, seed=3)
+        assert stakes.min() >= 1.0
+        assert np.sum(stakes == 1.0) == 0
+
+    def test_narrow_distribution_untouched(self):
+        stakes = truncated_normal(2000, 25).sample(10_000, seed=4)
+        assert stakes.mean() == pytest.approx(2000, rel=0.01)
+        assert stakes.std() == pytest.approx(25, rel=0.1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            truncated_normal(100, 0)
+        with pytest.raises(ConfigurationError):
+            truncated_normal(100, 10, minimum=0)
+        with pytest.raises(ConfigurationError):
+            truncated_normal(1, 10, minimum=5)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_always_positive(self, seed):
+        stakes = truncated_normal(100, 20).sample(1000, seed=seed)
+        assert (stakes > 0).all()
+
+
+class TestTruncatedUniform:
+    def test_removal_threshold_respected(self):
+        stakes = truncated_uniform(7).sample(10_000, seed=6)
+        assert stakes.min() >= 7.0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            truncated_uniform(250, high=200)
+
+    def test_figure7c_family(self):
+        family = figure7c_distributions()
+        assert set(family) == {"U(1,200)", "U3(1,200)", "U5(1,200)", "U7(1,200)"}
+        mins = {
+            name: dist.sample(5000, seed=1).min() for name, dist in family.items()
+        }
+        assert mins["U3(1,200)"] >= 3.0
+        assert mins["U5(1,200)"] >= 5.0
+        assert mins["U7(1,200)"] >= 7.0
+
+
+class TestSampleTotal:
+    def test_rescales_to_total(self):
+        stakes = uniform(1, 200).sample_total(10_000, 50_000_000, seed=7)
+        assert stakes.sum() == pytest.approx(50_000_000)
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform(1, 200).sample_total(10, -1.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform(1, 200).sample(0)
+
+
+class TestPaperDistributions:
+    def test_all_four_present(self):
+        assert set(paper_distributions()) == {
+            "U(1,200)", "N(100,20)", "N(100,10)", "N(2000,25)",
+        }
+
+    def test_summarize(self):
+        stats = summarize(np.array([1.0, 2.0, 3.0]))
+        assert stats["n"] == 3
+        assert stats["total"] == 6.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize(np.array([]))

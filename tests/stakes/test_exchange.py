@@ -1,0 +1,117 @@
+"""Unit tests for the synthetic exchange simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stakes.exchange import ExchangeSimulator
+
+
+def _exchange(**overrides):
+    defaults = dict(
+        stakes=np.full(1000, 100.0),
+        picks_per_round=100,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return ExchangeSimulator(**defaults)
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        exchange = _exchange()
+        assert exchange.n_nodes == 1000
+        assert exchange.total_stake() == pytest.approx(100_000.0)
+        assert exchange.round_index == 0
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"stakes": np.array([])},
+            {"stakes": np.array([1.0, -2.0])},
+            {"picks_per_round": 0},
+            {"delta_low": 4.0, "delta_high": -4.0},
+            {"min_stake": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            _exchange(**overrides)
+
+
+class TestChurn:
+    def test_step_advances_round(self):
+        exchange = _exchange()
+        record = exchange.step()
+        assert record.round_index == 1
+        assert exchange.round_index == 1
+
+    def test_stakes_never_drop_below_minimum(self):
+        exchange = _exchange(
+            stakes=np.full(50, 2.0), picks_per_round=500, min_stake=1.0
+        )
+        exchange.run(20)
+        assert exchange.stakes.min() >= 1.0
+
+    def test_gross_volume_positive(self):
+        record = _exchange().step()
+        assert record.gross_volume > 0
+
+    def test_history_accumulates(self):
+        exchange = _exchange()
+        exchange.run(5)
+        assert len(exchange.history) == 5
+        assert [r.round_index for r in exchange.history] == [1, 2, 3, 4, 5]
+
+    def test_seeded_reproducibility(self):
+        a = _exchange(seed=9)
+        b = _exchange(seed=9)
+        a.run(3)
+        b.run(3)
+        np.testing.assert_array_equal(a.stakes, b.stakes)
+
+    def test_richer_nodes_trade_more(self):
+        stakes = np.concatenate([np.full(500, 1.0), np.full(500, 1000.0)])
+        exchange = ExchangeSimulator(stakes, picks_per_round=2000, seed=3)
+        exchange.step()
+        deltas = np.abs(exchange.stakes - stakes)
+        poor_moved = float(deltas[:500].sum())
+        rich_moved = float(deltas[500:].sum())
+        assert rich_moved > 10 * poor_moved
+
+    def test_negative_round_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _exchange().run(-1)
+
+    def test_stakes_property_returns_copy(self):
+        exchange = _exchange()
+        stakes = exchange.stakes
+        stakes[0] = 99999.0
+        assert exchange.stake_of(0) == pytest.approx(100.0)
+
+
+class TestTransactionMaterialization:
+    def test_transactions_are_valid(self):
+        transactions = _exchange().transactions_for_round(1)
+        assert transactions
+        for txn in transactions:
+            assert txn.amount > 0
+            assert txn.from_account != txn.to_account
+
+    def test_nonces_are_unique_across_rounds(self):
+        exchange = _exchange()
+        first = exchange.transactions_for_round(1, n_transactions=10)
+        second = exchange.transactions_for_round(2, n_transactions=10)
+        nonces = [t.nonce for t in first + second]
+        assert len(set(nonces)) == len(nonces)
+
+    def test_explicit_count_respected(self):
+        transactions = _exchange().transactions_for_round(1, n_transactions=7)
+        assert len(transactions) <= 7
+
+    def test_stake_mapping(self):
+        mapping = _exchange().as_stake_mapping()
+        assert len(mapping) == 1000
+        assert mapping[0] == pytest.approx(100.0)
