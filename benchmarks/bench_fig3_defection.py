@@ -29,8 +29,14 @@ _CONFIG = DefectionExperimentConfig(
 
 
 def test_bench_fig3_defection(benchmark, report):
+    # Serial through the sweep orchestrator — the timing baseline that
+    # ``--workers N`` speedups (bench_sweep_orchestrator) are judged against.
     result = benchmark.pedantic(
-        run_defection_experiment, args=(_CONFIG,), rounds=1, iterations=1
+        run_defection_experiment,
+        args=(_CONFIG,),
+        kwargs={"workers": 1},
+        rounds=1,
+        iterations=1,
     )
     table = format_table(
         ("defection", "final", "tentative", "none"),

@@ -18,8 +18,14 @@ _CONFIG = RewardComparisonConfig(n_nodes=500_000, n_instances=8, n_rounds=5)
 
 
 def test_bench_fig6_bi_distribution(benchmark, report):
+    # Serial through the sweep orchestrator (see bench_sweep_orchestrator
+    # for the multi-worker and cache-resume paths).
     result = benchmark.pedantic(
-        run_reward_comparison, args=(_CONFIG,), rounds=1, iterations=1
+        run_reward_comparison,
+        args=(_CONFIG,),
+        kwargs={"workers": 1},
+        rounds=1,
+        iterations=1,
     )
     paper_reference = {
         "U(1,200)": "≈50",

@@ -89,3 +89,28 @@ def test_bench_nash_check(benchmark):
 
     result = benchmark(lambda: is_nash_equilibrium(game, profile))
     assert not result.is_equilibrium  # Theorem 2
+
+
+def test_bench_sortition_batch_population(benchmark):
+    """Vectorized sortition sampling for a 500k-node population.
+
+    The numpy batch path inverts the binomial CDF for every node at once;
+    the scalar `binomial_weight` loop it replaces is the correctness
+    oracle (tests/analysis/test_vectorized.py) and is ~two orders of
+    magnitude slower at this scale.
+    """
+    import numpy as np
+
+    from repro.sim.sortition import sample_population_weights
+
+    rng = np.random.default_rng(11)
+    stakes = rng.uniform(1, 200, 500_000)
+    total = float(stakes.sum())
+
+    def run():
+        return sample_population_weights(
+            stakes, total, 2000.0, np.random.default_rng(7)
+        )
+
+    weights = benchmark(run)
+    assert 0 < int(weights.sum()) < 2 * 2000

@@ -1,0 +1,65 @@
+"""The sweep orchestrator: shard fan-out, cache resume, merge determinism.
+
+Not a paper figure — tracks the performance and the core guarantee of the
+experiment-orchestration subsystem: merged results are bit-identical at
+any worker count, and a warm shard cache turns a repeat campaign into
+pure disk reads.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.defection import (
+    DefectionExperimentConfig,
+    fig3_sweep_spec,
+    run_defection_experiment,
+)
+from repro.analysis.orchestrator import run_sweep
+from repro.analysis.defection import _fig3_shard
+
+_CONFIG = DefectionExperimentConfig(
+    rates=(0.05, 0.30),
+    n_runs=2,
+    n_rounds=4,
+    n_nodes=40,
+    tau_proposer=6.0,
+    tau_step=60.0,
+    tau_final=80.0,
+)
+
+
+def test_bench_fig3_sharded_two_workers(benchmark, report):
+    """A reduced fig3 campaign through the orchestrator at two workers."""
+    result = benchmark.pedantic(
+        run_defection_experiment,
+        args=(_CONFIG,),
+        kwargs={"workers": 2},
+        rounds=1,
+        iterations=1,
+    )
+    serial = run_defection_experiment(_CONFIG, workers=1)
+    for rate in _CONFIG.rates:
+        assert result.series[rate].fraction_final == serial.series[rate].fraction_final
+    report(
+        "orchestrated fig3 (2 workers) == serial fig3: bit-identical merge\n"
+        + "\n".join(
+            f"  rate {rate:.0%}: final {serial.series[rate].mean_final():.2f}"
+            for rate in _CONFIG.rates
+        )
+    )
+
+
+def test_bench_shard_cache_resume(benchmark, tmp_path, report):
+    """A warm cache answers the whole campaign without running a shard."""
+    spec = fig3_sweep_spec(_CONFIG)
+    run_sweep(spec, _fig3_shard, workers=1, cache_dir=tmp_path)  # warm
+
+    def resume():
+        return run_sweep(spec, _fig3_shard, workers=1, cache_dir=tmp_path)
+
+    sweep = benchmark.pedantic(resume, rounds=1, iterations=1)
+    assert sweep.stats.n_cached == spec.n_shards
+    assert sweep.stats.n_computed == 0
+    report(
+        f"cache resume: {sweep.stats.n_cached}/{spec.n_shards} shards served "
+        f"from disk in {sweep.stats.wall_seconds:.3f}s"
+    )

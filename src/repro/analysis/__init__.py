@@ -20,6 +20,7 @@ from repro.analysis.defection import (
     run_defection_experiment,
     shape_assertions,
 )
+from repro.analysis.orchestrator import Orchestrator, ShardCache, SweepResult, run_sweep
 from repro.analysis.reward_comparison import (
     PAPER_TOTALS,
     RewardComparisonConfig,
@@ -33,14 +34,34 @@ from repro.analysis.reward_surface import (
     RewardSurfaceResult,
     run_reward_surface,
 )
-from repro.analysis.runner import EXPERIMENTS, run_experiment
+from repro.analysis.sweep import Shard, SweepSpec, grid_of
 from repro.analysis.tables import Table2Result, Table3Result, table2, table3
+
+
+def __getattr__(name):
+    # Lazy re-export: importing ``runner`` eagerly would make
+    # ``python -m repro.analysis.runner`` emit a found-in-sys.modules
+    # RuntimeWarning (the module would load during package init, before
+    # runpy executes it as __main__).
+    if name in ("EXPERIMENTS", "run_experiment"):
+        from repro.analysis import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "DefectionExperimentConfig",
     "DefectionExperimentResult",
     "EXPERIMENTS",
     "run_experiment",
+    "Orchestrator",
+    "Shard",
+    "ShardCache",
+    "SweepResult",
+    "SweepSpec",
+    "grid_of",
+    "run_sweep",
     "PAPER_DEFECTION_RATES",
     "PAPER_TOTALS",
     "RewardComparisonConfig",

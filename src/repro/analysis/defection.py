@@ -14,14 +14,17 @@ blocks appearing, progressive degradation through 10-25 %, and collapse at
 
 from __future__ import annotations
 
+from pathlib import Path
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 
 from repro.analysis import plotting
 from repro.analysis.csvio import PathLike, write_rows
+from repro.analysis.orchestrator import run_sweep
+from repro.analysis.sweep import SweepSpec
 from repro.errors import ConfigurationError
-from repro.sim import AlgorandSimulation, SimulationConfig, average_fractions
-from repro.sim.metrics import SimulationMetrics
+from repro.sim import AlgorandSimulation, SimulationConfig
+from repro.sim.metrics import trimmed_mean_series
 
 #: The paper's defection rates (Section III-C).
 PAPER_DEFECTION_RATES: Tuple[float, ...] = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
@@ -150,21 +153,91 @@ class DefectionExperimentResult:
         )
 
 
+def fig3_sweep_spec(config: DefectionExperimentConfig) -> SweepSpec:
+    """The Figure 3 campaign as a declarative sweep: one shard per (rate, run)."""
+    return SweepSpec(
+        name="fig3",
+        grid={
+            "rate": list(config.rates),
+            "run": list(range(config.n_runs)),
+        },
+        base={
+            "n_rounds": config.n_rounds,
+            "n_nodes": config.n_nodes,
+            "seed": config.seed,
+            "tau_proposer": config.tau_proposer,
+            "tau_step": config.tau_step,
+            "tau_final": config.tau_final,
+            "verify_crypto": config.verify_crypto,
+        },
+        root_seed=config.seed,
+    )
+
+
+def _fig3_shard(params: Mapping[str, Any], _seed: int) -> Dict[str, List[float]]:
+    """One Figure 3 shard: a single simulation run at one defection rate.
+
+    The per-run simulator seed follows the experiment's own historical
+    scheme (``DefectionExperimentConfig.simulation_config``) rather than
+    the sweep-derived ``_seed``, so orchestrated results are bit-identical
+    to the original serial loop.
+    """
+    config = DefectionExperimentConfig(
+        rates=(params["rate"],),
+        n_runs=1,
+        n_rounds=params["n_rounds"],
+        n_nodes=params["n_nodes"],
+        seed=params["seed"],
+        tau_proposer=params["tau_proposer"],
+        tau_step=params["tau_step"],
+        tau_final=params["tau_final"],
+        verify_crypto=params["verify_crypto"],
+    )
+    simulation = AlgorandSimulation(
+        config.simulation_config(params["rate"], params["run"])
+    )
+    metrics = simulation.run(params["n_rounds"])
+    return {
+        "fraction_final": metrics.series("fraction_final"),
+        "fraction_tentative": metrics.series("fraction_tentative"),
+        "fraction_none": metrics.series("fraction_none"),
+    }
+
+
+def _trimmed_series(
+    runs: Sequence[Mapping[str, List[float]]], attribute: str, trim: float
+) -> List[float]:
+    """Per-round trimmed mean across run shards (the fig3 merge rule)."""
+    return trimmed_mean_series([run[attribute] for run in runs], trim=trim)
+
+
 def run_defection_experiment(
     config: DefectionExperimentConfig = DefectionExperimentConfig(),
+    workers: Union[int, str, None] = 1,
+    cache_dir: Union[str, Path, None] = None,
+    progress: bool = False,
 ) -> DefectionExperimentResult:
-    """Run the full Figure 3 sweep."""
+    """Run the full Figure 3 sweep.
+
+    ``workers`` fans the (rate, run) shards out over processes via the
+    sweep orchestrator; every run is an independent simulation with its own
+    seed, so the merged result is bit-identical at any worker count.
+    ``cache_dir`` enables the resumable on-disk shard cache.
+    """
+    spec = fig3_sweep_spec(config)
+    sweep = run_sweep(
+        spec, _fig3_shard, workers=workers, cache_dir=cache_dir, progress=progress
+    )
+    shard_results = sweep.results()
+
     result = DefectionExperimentResult(config=config)
-    for rate in config.rates:
-        runs: List[SimulationMetrics] = []
-        for run in range(config.n_runs):
-            simulation = AlgorandSimulation(config.simulation_config(rate, run))
-            runs.append(simulation.run(config.n_rounds))
+    for index, rate in enumerate(config.rates):
+        runs = shard_results[index * config.n_runs : (index + 1) * config.n_runs]
         result.series[rate] = DefectionSeries(
             rate=rate,
-            fraction_final=average_fractions(runs, "fraction_final", config.trim),
-            fraction_tentative=average_fractions(runs, "fraction_tentative", config.trim),
-            fraction_none=average_fractions(runs, "fraction_none", config.trim),
+            fraction_final=_trimmed_series(runs, "fraction_final", config.trim),
+            fraction_tentative=_trimmed_series(runs, "fraction_tentative", config.trim),
+            fraction_none=_trimmed_series(runs, "fraction_none", config.trim),
         )
     return result
 

@@ -1,0 +1,333 @@
+"""Parallel sweep execution: fan shards out over workers, merge in order.
+
+The :class:`Orchestrator` turns a :class:`~repro.analysis.sweep.SweepSpec`
+into results.  It guarantees the property every experiment in this repo
+relies on:
+
+    **the merged output is bit-identical at any worker count** —
+
+because (a) every shard's randomness comes from its own deterministic seed
+(spawned from the sweep root, independent of scheduling), (b) shards never
+share state, and (c) results are re-ordered into canonical shard order
+before they reach the caller's merge step.  Parallelism therefore changes
+wall-clock time and nothing else.
+
+Features:
+
+* ``workers="auto"`` sizes the pool to the machine (``os.cpu_count()``);
+  ``workers<=1`` runs shards inline in the calling process — the serial
+  path and the parallel path execute exactly the same shard function.
+* An optional **on-disk shard cache** keyed by each shard's content hash
+  (sweep name + version + root seed + parameters).  Re-running a sweep
+  only computes missing shards, which makes interrupted campaigns
+  resumable: kill the process at shard 40/100, run again, and the first
+  40 shards load from disk.  Cache writes are atomic (tmp file + rename).
+* Progress reporting to stderr (``[fig3] 12/18 shards, 3 cached, 41.2s``).
+
+Shard functions must be module-level callables taking ``(params, seed)``
+and returning JSON-serializable data — both requirements come from the
+``multiprocessing`` / cache substrate, and both keep results mergeable
+across processes and sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.analysis.sweep import Shard, SweepSpec
+from repro.errors import OrchestrationError
+
+#: A shard task: ``(params, seed) -> JSON-serializable result``.
+ShardTask = Callable[[Mapping[str, Any], int], Any]
+
+#: Cache format version; bump when the payload layout changes.
+_CACHE_FORMAT = 1
+
+
+def resolve_workers(workers: Union[int, str, None]) -> int:
+    """Normalize a ``--workers`` value to a concrete worker count.
+
+    ``"auto"`` (or ``None``) maps to the CPU count; any integer is clamped
+    below at 1.  A count of 1 means "run shards inline" — no pool is
+    created, which keeps tracebacks and profiles simple.
+    """
+    if workers is None or workers == "auto":
+        return os.cpu_count() or 1
+    try:
+        count = int(workers)
+    except (TypeError, ValueError):
+        raise OrchestrationError(
+            f"workers must be an integer or 'auto', got {workers!r}"
+        ) from None
+    return max(1, count)
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's result plus execution metadata."""
+
+    shard: Shard
+    result: Any
+    cached: bool
+    elapsed: float
+
+
+@dataclass
+class SweepRunStats:
+    """Aggregate accounting for one orchestrated sweep run."""
+
+    n_shards: int = 0
+    n_cached: int = 0
+    n_computed: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+    shard_seconds: float = 0.0  # summed per-shard compute time
+
+
+@dataclass
+class SweepResult:
+    """All shard outcomes of a sweep, in canonical shard order."""
+
+    spec: SweepSpec
+    outcomes: List[ShardOutcome] = field(default_factory=list)
+    stats: SweepRunStats = field(default_factory=SweepRunStats)
+
+    def results(self) -> List[Any]:
+        """Shard results in shard order (the merge-ready view)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def result_for(self, **params: Any) -> Any:
+        """The result of the unique shard whose params contain ``params``."""
+        matches = [
+            outcome.result
+            for outcome in self.outcomes
+            if all(outcome.shard.params.get(k) == v for k, v in params.items())
+        ]
+        if len(matches) != 1:
+            raise OrchestrationError(
+                f"expected exactly one shard matching {params}, found {len(matches)}"
+            )
+        return matches[0]
+
+
+def _run_shard(task: ShardTask, shard: Shard) -> Tuple[int, Any, float]:
+    """Execute one shard; returns ``(index, result, elapsed)``.
+
+    Module-level so it pickles for the worker pool.  Exceptions are wrapped
+    with the shard's parameters — in a 200-shard campaign, "N(100,10)
+    instance 17 failed" beats a bare traceback.
+    """
+    start = time.perf_counter()
+    try:
+        result = task(shard.params, shard.seed)
+    except Exception as exc:
+        raise OrchestrationError(
+            f"shard {shard.index} {dict(shard.params)} failed: {exc}"
+        ) from exc
+    return shard.index, result, time.perf_counter() - start
+
+
+def _pool_entry(args: Tuple[ShardTask, Shard]) -> Tuple[int, Any, float]:
+    return _run_shard(*args)
+
+
+class ShardCache:
+    """Content-addressed on-disk cache of shard results (JSON files).
+
+    One file per shard, named by the shard key.  A payload records the
+    parameters alongside the result, so cache directories are
+    self-describing and auditable.  Corrupt or stale-format entries are
+    treated as misses (resumability must never depend on a clean cache).
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise OrchestrationError(
+                f"cache directory {self.directory} is not usable: {exc}"
+            ) from exc
+
+    def _path(self, shard: Shard) -> Path:
+        return self.directory / f"{shard.key}.json"
+
+    def load(self, shard: Shard) -> Optional[Any]:
+        """Return the cached result for ``shard``, or ``None`` on a miss."""
+        path = self._path(shard)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if payload.get("format") != _CACHE_FORMAT or payload.get("key") != shard.key:
+            return None
+        if "result" not in payload:
+            return None
+        return payload["result"]
+
+    def store(self, shard: Shard, result: Any, elapsed: float) -> None:
+        """Atomically persist one shard result."""
+        payload = {
+            "format": _CACHE_FORMAT,
+            "key": shard.key,
+            "params": dict(shard.params),
+            "seed": shard.seed,
+            "elapsed": elapsed,
+            "result": result,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self._path(shard))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+class Orchestrator:
+    """Runs sweep shards serially or across a worker pool, then merges.
+
+    Parameters
+    ----------
+    workers:
+        ``"auto"``, or a positive integer.  ``1`` executes inline.
+    cache_dir:
+        Directory for the shard cache; ``None`` disables caching.
+    progress:
+        ``True`` for the built-in stderr reporter, ``False`` for silence,
+        or a callable ``(done, total, n_cached, elapsed) -> None``.
+    mp_context:
+        ``multiprocessing`` start-method name (default: the platform
+        default, ``fork`` on Linux — cheapest for read-only shared code).
+    """
+
+    def __init__(
+        self,
+        workers: Union[int, str, None] = "auto",
+        cache_dir: Union[str, Path, None] = None,
+        progress: Union[bool, Callable[[int, int, int, float], None]] = False,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = ShardCache(cache_dir) if cache_dir is not None else None
+        self._progress = progress
+        self._mp_context = mp_context
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, spec: SweepSpec, task: ShardTask) -> SweepResult:
+        """Execute every shard of ``spec`` and return ordered outcomes."""
+        started = time.perf_counter()
+        shards = spec.shards()
+        outcomes: Dict[int, ShardOutcome] = {}
+
+        pending: List[Shard] = []
+        for shard in shards:
+            cached = self.cache.load(shard) if self.cache is not None else None
+            if cached is not None:
+                outcomes[shard.index] = ShardOutcome(
+                    shard=shard, result=cached, cached=True, elapsed=0.0
+                )
+            else:
+                pending.append(shard)
+        n_cached = len(outcomes)
+        self._report(spec, len(outcomes), len(shards), n_cached, started)
+
+        for index, result, elapsed in self._execute(task, pending):
+            shard = shards[index]
+            if self.cache is not None:
+                self.cache.store(shard, result, elapsed)
+            outcomes[index] = ShardOutcome(
+                shard=shard, result=result, cached=False, elapsed=elapsed
+            )
+            self._report(spec, len(outcomes), len(shards), n_cached, started)
+        self._finish_report(len(shards))
+
+        ordered = [outcomes[shard.index] for shard in shards]
+        wall = time.perf_counter() - started
+        stats = SweepRunStats(
+            n_shards=len(shards),
+            n_cached=n_cached,
+            n_computed=len(shards) - n_cached,
+            workers=self.workers,
+            wall_seconds=wall,
+            shard_seconds=sum(outcome.elapsed for outcome in ordered),
+        )
+        return SweepResult(spec=spec, outcomes=ordered, stats=stats)
+
+    def map(self, spec: SweepSpec, task: ShardTask) -> List[Any]:
+        """Shorthand: run the sweep and return just the ordered results."""
+        return self.run(spec, task).results()
+
+    # -- execution backends -------------------------------------------------
+
+    def _execute(self, task: ShardTask, pending: List[Shard]):
+        """Yield ``(index, result, elapsed)`` for every pending shard.
+
+        Completion order is arbitrary under the pool; the caller re-orders.
+        """
+        if not pending:
+            return
+        if self.workers <= 1 or len(pending) == 1:
+            for shard in pending:
+                yield _run_shard(task, shard)
+            return
+        context = (
+            multiprocessing.get_context(self._mp_context)
+            if self._mp_context
+            else multiprocessing.get_context()
+        )
+        n_procs = min(self.workers, len(pending))
+        with context.Pool(processes=n_procs) as pool:
+            jobs = [(task, shard) for shard in pending]
+            for item in pool.imap_unordered(_pool_entry, jobs):
+                yield item
+
+    # -- progress -----------------------------------------------------------
+
+    def _report(
+        self, spec: SweepSpec, done: int, total: int, n_cached: int, started: float
+    ) -> None:
+        elapsed = time.perf_counter() - started
+        if callable(self._progress):
+            self._progress(done, total, n_cached, elapsed)
+        elif self._progress:
+            sys.stderr.write(
+                f"\r[{spec.name}] {done}/{total} shards"
+                f" ({n_cached} cached, {self.workers} workers, {elapsed:.1f}s)"
+            )
+            sys.stderr.flush()
+
+    def _finish_report(self, total: int) -> None:
+        if self._progress is True and total:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+def run_sweep(
+    spec: SweepSpec,
+    task: ShardTask,
+    workers: Union[int, str, None] = 1,
+    cache_dir: Union[str, Path, None] = None,
+    progress: Union[bool, Callable[[int, int, int, float], None]] = False,
+) -> SweepResult:
+    """One-shot convenience wrapper around :class:`Orchestrator`."""
+    orchestrator = Orchestrator(
+        workers=workers, cache_dir=cache_dir, progress=progress
+    )
+    return orchestrator.run(spec, task)

@@ -25,12 +25,15 @@ are analytic in the stake vector — no event simulation is involved.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.analysis import plotting, stats
 from repro.analysis.csvio import PathLike, write_rows
+from repro.analysis.orchestrator import run_sweep
+from repro.analysis.sweep import SweepSpec
 from repro.core.bounds import paper_aggregates
 from repro.core.costs import RoleCosts
 from repro.core.optimizer import minimize_reward_analytic
@@ -131,9 +134,9 @@ class RewardComparisonResult:
             f"ours {name}": data.per_round_mean
             for name, data in self.distributions.items()
         }
-        series["foundation"] = [
-            self.schedule.per_round_reward(r) for r in range(1, self.config.n_rounds + 1)
-        ]
+        series["foundation"] = list(
+            self.schedule.per_round_rewards(np.arange(1, self.config.n_rounds + 1))
+        )
         return series
 
     def render_figure7a(self) -> str:
@@ -156,7 +159,7 @@ class RewardComparisonResult:
             for i in range(n_points)
         ]
         series: Dict[str, List[float]] = {
-            "foundation": [self.schedule.cumulative_reward(x) for x in xs]
+            "foundation": list(self.schedule.cumulative_rewards(xs))
         }
         for name, data in self.distributions.items():
             rate = data.mean()  # flat: the mechanism does not ramp with periods
@@ -223,35 +226,129 @@ def compute_instance_rewards(
     return rewards
 
 
+def fig6_sweep_spec(config: RewardComparisonConfig) -> SweepSpec:
+    """The Figure 6/7 campaign: one shard per (distribution, instance)."""
+    scale = config.n_nodes / PAPER_N_NODES
+    totals = {
+        name: (total * scale if total is not None else None)
+        for name, total in config.totals.items()
+    }
+    return SweepSpec(
+        name="fig6",
+        grid={
+            "distribution": list(paper_distributions()),
+            "instance": list(range(config.n_instances)),
+        },
+        base={
+            "n_nodes": config.n_nodes,
+            "n_rounds": config.n_rounds,
+            "seed": config.seed,
+            "k_floor": config.k_floor,
+            "picks_per_round": config.picks_per_round,
+            "totals": totals,
+        },
+        root_seed=config.seed,
+    )
+
+
+def _fig6_instance_config(params: Mapping[str, Any]) -> RewardComparisonConfig:
+    return RewardComparisonConfig(
+        n_nodes=params["n_nodes"],
+        n_instances=1,
+        n_rounds=params["n_rounds"],
+        seed=params["seed"],
+        k_floor=params.get("k_floor", 0.0),
+        picks_per_round=params["picks_per_round"],
+    )
+
+
+def _fig6_shard(params: Mapping[str, Any], _seed: int) -> List[float]:
+    """One Figure 6 shard: a single (distribution, instance) reward series.
+
+    Instance seeds keep the experiment's historical derivation
+    (``derive_seed(seed, "fig6:<name>:<instance>")``) so shard results are
+    bit-identical to the original serial loop at any worker count.
+    """
+    name = params["distribution"]
+    config = _fig6_instance_config(params)
+    costs = RoleCosts.paper_defaults()
+    distribution = paper_distributions()[name]
+    total = params["totals"].get(name)
+    seed = derive_seed(config.seed, f"fig6:{name}:{params['instance']}") % 2**31
+    if total is not None:
+        stakes = distribution.sample_total(config.n_nodes, total, seed)
+    else:
+        stakes = distribution.sample(config.n_nodes, seed)
+    return compute_instance_rewards(stakes, costs, config, seed)
+
+
+def _merge_distribution_rewards(
+    name: str, instance_rewards: Sequence[List[float]], n_rounds: int
+) -> DistributionRewards:
+    """Aggregate per-instance reward series in instance order."""
+    all_rewards: List[float] = []
+    per_round = np.zeros(n_rounds)
+    for rewards in instance_rewards:
+        all_rewards.extend(rewards)
+        per_round += np.asarray(rewards)
+    return DistributionRewards(
+        name=name,
+        rewards=all_rewards,
+        per_round_mean=list(per_round / len(instance_rewards)),
+    )
+
+
 def run_reward_comparison(
     config: RewardComparisonConfig = RewardComparisonConfig(),
     distributions: Optional[Dict[str, StakeDistribution]] = None,
     costs: Optional[RoleCosts] = None,
+    workers: Union[int, str, None] = 1,
+    cache_dir: Union[str, Path, None] = None,
+    progress: bool = False,
 ) -> RewardComparisonResult:
-    """Run the Figure 6 / 7(a) / 7(b) experiment."""
+    """Run the Figure 6 / 7(a) / 7(b) experiment.
+
+    With the default (paper) distributions and costs, the per-instance
+    shards run through the sweep orchestrator: ``workers`` parallelizes
+    them and ``cache_dir`` makes the campaign resumable, with merged
+    results bit-identical at any worker count.  Custom ``distributions``
+    or ``costs`` objects cannot cross process/cache boundaries, so that
+    path runs the shards inline.
+    """
+    result = RewardComparisonResult(config=config)
+    if distributions is None and costs is None:
+        spec = fig6_sweep_spec(config)
+        sweep = run_sweep(
+            spec, _fig6_shard, workers=workers, cache_dir=cache_dir, progress=progress
+        )
+        shard_results = sweep.results()
+        names = list(paper_distributions())
+        for index, name in enumerate(names):
+            per_instance = shard_results[
+                index * config.n_instances : (index + 1) * config.n_instances
+            ]
+            result.distributions[name] = _merge_distribution_rewards(
+                name, per_instance, config.n_rounds
+            )
+        return result
+
     costs = costs if costs is not None else RoleCosts.paper_defaults()
     distributions = distributions if distributions is not None else paper_distributions()
-    result = RewardComparisonResult(config=config)
     scale = config.n_nodes / PAPER_N_NODES
     for name, distribution in distributions.items():
         total = config.totals.get(name)
         if total is not None:
             total *= scale
-        all_rewards: List[float] = []
-        per_round = np.zeros(config.n_rounds)
+        per_instance = []
         for instance in range(config.n_instances):
             seed = derive_seed(config.seed, f"fig6:{name}:{instance}") % 2**31
             if total is not None:
                 stakes = distribution.sample_total(config.n_nodes, total, seed)
             else:
                 stakes = distribution.sample(config.n_nodes, seed)
-            rewards = compute_instance_rewards(stakes, costs, config, seed)
-            all_rewards.extend(rewards)
-            per_round += np.asarray(rewards)
-        result.distributions[name] = DistributionRewards(
-            name=name,
-            rewards=all_rewards,
-            per_round_mean=list(per_round / config.n_instances),
+            per_instance.append(compute_instance_rewards(stakes, costs, config, seed))
+        result.distributions[name] = _merge_distribution_rewards(
+            name, per_instance, config.n_rounds
         )
     return result
 
@@ -283,10 +380,53 @@ class TruncationResult:
         write_rows(path, ("population", "mean_b_i"), self.summary_rows())
 
 
+def _truncation_name(threshold: float) -> str:
+    return "U(1,200)" if threshold == 0 else f"U{threshold:g}(1,200)"
+
+
+def fig7c_sweep_spec(
+    config: RewardComparisonConfig, thresholds: Sequence[float]
+) -> SweepSpec:
+    """The Figure 7(c) campaign: one shard per (threshold, instance)."""
+    total = config.totals.get("U(1,200)", 50_000_000.0) * (
+        config.n_nodes / PAPER_N_NODES
+    )
+    return SweepSpec(
+        name="fig7c",
+        grid={
+            "threshold": list(thresholds),
+            "instance": list(range(config.n_instances)),
+        },
+        base={
+            "n_nodes": config.n_nodes,
+            "n_rounds": config.n_rounds,
+            "seed": config.seed,
+            "picks_per_round": config.picks_per_round,
+            "total": total,
+        },
+        root_seed=config.seed,
+    )
+
+
+def _fig7c_shard(params: Mapping[str, Any], _seed: int) -> List[float]:
+    """One Figure 7(c) shard: one U(1,200) instance at one removal threshold."""
+    threshold = params["threshold"]
+    name = _truncation_name(threshold)
+    config = _fig6_instance_config(params)
+    costs = RoleCosts.paper_defaults()
+    distribution = paper_distributions()["U(1,200)"]
+    seed = derive_seed(config.seed, f"fig7c:{name}:{params['instance']}") % 2**31
+    stakes = distribution.sample_total(config.n_nodes, params["total"], seed)
+    return compute_instance_rewards(stakes, costs, config, seed, k_floor=threshold)
+
+
 def run_truncation_experiment(
     config: RewardComparisonConfig = RewardComparisonConfig(),
     costs: Optional[RoleCosts] = None,
     thresholds: Sequence[float] = (0.0, 3.0, 5.0, 7.0),
+    workers: Union[int, str, None] = 1,
+    cache_dir: Union[str, Path, None] = None,
+    progress: bool = False,
 ) -> TruncationResult:
     """Run the Figure 7(c) sweep: U(1,200) with small-stake removal.
 
@@ -295,16 +435,39 @@ def run_truncation_experiment(
     stakes above ``w``, so the Theorem 3 online bound uses ``s*_k = w``
     instead of the population minimum (~1), shrinking the required reward.
     Threshold 0 is the untruncated U(1,200) baseline.
+
+    Like :func:`run_reward_comparison`, the default-cost path shards over
+    the orchestrator (``workers`` / ``cache_dir``); custom ``costs`` run
+    inline.
     """
-    costs = costs if costs is not None else RoleCosts.paper_defaults()
     result = TruncationResult(config=config)
+    if costs is None:
+        sweep = run_sweep(
+            fig7c_sweep_spec(config, thresholds),
+            _fig7c_shard,
+            workers=workers,
+            cache_dir=cache_dir,
+            progress=progress,
+        )
+        shard_results = sweep.results()
+        for index, threshold in enumerate(thresholds):
+            rewards: List[float] = []
+            for instance_rewards in shard_results[
+                index * config.n_instances : (index + 1) * config.n_instances
+            ]:
+                rewards.extend(instance_rewards)
+            result.rewards_by_threshold[_truncation_name(threshold)] = stats.mean(
+                rewards
+            )
+        return result
+
     total = config.totals.get("U(1,200)", 50_000_000.0) * (
         config.n_nodes / PAPER_N_NODES
     )
     distribution = paper_distributions()["U(1,200)"]
     for threshold in thresholds:
-        name = "U(1,200)" if threshold == 0 else f"U{threshold:g}(1,200)"
-        rewards: List[float] = []
+        name = _truncation_name(threshold)
+        rewards = []
         for instance in range(config.n_instances):
             seed = derive_seed(config.seed, f"fig7c:{name}:{instance}") % 2**31
             stakes = distribution.sample_total(config.n_nodes, total, seed)

@@ -5,20 +5,29 @@ Regenerate any of the paper's artifacts from the command line::
     python -m repro.analysis.runner table2
     python -m repro.analysis.runner fig5 --out results/
     python -m repro.analysis.runner all --out results/ --scale small
+    python -m repro.analysis.runner fig3 --scale paper --workers auto
+    python -m repro.analysis.runner fig6 --workers 4 --cache-dir .sweep-cache
 
 Each experiment prints its ASCII rendition and, with ``--out``, writes the
 underlying data as CSV.  ``--scale`` trades fidelity for runtime:
 ``small`` for smoke runs, ``bench`` (default) for benchmark-sized runs,
 ``paper`` for publication-sized runs (slow for fig3).
+
+The simulation-heavy experiments (fig3, fig5, fig6, fig7c) shard through
+the sweep orchestrator: ``--workers N`` fans shards out over ``N``
+processes (``auto`` = one per CPU), ``--seed`` re-roots every random
+stream, and ``--cache-dir`` persists finished shards so interrupted
+campaigns resume instead of restarting.  Results are bit-identical at any
+worker count.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 from repro.analysis.defection import DefectionExperimentConfig, run_defection_experiment
 from repro.analysis.reward_comparison import (
@@ -38,6 +47,18 @@ _SCALES = {
 }
 
 
+@dataclass(frozen=True)
+class RunOptions:
+    """Cross-cutting execution options shared by every experiment."""
+
+    scale: str = "bench"
+    out: Optional[Path] = None
+    workers: Union[int, str] = 1
+    seed: Optional[int] = None
+    cache_dir: Optional[Path] = None
+    progress: bool = False
+
+
 @dataclass
 class ExperimentOutcome:
     """What a registry entry produced (render text + optional CSV path)."""
@@ -47,51 +68,73 @@ class ExperimentOutcome:
     csv_path: Optional[Path] = None
 
 
-def _run_table2(scale: str, out: Optional[Path]) -> ExperimentOutcome:
+def _csv_path(options: RunOptions, filename: str) -> Optional[Path]:
+    if options.out is None:
+        return None
+    return options.out / filename
+
+
+def _run_table2(options: RunOptions) -> ExperimentOutcome:
     result = table2()
-    csv_path = None
-    if out is not None:
-        csv_path = out / "table2.csv"
+    csv_path = _csv_path(options, "table2.csv")
+    if csv_path is not None:
         result.to_csv(csv_path)
     return ExperimentOutcome("table2", result.render(), csv_path)
 
 
-def _run_table3(scale: str, out: Optional[Path]) -> ExperimentOutcome:
+def _run_table3(options: RunOptions) -> ExperimentOutcome:
     result = table3()
-    csv_path = None
-    if out is not None:
-        csv_path = out / "table3.csv"
+    csv_path = _csv_path(options, "table3.csv")
+    if csv_path is not None:
         result.to_csv(csv_path)
     return ExperimentOutcome("table3", result.render(), csv_path)
 
 
-def _run_fig3(scale: str, out: Optional[Path]) -> ExperimentOutcome:
-    runs, rounds, nodes = _SCALES[scale]["fig3"]
+def _run_fig3(options: RunOptions) -> ExperimentOutcome:
+    runs, rounds, nodes = _SCALES[options.scale]["fig3"]
     config = DefectionExperimentConfig(n_runs=runs, n_rounds=rounds, n_nodes=nodes)
-    result = run_defection_experiment(config)
-    csv_path = None
-    if out is not None:
-        csv_path = out / "fig3.csv"
+    if options.seed is not None:
+        config = replace(config, seed=options.seed)
+    result = run_defection_experiment(
+        config,
+        workers=options.workers,
+        cache_dir=options.cache_dir,
+        progress=options.progress,
+    )
+    csv_path = _csv_path(options, "fig3.csv")
+    if csv_path is not None:
         result.to_csv(csv_path)
     return ExperimentOutcome("fig3", result.render(), csv_path)
 
 
-def _run_fig5(scale: str, out: Optional[Path]) -> ExperimentOutcome:
-    config = RewardSurfaceConfig(n_nodes=_SCALES[scale]["surface_nodes"])
-    result = run_reward_surface(config)
-    csv_path = None
-    if out is not None:
-        csv_path = out / "fig5.csv"
+def _run_fig5(options: RunOptions) -> ExperimentOutcome:
+    config = RewardSurfaceConfig(n_nodes=_SCALES[options.scale]["surface_nodes"])
+    if options.seed is not None:
+        config = replace(config, seed=options.seed)
+    result = run_reward_surface(
+        config,
+        workers=options.workers,
+        cache_dir=options.cache_dir,
+        progress=options.progress,
+    )
+    csv_path = _csv_path(options, "fig5.csv")
+    if csv_path is not None:
         result.to_csv(csv_path)
     return ExperimentOutcome("fig5", result.render(), csv_path)
 
 
-def _run_fig6(scale: str, out: Optional[Path]) -> ExperimentOutcome:
-    config = RewardComparisonConfig(n_instances=_SCALES[scale]["instances"])
-    result = run_reward_comparison(config)
-    csv_path = None
-    if out is not None:
-        csv_path = out / "fig6.csv"
+def _run_fig6(options: RunOptions) -> ExperimentOutcome:
+    config = RewardComparisonConfig(n_instances=_SCALES[options.scale]["instances"])
+    if options.seed is not None:
+        config = replace(config, seed=options.seed)
+    result = run_reward_comparison(
+        config,
+        workers=options.workers,
+        cache_dir=options.cache_dir,
+        progress=options.progress,
+    )
+    csv_path = _csv_path(options, "fig6.csv")
+    if csv_path is not None:
         result.to_csv(csv_path)
     rendered = "\n\n".join(
         [result.render_figure6(), result.render_figure7a(), result.render_figure7b()]
@@ -99,19 +142,25 @@ def _run_fig6(scale: str, out: Optional[Path]) -> ExperimentOutcome:
     return ExperimentOutcome("fig6", rendered, csv_path)
 
 
-def _run_fig7c(scale: str, out: Optional[Path]) -> ExperimentOutcome:
+def _run_fig7c(options: RunOptions) -> ExperimentOutcome:
     config = RewardComparisonConfig(
-        n_instances=max(2, _SCALES[scale]["instances"] // 2), n_rounds=3
+        n_instances=max(2, _SCALES[options.scale]["instances"] // 2), n_rounds=3
     )
-    result = run_truncation_experiment(config)
-    csv_path = None
-    if out is not None:
-        csv_path = out / "fig7c.csv"
+    if options.seed is not None:
+        config = replace(config, seed=options.seed)
+    result = run_truncation_experiment(
+        config,
+        workers=options.workers,
+        cache_dir=options.cache_dir,
+        progress=options.progress,
+    )
+    csv_path = _csv_path(options, "fig7c.csv")
+    if csv_path is not None:
         result.to_csv(csv_path)
     return ExperimentOutcome("fig7c", result.render(), csv_path)
 
 
-EXPERIMENTS: Dict[str, Callable[[str, Optional[Path]], ExperimentOutcome]] = {
+EXPERIMENTS: Dict[str, Callable[[RunOptions], ExperimentOutcome]] = {
     "table2": _run_table2,
     "table3": _run_table3,
     "fig3": _run_fig3,
@@ -122,7 +171,13 @@ EXPERIMENTS: Dict[str, Callable[[str, Optional[Path]], ExperimentOutcome]] = {
 
 
 def run_experiment(
-    name: str, scale: str = "bench", out: Optional[Path] = None
+    name: str,
+    scale: str = "bench",
+    out: Optional[Path] = None,
+    workers: Union[int, str] = 1,
+    seed: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
+    progress: bool = False,
 ) -> ExperimentOutcome:
     """Run one registered experiment by name."""
     if name not in EXPERIMENTS:
@@ -135,19 +190,78 @@ def run_experiment(
         )
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
-    return EXPERIMENTS[name](scale, out)
+    options = RunOptions(
+        scale=scale,
+        out=out,
+        workers=workers,
+        seed=seed,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
+    return EXPERIMENTS[name](options)
+
+
+def _parse_workers(value: str) -> Union[int, str]:
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers expects an integer or 'auto', got {value!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError("--workers must be >= 1")
+    return count
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
     parser.add_argument("experiment", choices=[*sorted(EXPERIMENTS), "all"])
     parser.add_argument("--scale", default="bench", choices=sorted(_SCALES))
     parser.add_argument("--out", type=Path, default=None, help="CSV output directory")
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default="auto",
+        help="worker processes for sharded experiments: a count, or 'auto' "
+        "for one per CPU (default: auto); results are identical at any "
+        "worker count",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the experiment's root seed (default: each "
+        "experiment's paper-matching seed)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="shard-cache directory: finished shards are stored here and "
+        "reused on re-runs, making interrupted campaigns resumable",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the per-shard progress line on stderr",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        outcome = run_experiment(name, scale=args.scale, out=args.out)
+        outcome = run_experiment(
+            name,
+            scale=args.scale,
+            out=args.out,
+            workers=args.workers,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            progress=not args.no_progress,
+        )
         print(f"=== {outcome.name} ===")
         print(outcome.rendered)
         if outcome.csv_path is not None:

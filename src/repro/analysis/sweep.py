@@ -1,0 +1,166 @@
+"""Declarative experiment sweeps: parameter grids that shard deterministically.
+
+A :class:`SweepSpec` describes an experiment campaign as a cartesian
+parameter grid (plus fixed base parameters).  Expanding the spec yields an
+ordered list of :class:`Shard` objects — one independent unit of work per
+grid point — each carrying
+
+* a canonical, JSON-stable parameter mapping,
+* a deterministic per-shard seed spawned from the sweep's root seed via
+  :func:`repro.sim.rng.derive_seed` (so adding workers, reordering shards,
+  or resuming from a cache never changes any shard's random stream), and
+* a content-addressed cache key (SHA-256 over the sweep name, version and
+  canonical parameters) used by the orchestrator's on-disk shard cache.
+
+The expansion order is the lexicographic order of the grid (first axis
+outermost), which is the contract the merge step relies on: aggregating
+shard results *in shard order* reproduces the serial experiment loop
+bit-for-bit, no matter how many workers computed them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import derive_seed
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to a canonical (sorted, compact) JSON string.
+
+    Used for both cache keys and cache payloads, so a shard's identity is
+    stable across processes and sessions.  Raises ``ConfigurationError``
+    for values JSON cannot represent (sweep parameters must be plain data).
+    """
+    try:
+        return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"sweep parameters must be JSON-serializable plain data: {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent unit of sweep work.
+
+    Attributes
+    ----------
+    index:
+        Position in the sweep's canonical expansion order; the merge step
+        consumes results sorted by this index.
+    params:
+        The full parameter mapping for this shard (base + grid point).
+    seed:
+        Deterministic per-shard seed, derived from the sweep root seed and
+        the shard's canonical parameters (not its index), so inserting new
+        grid values never perturbs existing shards' streams.
+    key:
+        Content hash identifying this shard in the on-disk cache.
+    """
+
+    index: int
+    params: Mapping[str, Any]
+    seed: int
+    key: str
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative description of an experiment sweep.
+
+    Parameters
+    ----------
+    name:
+        Campaign name; namespaces seeds and cache keys.
+    grid:
+        Mapping of parameter name to the sequence of values to sweep.  The
+        cartesian product of all axes (in mapping order, first axis
+        outermost) defines the shards.
+    base:
+        Parameters shared by every shard (merged under the grid point; a
+        grid axis may not collide with a base key).
+    root_seed:
+        The root of the sweep's seed tree.
+    version:
+        Bump to invalidate cached shard results when the experiment code
+        changes meaning (the cache key includes it).
+    """
+
+    name: str
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    base: Mapping[str, Any] = field(default_factory=dict)
+    root_seed: int = 0
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("sweep name must be non-empty")
+        for axis, values in self.grid.items():
+            if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+                raise ConfigurationError(
+                    f"grid axis {axis!r} must be a sequence of values"
+                )
+            if len(values) == 0:
+                raise ConfigurationError(f"grid axis {axis!r} has no values")
+            if axis in self.base:
+                raise ConfigurationError(
+                    f"grid axis {axis!r} collides with a base parameter"
+                )
+
+    @property
+    def n_shards(self) -> int:
+        count = 1
+        for values in self.grid.values():
+            count *= len(values)
+        return count
+
+    def shard_params(self) -> Iterator[Dict[str, Any]]:
+        """Yield the merged parameter mapping of every grid point, in order."""
+        axes = list(self.grid)
+        for combo in itertools.product(*(self.grid[axis] for axis in axes)):
+            params = dict(self.base)
+            params.update(zip(axes, combo))
+            yield params
+
+    def shards(self) -> List[Shard]:
+        """Expand the spec into its ordered shard list."""
+        shards: List[Shard] = []
+        for index, params in enumerate(self.shard_params()):
+            identity = canonical_json(params)
+            seed = derive_seed(self.root_seed, f"sweep:{self.name}:{identity}")
+            shards.append(
+                Shard(
+                    index=index,
+                    params=params,
+                    seed=seed,
+                    key=self.shard_key(params),
+                )
+            )
+        return shards
+
+    def shard_key(self, params: Mapping[str, Any]) -> str:
+        """Content-addressed cache key for one shard's parameters."""
+        payload = canonical_json(
+            {
+                "sweep": self.name,
+                "version": self.version,
+                "root_seed": self.root_seed,
+                "params": dict(params),
+            }
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def grid_of(**axes: Sequence[Any]) -> Dict[str, Sequence[Any]]:
+    """Convenience constructor: ``grid_of(rate=[0.05, 0.10], run=range(3))``.
+
+    ``range`` objects are materialized so the grid is a plain, reusable
+    mapping.
+    """
+    return {name: list(values) for name, values in axes.items()}

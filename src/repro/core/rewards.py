@@ -14,7 +14,9 @@ Implements the machinery of paper Section III-B and Figure 2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import MechanismError
 
@@ -95,6 +97,49 @@ class RewardSchedule:
     def table_rows(self) -> List[Tuple[int, float]]:
         """(period, projected millions) rows — regenerates Table III."""
         return [(i + 1, value) for i, value in enumerate(self.projected_millions)]
+
+    # -- vectorized batch paths ------------------------------------------------
+    #
+    # The per-round accumulation loops of the Figure 7 experiments evaluate
+    # the schedule at thousands of round indices; the batch methods below
+    # compute whole vectors in numpy while performing, per element, the same
+    # floating-point operations as their scalar counterparts (which remain
+    # the correctness oracle — see tests/analysis/test_vectorized.py).
+
+    def per_round_rewards(
+        self, rounds: Union[Sequence[int], np.ndarray]
+    ) -> np.ndarray:
+        """Vectorized :meth:`per_round_reward` over an array of round indices."""
+        indices = np.asarray(rounds, dtype=np.int64)
+        if indices.size and indices.min() < 1:
+            raise MechanismError("round indices must be >= 1")
+        periods = np.minimum(
+            (indices - 1) // self.period_blocks + 1, self.n_periods
+        )
+        totals = np.asarray(self.projected_millions, dtype=float) * 1_000_000.0
+        return totals[periods - 1] / self.period_blocks
+
+    def cumulative_rewards(
+        self, rounds: Union[Sequence[int], np.ndarray]
+    ) -> np.ndarray:
+        """Vectorized :meth:`cumulative_reward` over an array of round counts.
+
+        Accumulates period contributions in the same order (and with the
+        same multiply-then-divide operation shape) as the scalar loop, so
+        the two paths agree bit-for-bit on the default schedule.
+        """
+        counts = np.asarray(rounds, dtype=np.int64)
+        if counts.size and counts.min() < 0:
+            raise MechanismError("round counts must be >= 0")
+        totals = np.zeros(counts.shape, dtype=float)
+        for period in range(1, self.n_periods + 1):
+            start = (period - 1) * self.period_blocks
+            in_period = np.clip(counts - start, 0, self.period_blocks)
+            totals += in_period * self.period_total(period) / self.period_blocks
+        full_schedule = self.n_periods * self.period_blocks
+        tail = np.maximum(counts - full_schedule, 0)
+        totals += tail * self.per_round_reward(max(full_schedule, 1))
+        return totals
 
 
 @dataclass

@@ -51,3 +51,12 @@ class InfeasibleRewardError(MechanismError):
 
 class GameError(ReproError):
     """A game-theoretic query was malformed (unknown player, bad profile)."""
+
+
+class OrchestrationError(ReproError):
+    """A sweep shard failed or the orchestrator was misconfigured.
+
+    Wraps the underlying shard exception with the shard's parameters so a
+    failing grid point in a large parallel campaign is identifiable.
+    """
+

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import ClassVar, Optional
 
 from repro.sim.crypto import Signature
 from repro.sim.sortition import SortitionProof
@@ -36,10 +36,15 @@ class Message:
     sender: int
     message_id: int = field(default_factory=_next_message_id, compare=False)
 
-    @property
-    def kind(self) -> str:
-        """Short lowercase tag used for per-kind accounting and filtering."""
-        return type(self).__name__.lower()
+    #: Short lowercase tag used for per-kind accounting and filtering.
+    #: Computed once per class (the gossip layer reads it on every
+    #: delivery, so a per-call ``type(self).__name__.lower()`` shows up in
+    #: profiles at simulation scale).
+    kind: ClassVar[str] = "message"
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        cls.kind = cls.__name__.lower()
 
 
 @dataclass(frozen=True)

@@ -104,21 +104,30 @@ class SimulationMetrics:
         return rows
 
 
-def average_fractions(
-    runs: Sequence[SimulationMetrics], attribute: str, trim: float = 0.2
+def trimmed_mean_series(
+    series: Sequence[Sequence[float]], trim: float = 0.2
 ) -> List[float]:
-    """Per-round trimmed mean of an attribute across repeated runs.
+    """Per-round trimmed mean across repeated runs' series.
 
-    The paper computes a 20 % trimmed mean over 100 simulations
-    (Section III-C); ``trim`` is the total fraction discarded (0.2 drops the
-    top 10 % and bottom 10 %).
+    ``series`` holds one per-round sequence per run; rounds beyond the
+    shortest run are dropped.  The paper computes a 20 % trimmed mean over
+    100 simulations (Section III-C); ``trim`` is the total fraction
+    discarded (0.2 drops the top 10 % and bottom 10 %).  This is the
+    single aggregation rule shared by the in-process path below and the
+    sweep-orchestrator merge in :mod:`repro.analysis.defection`.
     """
     from repro.analysis.stats import trimmed_mean
 
-    if not runs:
+    if not series:
         return []
-    n_rounds = min(run.n_rounds for run in runs)
-    series = [run.series(attribute)[:n_rounds] for run in runs]
+    n_rounds = min(len(s) for s in series)
     return [
         trimmed_mean([s[i] for s in series], trim=trim) for i in range(n_rounds)
     ]
+
+
+def average_fractions(
+    runs: Sequence[SimulationMetrics], attribute: str, trim: float = 0.2
+) -> List[float]:
+    """Per-round trimmed mean of an attribute across repeated runs."""
+    return trimmed_mean_series([run.series(attribute) for run in runs], trim=trim)

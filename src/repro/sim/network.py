@@ -22,6 +22,7 @@ bounds proposal floods (paper Section II-B2, Credential messages).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Set
 
 import networkx as nx
@@ -176,34 +177,61 @@ class GossipNetwork:
         self._forward(origin_id, message)
 
     def _deliver(self, target_id: int, message: Message) -> None:
+        # Hot path: runs once per gossip delivery (millions per run), so
+        # the seen-set/stats/priority bookkeeping of the cold helpers is
+        # inlined and message classes are matched exactly (all concrete
+        # message types are final in practice).
         target = self._participants.get(target_id)
         if target is None or not target.is_online:
             return
-        if message.message_id in self._seen[target_id]:
-            self.stats.duplicates_suppressed += 1
+        stats = self.stats
+        seen = self._seen[target_id]
+        if message.message_id in seen:
+            stats.duplicates_suppressed += 1
             return
-        self._mark_seen(target_id, message)
-        self.stats.record_delivery(message.kind)
+        seen.add(message.message_id)
+        stats.deliveries += 1
+        per_kind = stats.per_kind_deliveries
+        kind = message.kind
+        per_kind[kind] = per_kind.get(kind, 0) + 1
         relay_wanted = target.on_receive(message, self._engine.now)
-        self._note_priority(target_id, message)
+        cls = message.__class__
+        carries_priority = cls is BlockProposalMessage or cls is CredentialMessage
+        if carries_priority:
+            priority = message.priority
+            best = self._best_priority.get(target_id)
+            if best is None or priority < best:
+                self._best_priority[target_id] = priority
         if not relay_wanted or not target.relays_gossip:
             return
-        if self._filtered_by_priority(target_id, message):
-            self.stats.relay_filtered += 1
-            return
+        if cls is BlockProposalMessage:
+            best = self._best_priority.get(target_id)
+            if best is not None and message.priority > best:
+                stats.relay_filtered += 1
+                return
         self._forward(target_id, message)
 
     def _forward(self, from_id: int, message: Message) -> None:
+        # Hot path: one closure + one heap push per gossip hop, millions per
+        # run.  The constant label (rather than a per-hop f-string), the
+        # locally bound engine/sampler, and the validation-free
+        # ``post_after`` keep per-hop overhead minimal.
+        post_after = self._engine.post_after
+        sampler = self._delay_sampler
+        scale = self.delay_scale
+        deliver = self._deliver
+        if self._drop_probability:
+            drop_random = self._drop_rng.random
+            for neighbor_id in self._neighbors[from_id]:
+                if drop_random() < self._drop_probability:
+                    self.stats.drops += 1
+                    continue
+                post_after(
+                    sampler() * scale, partial(deliver, neighbor_id, message)
+                )
+            return
         for neighbor_id in self._neighbors[from_id]:
-            if self._drop_probability and self._drop_rng.random() < self._drop_probability:
-                self.stats.drops += 1
-                continue
-            delay = self._delay_sampler() * self.delay_scale
-            self._engine.schedule_after(
-                delay,
-                lambda target=neighbor_id, msg=message: self._deliver(target, msg),
-                label=f"deliver:{message.kind}:{message.message_id}->{neighbor_id}",
-            )
+            post_after(sampler() * scale, partial(deliver, neighbor_id, message))
 
     def _mark_seen(self, node_id: int, message: Message) -> None:
         self._seen[node_id].add(message.message_id)

@@ -94,10 +94,15 @@ class AlgorandSimulation:
             self.streams.get("topology"),
         )
         delay_rng = self.streams.get("net.delay")
+        # The sampler runs once per gossip hop; the flattened form below is
+        # bit-identical to ``delay_rng.uniform(delay_min, delay_max)``
+        # (same ``a + (b - a) * random()`` arithmetic) minus a Python call.
+        delay_random = delay_rng.random
+        delay_min, delay_span = config.delay_min, config.delay_max - config.delay_min
         self.network = GossipNetwork(
             engine=self.engine,
             neighbors=overlay,
-            delay_sampler=lambda: delay_rng.uniform(config.delay_min, config.delay_max),
+            delay_sampler=lambda: delay_min + delay_span * delay_random(),
             drop_probability=config.drop_probability,
             drop_rng=self.streams.get("net.drop") if config.drop_probability else None,
         )

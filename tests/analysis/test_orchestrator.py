@@ -1,0 +1,170 @@
+"""Orchestrator behaviour: determinism across workers, cache, failure wrapping.
+
+The worker-pool tests use module-level task functions (the pool pickles
+tasks by reference) and tiny workloads, so the whole file stays fast.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.orchestrator import (
+    Orchestrator,
+    ShardCache,
+    resolve_workers,
+    run_sweep,
+)
+from repro.analysis.sweep import SweepSpec, grid_of
+from repro.errors import OrchestrationError
+from repro.sim.rng import RngStreams
+
+
+def seeded_task(params, seed):
+    """A shard whose result depends on its params and its derived seed."""
+    stream = RngStreams(seed).get("draw")
+    return {
+        "x": params["x"],
+        "draw": [stream.random() for _ in range(3)],
+    }
+
+
+def failing_task(params, seed):
+    if params["x"] == 2:
+        raise ValueError("boom")
+    return params["x"]
+
+
+def spec_of(n=4, **overrides):
+    options = dict(name="t", grid=grid_of(x=list(range(n))), root_seed=11)
+    options.update(overrides)
+    return SweepSpec(**options)
+
+
+class TestDeterminism:
+    def test_results_ordered_by_shard(self):
+        results = run_sweep(spec_of(), seeded_task, workers=1).results()
+        assert [r["x"] for r in results] == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_identical_results_at_any_worker_count(self, workers):
+        """The core guarantee: worker count changes wall-clock only."""
+        serial = run_sweep(spec_of(), seeded_task, workers=1).results()
+        parallel = run_sweep(spec_of(), seeded_task, workers=workers).results()
+        assert serial == parallel
+
+    def test_seed_flows_into_shards(self):
+        a = run_sweep(spec_of(root_seed=1), seeded_task, workers=1).results()
+        b = run_sweep(spec_of(root_seed=2), seeded_task, workers=1).results()
+        assert a != b
+
+    def test_result_for(self):
+        sweep = run_sweep(spec_of(), seeded_task, workers=1)
+        assert sweep.result_for(x=2)["x"] == 2
+        with pytest.raises(OrchestrationError):
+            sweep.result_for(x=99)
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        first = run_sweep(spec_of(), seeded_task, workers=1, cache_dir=tmp_path)
+        assert first.stats.n_computed == 4
+        assert first.stats.n_cached == 0
+
+        second = run_sweep(spec_of(), seeded_task, workers=1, cache_dir=tmp_path)
+        assert second.stats.n_computed == 0
+        assert second.stats.n_cached == 4
+        assert second.results() == first.results()
+
+    def test_resume_after_partial_campaign(self, tmp_path):
+        """Precomputing a subset leaves only the missing shards to run."""
+        small = spec_of(grid=grid_of(x=[0, 1]))
+        run_sweep(small, seeded_task, workers=1, cache_dir=tmp_path)
+
+        full = run_sweep(spec_of(), seeded_task, workers=1, cache_dir=tmp_path)
+        assert full.stats.n_cached == 2
+        assert full.stats.n_computed == 2
+        assert full.results() == run_sweep(spec_of(), seeded_task, workers=1).results()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        run_sweep(spec_of(), seeded_task, workers=1, cache_dir=tmp_path)
+        victim = sorted(tmp_path.glob("*.json"))[0]
+        victim.write_text("{ not json")
+        again = run_sweep(spec_of(), seeded_task, workers=1, cache_dir=tmp_path)
+        assert again.stats.n_computed == 1
+        assert again.stats.n_cached == 3
+
+    def test_version_bump_invalidates(self, tmp_path):
+        run_sweep(spec_of(version=1), seeded_task, workers=1, cache_dir=tmp_path)
+        bumped = run_sweep(
+            spec_of(version=2), seeded_task, workers=1, cache_dir=tmp_path
+        )
+        assert bumped.stats.n_computed == 4
+
+    def test_cache_files_are_self_describing(self, tmp_path):
+        run_sweep(spec_of(), seeded_task, workers=1, cache_dir=tmp_path)
+        payload = json.loads(sorted(tmp_path.glob("*.json"))[0].read_text())
+        assert set(payload) >= {"format", "key", "params", "seed", "result"}
+
+    def test_parallel_run_populates_cache_for_serial(self, tmp_path):
+        run_sweep(spec_of(), seeded_task, workers=2, cache_dir=tmp_path)
+        resumed = run_sweep(spec_of(), seeded_task, workers=1, cache_dir=tmp_path)
+        assert resumed.stats.n_cached == 4
+
+    def test_shard_cache_rejects_key_mismatch(self, tmp_path):
+        spec = spec_of()
+        shards = spec.shards()
+        cache = ShardCache(tmp_path)
+        cache.store(shards[0], {"v": 1}, elapsed=0.0)
+        assert cache.load(shards[0]) == {"v": 1}
+        assert cache.load(shards[1]) is None
+
+
+class TestFailuresAndConfig:
+    def test_shard_failure_is_wrapped_with_params(self):
+        with pytest.raises(OrchestrationError, match="'x': 2"):
+            run_sweep(spec_of(), failing_task, workers=1)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(8) == 8
+        assert resolve_workers(0) == 1
+        assert resolve_workers("auto") >= 1
+        assert resolve_workers(None) >= 1
+        with pytest.raises(OrchestrationError):
+            resolve_workers("many")
+
+    def test_progress_callback_sees_completion(self):
+        seen = []
+        orchestrator = Orchestrator(
+            workers=1, progress=lambda done, total, cached, elapsed: seen.append((done, total))
+        )
+        orchestrator.run(spec_of(), seeded_task)
+        assert seen[-1] == (4, 4)
+
+
+class TestExperimentDeterminism:
+    """End-to-end: a real (tiny) fig3 campaign merges identically."""
+
+    def test_fig3_bit_identical_across_worker_counts(self):
+        from repro.analysis.defection import (
+            DefectionExperimentConfig,
+            run_defection_experiment,
+        )
+
+        config = DefectionExperimentConfig(
+            rates=(0.0, 0.3),
+            n_runs=2,
+            n_rounds=2,
+            n_nodes=24,
+            tau_proposer=4.0,
+            tau_step=12.0,
+            tau_final=16.0,
+        )
+        serial = run_defection_experiment(config, workers=1)
+        parallel = run_defection_experiment(config, workers=3)
+        for rate in config.rates:
+            assert serial.series[rate].fraction_final == parallel.series[rate].fraction_final
+            assert serial.series[rate].fraction_tentative == parallel.series[rate].fraction_tentative
+            assert serial.series[rate].fraction_none == parallel.series[rate].fraction_none

@@ -1,0 +1,110 @@
+"""SweepSpec expansion: ordering, seeding, cache keys, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import Shard, SweepSpec, canonical_json, grid_of
+from repro.errors import ConfigurationError
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="demo",
+        grid=grid_of(rate=[0.1, 0.2, 0.3], run=range(2)),
+        base={"n_nodes": 10},
+        root_seed=7,
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestExpansion:
+    def test_shard_count_is_grid_product(self):
+        assert make_spec().n_shards == 6
+        assert len(make_spec().shards()) == 6
+
+    def test_first_axis_is_outermost(self):
+        params = [shard.params for shard in make_spec().shards()]
+        assert params[0] == {"n_nodes": 10, "rate": 0.1, "run": 0}
+        assert params[1] == {"n_nodes": 10, "rate": 0.1, "run": 1}
+        assert params[2] == {"n_nodes": 10, "rate": 0.2, "run": 0}
+
+    def test_indices_are_sequential(self):
+        assert [shard.index for shard in make_spec().shards()] == list(range(6))
+
+    def test_empty_grid_yields_single_shard(self):
+        spec = SweepSpec(name="solo", base={"x": 1})
+        shards = spec.shards()
+        assert len(shards) == 1
+        assert shards[0].params == {"x": 1}
+
+
+class TestSeeding:
+    def test_seeds_are_deterministic(self):
+        seeds_a = [shard.seed for shard in make_spec().shards()]
+        seeds_b = [shard.seed for shard in make_spec().shards()]
+        assert seeds_a == seeds_b
+
+    def test_seeds_differ_across_shards(self):
+        seeds = [shard.seed for shard in make_spec().shards()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_seed_depends_on_params_not_index(self):
+        """Adding a grid value must not shift existing shards' seeds."""
+        small = {s.params["rate"]: s.seed for s in make_spec(grid=grid_of(rate=[0.1, 0.3])).shards()}
+        large = {s.params["rate"]: s.seed for s in make_spec(grid=grid_of(rate=[0.1, 0.2, 0.3])).shards()}
+        assert small[0.1] == large[0.1]
+        assert small[0.3] == large[0.3]
+
+    def test_root_seed_changes_all_seeds(self):
+        seeds_a = {s.seed for s in make_spec(root_seed=1).shards()}
+        seeds_b = {s.seed for s in make_spec(root_seed=2).shards()}
+        assert seeds_a.isdisjoint(seeds_b)
+
+
+class TestKeys:
+    def test_keys_are_stable(self):
+        keys_a = [shard.key for shard in make_spec().shards()]
+        keys_b = [shard.key for shard in make_spec().shards()]
+        assert keys_a == keys_b
+
+    def test_key_includes_version(self):
+        a = make_spec(version=1).shards()[0].key
+        b = make_spec(version=2).shards()[0].key
+        assert a != b
+
+    def test_key_includes_name_and_root_seed(self):
+        base = make_spec().shards()[0].key
+        assert make_spec(name="other").shards()[0].key != base
+        assert make_spec(root_seed=99).shards()[0].key != base
+
+
+class TestValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="")
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="x", grid={"a": []})
+
+    def test_rejects_scalar_axis(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="x", grid={"a": 3})
+
+    def test_rejects_axis_base_collision(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="x", grid={"a": [1]}, base={"a": 2})
+
+    def test_rejects_non_json_params(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="x", grid={"a": [object()]}).shards()
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_grid_of_materializes_ranges(self):
+        assert grid_of(run=range(3)) == {"run": [0, 1, 2]}

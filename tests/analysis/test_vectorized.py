@@ -1,0 +1,153 @@
+"""Scalar-vs-vectorized equivalence: the scalar paths are the oracle.
+
+Covers the numpy batch paths introduced for the sweep hot loops:
+
+* ``sortition.binomial_weights``     vs ``sortition.binomial_weight``
+* ``RewardSchedule.per_round_rewards`` / ``cumulative_rewards``
+                                     vs their scalar counterparts
+* ``bounds.paper_aggregates``        vs ``bounds.paper_aggregates_scalar``
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import paper_aggregates, paper_aggregates_scalar
+from repro.core.rewards import RewardSchedule
+from repro.errors import MechanismError, SortitionError
+from repro.sim.sortition import (
+    binomial_weight,
+    binomial_weights,
+    sample_population_weights,
+)
+
+
+class TestBinomialWeightsEquivalence:
+    @pytest.mark.parametrize("probability", [0.0, 1e-6, 0.004, 0.1, 0.5, 0.97, 1.0])
+    def test_matches_scalar_on_random_inputs(self, probability):
+        rng = random.Random(17)
+        values = [rng.random() for _ in range(300)]
+        units = [rng.randint(0, 400) for _ in range(300)]
+        expected = [
+            binomial_weight(v, u, probability) for v, u in zip(values, units)
+        ]
+        batch = binomial_weights(values, units, probability)
+        assert batch.tolist() == expected
+
+    def test_matches_scalar_on_edge_vrf_values(self):
+        values = [0.0, 1e-300, 0.5, 1.0 - 2**-53]
+        units = [50] * len(values)
+        expected = [binomial_weight(v, u, 0.01) for v, u in zip(values, units)]
+        assert binomial_weights(values, units, 0.01).tolist() == expected
+
+    def test_matches_scalar_in_underflow_tail(self):
+        """vrf close to 1 with large stakes hits the pmf-underflow branch."""
+        values = [1.0 - 2**-53]
+        units = [5000]
+        expected = [binomial_weight(values[0], units[0], 1e-5)]
+        assert binomial_weights(values, units, 1e-5).tolist() == expected
+
+    def test_scalar_stake_broadcasts(self):
+        values = [0.1, 0.5, 0.9]
+        batch = binomial_weights(values, 100, 0.02)
+        expected = [binomial_weight(v, 100, 0.02) for v in values]
+        assert batch.tolist() == expected
+
+    def test_zero_stake_and_zero_probability(self):
+        assert binomial_weights([0.3], [0], 0.5).tolist() == [0]
+        assert binomial_weights([0.3], [10], 0.0).tolist() == [0]
+        assert binomial_weights([0.3], [10], 1.0).tolist() == [10]
+
+    def test_validation_matches_scalar(self):
+        with pytest.raises(SortitionError):
+            binomial_weights([1.0], [5], 0.5)
+        with pytest.raises(SortitionError):
+            binomial_weights([-0.1], [5], 0.5)
+        with pytest.raises(SortitionError):
+            binomial_weights([0.5], [-1], 0.5)
+        with pytest.raises(SortitionError):
+            binomial_weights([0.5], [5], 1.5)
+
+    def test_expected_committee_size(self):
+        """Across a population, total selected weight concentrates at tau."""
+        rng = np.random.default_rng(3)
+        stakes = rng.uniform(1, 50, 20_000)
+        total = float(stakes.sum())
+        tau = 200.0
+        weights = sample_population_weights(stakes, total, tau, rng)
+        # Expected total weight is tau * (sum of floor(stake)) / total; with
+        # integer-unit stakes the realized total should land within a few
+        # standard deviations of tau.
+        assert weights.sum() == pytest.approx(tau, rel=0.25)
+
+    def test_sample_population_weights_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SortitionError):
+            sample_population_weights([1.0], 0.0, 10.0, rng)
+        with pytest.raises(SortitionError):
+            sample_population_weights([1.0], 10.0, 0.0, rng)
+
+
+class TestRewardScheduleEquivalence:
+    def test_per_round_rewards_matches_scalar(self):
+        schedule = RewardSchedule()
+        rounds = [1, 2, 499_999, 500_000, 500_001, 3_000_000, 5_999_999, 6_000_000, 9_000_000]
+        batch = schedule.per_round_rewards(rounds)
+        expected = [schedule.per_round_reward(r) for r in rounds]
+        assert batch.tolist() == expected
+
+    def test_cumulative_rewards_matches_scalar(self):
+        schedule = RewardSchedule()
+        rounds = [0, 1, 250_000, 500_000, 750_000, 5_999_999, 6_000_000, 6_000_001, 10_000_000]
+        batch = schedule.cumulative_rewards(rounds)
+        expected = [schedule.cumulative_reward(r) for r in rounds]
+        assert batch.tolist() == expected
+
+    def test_custom_schedule_agrees(self):
+        schedule = RewardSchedule(period_blocks=7, projected_millions=(1.0, 2.5, 4.0))
+        rounds = list(range(0, 40))
+        batch = schedule.cumulative_rewards(rounds)
+        expected = [schedule.cumulative_reward(r) for r in rounds]
+        assert np.allclose(batch, expected, rtol=1e-15, atol=0.0)
+        per_round = schedule.per_round_rewards(list(range(1, 40)))
+        assert per_round.tolist() == [schedule.per_round_reward(r) for r in range(1, 40)]
+
+    def test_validation(self):
+        schedule = RewardSchedule()
+        with pytest.raises(MechanismError):
+            schedule.per_round_rewards([0])
+        with pytest.raises(MechanismError):
+            schedule.cumulative_rewards([-1])
+
+
+class TestPaperAggregatesEquivalence:
+    def test_matches_scalar_oracle(self):
+        rng = np.random.default_rng(5)
+        stakes = rng.uniform(1, 200, 50_000)
+        fast = paper_aggregates(stakes, k_floor=10.0)
+        slow = paper_aggregates_scalar(list(stakes), k_floor=10.0)
+        # Identical up to float-summation order.
+        assert fast.stake_others == pytest.approx(slow.stake_others, rel=1e-12)
+        assert fast.min_other == slow.min_other
+        assert fast.stake_leaders == slow.stake_leaders
+        assert fast.stake_committee == slow.stake_committee
+
+    def test_population_minimum_regime(self):
+        stakes = [5.0, 2.5, 40.0]
+        fast = paper_aggregates(stakes, k_floor=0.0, stake_leaders=1.0, stake_committee=1.0)
+        slow = paper_aggregates_scalar(
+            stakes, k_floor=0.0, stake_leaders=1.0, stake_committee=1.0
+        )
+        assert fast.min_other == slow.min_other == 2.5
+
+    def test_floor_violation_matches(self):
+        stakes = [1.0, 2.0]
+        with pytest.raises(MechanismError):
+            paper_aggregates(stakes, k_floor=10.0, stake_leaders=0.5, stake_committee=0.5)
+        with pytest.raises(MechanismError):
+            paper_aggregates_scalar(
+                stakes, k_floor=10.0, stake_leaders=0.5, stake_committee=0.5
+            )
