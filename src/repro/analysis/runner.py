@@ -7,14 +7,19 @@ Regenerate any of the paper's artifacts from the command line::
     python -m repro.analysis.runner all --out results/ --scale small
     python -m repro.analysis.runner fig3 --scale paper --workers auto
     python -m repro.analysis.runner fig6 --workers 4 --cache-dir .sweep-cache
+    python -m repro.analysis.runner scenarios --scale small --workers 2
 
 Each experiment prints its ASCII rendition and, with ``--out``, writes the
 underlying data as CSV.  ``--scale`` trades fidelity for runtime:
 ``small`` for smoke runs, ``bench`` (default) for benchmark-sized runs,
 ``paper`` for publication-sized runs (slow for fig3).
 
-The simulation-heavy experiments (fig3, fig5, fig6, fig7c) shard through
-the sweep orchestrator: ``--workers N`` fans shards out over ``N``
+``scenarios`` runs the strategic-participation campaign: every scenario
+family under naive and role-based rewards, producing the defection-share
+convergence trajectories (see :mod:`repro.scenarios`).
+
+The simulation-heavy experiments (fig3, fig5, fig6, fig7c, scenarios)
+shard through the sweep orchestrator: ``--workers N`` fans shards out over ``N``
 processes (``auto`` = one per CPU), ``--seed`` re-roots every random
 stream, and ``--cache-dir`` persists finished shards so interrupted
 campaigns resume instead of restarting.  Results are bit-identical at any
@@ -39,11 +44,27 @@ from repro.analysis.reward_surface import RewardSurfaceConfig, run_reward_surfac
 from repro.analysis.tables import table2, table3
 from repro.errors import ConfigurationError
 
-#: Per-scale experiment parameters: (fig3 runs/rounds/nodes, fig6 instances).
+#: Per-scale experiment parameters: (fig3 runs/rounds/nodes, fig6 instances,
+#: scenario campaign shape (players, epochs, replications, simulated rounds)).
 _SCALES = {
-    "small": {"fig3": (2, 6, 40), "instances": 2, "surface_nodes": 50_000},
-    "bench": {"fig3": (3, 12, 60), "instances": 8, "surface_nodes": 500_000},
-    "paper": {"fig3": (100, 60, 100), "instances": 200, "surface_nodes": 500_000},
+    "small": {
+        "fig3": (2, 6, 40),
+        "instances": 2,
+        "surface_nodes": 50_000,
+        "scenarios": (28, 10, 2, 2),
+    },
+    "bench": {
+        "fig3": (3, 12, 60),
+        "instances": 8,
+        "surface_nodes": 500_000,
+        "scenarios": (48, 16, 4, 2),
+    },
+    "paper": {
+        "fig3": (100, 60, 100),
+        "instances": 200,
+        "surface_nodes": 500_000,
+        "scenarios": (80, 30, 10, 4),
+    },
 }
 
 
@@ -160,6 +181,32 @@ def _run_fig7c(options: RunOptions) -> ExperimentOutcome:
     return ExperimentOutcome("fig7c", result.render(), csv_path)
 
 
+def _run_scenarios(options: RunOptions) -> ExperimentOutcome:
+    from repro.scenarios import ScenarioCampaignConfig, run_scenarios_campaign
+
+    n_players, n_epochs, n_replications, simulate_rounds = _SCALES[options.scale][
+        "scenarios"
+    ]
+    config = ScenarioCampaignConfig(
+        n_replications=n_replications,
+        n_players=n_players,
+        n_epochs=n_epochs,
+        simulate_rounds=simulate_rounds,
+    )
+    if options.seed is not None:
+        config = replace(config, seed=options.seed)
+    result = run_scenarios_campaign(
+        config,
+        workers=options.workers,
+        cache_dir=options.cache_dir,
+        progress=options.progress,
+    )
+    csv_path = _csv_path(options, "scenarios.csv")
+    if csv_path is not None:
+        result.to_csv(csv_path)
+    return ExperimentOutcome("scenarios", result.render(), csv_path)
+
+
 EXPERIMENTS: Dict[str, Callable[[RunOptions], ExperimentOutcome]] = {
     "table2": _run_table2,
     "table3": _run_table3,
@@ -167,6 +214,7 @@ EXPERIMENTS: Dict[str, Callable[[RunOptions], ExperimentOutcome]] = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
     "fig7c": _run_fig7c,
+    "scenarios": _run_scenarios,
 }
 
 

@@ -22,11 +22,12 @@ Two headline results emerge, extending Theorems 1-3 dynamically:
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.equilibrium import best_response
+from repro.core.equilibrium import synchronous_best_responses
 from repro.core.game import AlgorandGame, Strategy, StrategyProfile
 from repro.errors import GameError
 
@@ -151,16 +152,67 @@ class BestResponseDynamics:
             for pid in game.players
             if self.revision_rate >= 1.0 or self._rng.random() < self.revision_rate
         ]
-        responses: Dict[int, Strategy] = {}
-        for pid in revising:
-            strategy, _payoff = best_response(game, pid, profile)
-            responses[pid] = strategy
+        responses = synchronous_best_responses(game, profile, revising)
         changes = 0
         for pid, strategy in responses.items():
             if profile[pid] is not strategy:
                 profile[pid] = strategy
                 changes += 1
         return changes
+
+
+def replicator_step(
+    cooperate_share: float,
+    payoff_cooperate: float,
+    payoff_defect: float,
+    intensity: float = 4.0,
+    mutation: float = 0.0,
+) -> float:
+    """One discrete-time replicator update on the {C, D} share simplex.
+
+    Fitness is the exponential transform ``exp(intensity * payoff / scale)``
+    with ``scale`` the larger payoff magnitude, so the update is invariant
+    to the (micro-Algo) payoff unit and well-defined for negative payoffs —
+    the standard discrete-choice form of the replicator/imitation dynamic.
+    ``mutation`` mixes a uniform trembling term back in, keeping the
+    boundary states reachable-from rather than absorbing when positive.
+
+    Returns the next cooperating share in [0, 1].
+    """
+    if not 0.0 <= cooperate_share <= 1.0:
+        raise GameError(f"cooperate share must be in [0, 1], got {cooperate_share}")
+    if intensity <= 0:
+        raise GameError(f"selection intensity must be positive, got {intensity}")
+    if not 0.0 <= mutation < 1.0:
+        raise GameError(f"mutation rate must be in [0, 1), got {mutation}")
+    scale = max(abs(payoff_cooperate), abs(payoff_defect), 1e-300)
+    advantage = (payoff_cooperate - payoff_defect) / scale
+    weight = math.exp(max(-60.0, min(60.0, intensity * advantage)))
+    numerator = cooperate_share * weight
+    share = numerator / (numerator + (1.0 - cooperate_share))
+    return (1.0 - mutation) * share + mutation * 0.5
+
+
+def mean_payoff_by_strategy(
+    game: AlgorandGame, profile: StrategyProfile
+) -> Dict[Strategy, float]:
+    """Average realized payoff of the players at each strategy.
+
+    Strategies nobody plays map to 0.0 (their growth rate is undefined;
+    replicator callers treat an extinct strategy's share as frozen).
+    """
+    payoffs = game.payoffs(profile)
+    totals: Dict[Strategy, float] = {strategy: 0.0 for strategy in Strategy}
+    counts: Dict[Strategy, int] = {strategy: 0 for strategy in Strategy}
+    for pid, strategy in profile.items():
+        if pid not in payoffs:
+            continue
+        totals[strategy] += payoffs[pid]
+        counts[strategy] += 1
+    return {
+        strategy: (totals[strategy] / counts[strategy] if counts[strategy] else 0.0)
+        for strategy in Strategy
+    }
 
 
 def random_profile(

@@ -361,3 +361,25 @@ def with_deviation(
     deviated = dict(profile)
     deviated[node_id] = strategy
     return deviated
+
+
+def profile_counts(profile: StrategyProfile) -> Dict[Strategy, int]:
+    """How many players play each strategy (all strategies always present)."""
+    counts = {strategy: 0 for strategy in Strategy}
+    for strategy in profile.values():
+        counts[strategy] += 1
+    return counts
+
+
+def defection_share(profile: StrategyProfile) -> float:
+    """Fraction of players playing D — the scenario trajectories' y-axis."""
+    if not profile:
+        return 0.0
+    return profile_counts(profile)[Strategy.DEFECT] / len(profile)
+
+
+def cooperation_share(profile: StrategyProfile) -> float:
+    """Fraction of players playing C."""
+    if not profile:
+        return 0.0
+    return profile_counts(profile)[Strategy.COOPERATE] / len(profile)

@@ -1,0 +1,55 @@
+"""Scenario engine for strategic participation dynamics.
+
+Turns the paper's static Section V comparison into an iterated-game
+study: declarative scenario families (:mod:`repro.scenarios.registry`),
+an epoch-level dynamics driver (:mod:`repro.scenarios.dynamics`), and
+orchestrated multi-scenario campaigns
+(:mod:`repro.scenarios.experiment`) that shard, cache and resume exactly
+like the fig3–fig7 sweeps.
+"""
+
+from repro.scenarios.dynamics import (
+    SCHEMES,
+    EpochRecord,
+    ScenarioTrajectory,
+    run_scenario,
+)
+from repro.scenarios.experiment import (
+    MergedTrajectory,
+    ScenarioCampaignConfig,
+    ScenarioCampaignResult,
+    convergence_checks,
+    run_scenarios_campaign,
+    scenarios_sweep_spec,
+)
+from repro.scenarios.registry import (
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    AdversaryPolicy,
+    DefectionSeeding,
+    ScenarioSpec,
+    UpdateRule,
+)
+
+__all__ = [
+    "SCHEMES",
+    "AdversaryPolicy",
+    "DefectionSeeding",
+    "EpochRecord",
+    "MergedTrajectory",
+    "ScenarioCampaignConfig",
+    "ScenarioCampaignResult",
+    "ScenarioSpec",
+    "ScenarioTrajectory",
+    "UpdateRule",
+    "convergence_checks",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "run_scenarios_campaign",
+    "scenario_names",
+    "scenarios_sweep_spec",
+]

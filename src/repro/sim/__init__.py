@@ -24,7 +24,12 @@ config / metrics / roles
     Tunables, per-round measurements, and role snapshots.
 """
 
-from repro.sim.behavior import Behavior, assign_behaviors
+from repro.sim.behavior import (
+    Behavior,
+    assign_behaviors,
+    defective_fraction,
+    strategic_fraction,
+)
 from repro.sim.blocks import Block, ConsensusLabel, Ledger, Transaction
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import EventEngine
@@ -52,6 +57,8 @@ __all__ = [
     "SortitionProof",
     "Transaction",
     "assign_behaviors",
+    "defective_fraction",
+    "strategic_fraction",
     "average_fractions",
     "sortition",
     "verify_sortition",

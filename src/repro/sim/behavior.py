@@ -82,40 +82,70 @@ class Behavior(str, Enum):
         return self in (Behavior.SELFISH_COOPERATE, Behavior.SELFISH_DEFECT)
 
 
+#: Slack allowed when behaviour fractions sum to 1 "up to float dust"
+#: (e.g. ``0.58 + 0.21 + 0.21`` sums to ``1.0000000000000002``).
+RATE_TOLERANCE = 1e-9
+
+
 def assign_behaviors(
     n_nodes: int,
     defection_rate: float,
     malicious_rate: float,
     offline_rate: float,
     rng,
+    selfish_cooperate_rate: float = 0.0,
 ) -> List[Behavior]:
     """Randomly assign behaviours to ``n_nodes`` nodes.
 
     Mirrors the paper's experimental setup (Section III-C): defective nodes
     are drawn uniformly at random; counts are rounded to the nearest node.
-    The remaining nodes are HONEST.
+    The remaining nodes are HONEST.  ``selfish_cooperate_rate`` additionally
+    marks strategic cooperators (used by the scenario engine, which needs
+    game players — not altruists — on the cooperating side).
+
+    Edge cases (surfaced by the scenario engine) are handled explicitly:
+
+    * an **empty population** yields an empty assignment rather than an
+      error — scenarios legitimately drive populations to extinction;
+    * rates that sum to 1 only **within float tolerance** are accepted
+      (:data:`RATE_TOLERANCE`), and nearest-node rounding that would
+      overshoot ``n_nodes`` (e.g. three rates of ~1/3 each rounding up) is
+      repaired by shaving the counts with the largest rounding excess, so
+      valid rates never raise.
     """
-    if n_nodes <= 0:
-        raise ConfigurationError(f"n_nodes must be positive, got {n_nodes}")
-    total_rate = defection_rate + malicious_rate + offline_rate
-    if total_rate > 1.0 + 1e-9:
+    if n_nodes < 0:
+        raise ConfigurationError(f"n_nodes must be non-negative, got {n_nodes}")
+    if n_nodes == 0:
+        return []
+    rates = (
+        (defection_rate, Behavior.SELFISH_DEFECT),
+        (malicious_rate, Behavior.MALICIOUS),
+        (offline_rate, Behavior.FAULTY),
+        (selfish_cooperate_rate, Behavior.SELFISH_COOPERATE),
+    )
+    for rate, behavior in rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"{behavior.value} rate must be in [0, 1], got {rate}"
+            )
+    total_rate = sum(rate for rate, _ in rates)
+    if total_rate > 1.0 + RATE_TOLERANCE:
         raise ConfigurationError(f"behaviour rates sum to {total_rate:.3f} > 1")
 
-    n_defect = round(n_nodes * defection_rate)
-    n_malicious = round(n_nodes * malicious_rate)
-    n_offline = round(n_nodes * offline_rate)
-    if n_defect + n_malicious + n_offline > n_nodes:
-        raise ConfigurationError("rounded behaviour counts exceed n_nodes")
+    counts = [round(n_nodes * rate) for rate, _ in rates]
+    while sum(counts) > n_nodes:
+        # Nearest-node rounding overshot the population: shave the count
+        # carrying the largest rounding excess (deterministic, rate-faithful).
+        excesses = [
+            count - n_nodes * rate for count, (rate, _) in zip(counts, rates)
+        ]
+        counts[excesses.index(max(excesses))] -= 1
 
     indices = list(range(n_nodes))
     rng.shuffle(indices)
     behaviors = [Behavior.HONEST] * n_nodes
     cursor = 0
-    for count, behavior in (
-        (n_defect, Behavior.SELFISH_DEFECT),
-        (n_malicious, Behavior.MALICIOUS),
-        (n_offline, Behavior.FAULTY),
-    ):
+    for count, (_rate, behavior) in zip(counts, rates):
         for index in indices[cursor : cursor + count]:
             behaviors[index] = behavior
         cursor += count
@@ -128,3 +158,11 @@ def defective_fraction(behaviors: Sequence[Behavior]) -> float:
         return 0.0
     defecting = sum(1 for b in behaviors if b is Behavior.SELFISH_DEFECT)
     return defecting / len(behaviors)
+
+
+def strategic_fraction(behaviors: Sequence[Behavior]) -> float:
+    """Fraction of nodes that are players of the game (honest-but-selfish)."""
+    if not behaviors:
+        return 0.0
+    strategic = sum(1 for b in behaviors if b.is_strategic)
+    return strategic / len(behaviors)

@@ -164,7 +164,9 @@ class SimulationConfig:
         for name, rate in rates.items():
             if not 0.0 <= rate <= 1.0:
                 raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
-        if sum(rates.values()) > 1.0:
+        # Tolerate float dust: three rates of ~1/3 each legitimately sum to
+        # 1.0000000000000002 (mirrors behavior.RATE_TOLERANCE).
+        if sum(rates.values()) > 1.0 + 1e-9:
             raise ConfigurationError(
                 f"behaviour rates sum to {sum(rates.values()):.3f} > 1"
             )

@@ -126,6 +126,17 @@ def trimmed_mean_series(
     ]
 
 
+def mean_series(series: Sequence[Sequence[float]]) -> List[float]:
+    """Plain per-index mean across repeated runs' series.
+
+    The replication-merge rule of the scenario campaigns, where every
+    replication carries equal weight (no outlier trimming — scenario
+    trajectories are low-variance by construction and the merge must stay
+    bit-identical across worker counts).
+    """
+    return trimmed_mean_series(series, trim=0.0)
+
+
 def average_fractions(
     runs: Sequence[SimulationMetrics], attribute: str, trim: float = 0.2
 ) -> List[float]:

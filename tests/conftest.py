@@ -2,7 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
+
+# The property-based/differential suites (tests/properties/) run under a
+# fixed, derandomized profile by default: no wall-clock deadline (the
+# 1-CPU CI runner is slow and shared) and derandomized example generation,
+# so every run of the suite is deterministic.  Export
+# HYPOTHESIS_PROFILE=explore locally for randomized bug-hunting runs.
+settings.register_profile(
+    "repro-deterministic",
+    deadline=None,
+    derandomize=True,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("explore", deadline=None, max_examples=200)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-deterministic"))
 
 from repro.core.bounds import RoleAggregates
 from repro.core.costs import RoleCosts, TaskCosts

@@ -9,8 +9,11 @@ from repro.core.costs import RoleCosts
 from repro.core.dynamics import (
     BestResponseDynamics,
     DynamicsResult,
+    mean_payoff_by_strategy,
     random_profile,
+    replicator_step,
 )
+from repro.core.equilibrium import synchronous_best_responses
 from repro.core.game import (
     AlgorandGame,
     FoundationRule,
@@ -18,6 +21,9 @@ from repro.core.game import (
     Strategy,
     all_cooperate,
     all_defect,
+    cooperation_share,
+    defection_share,
+    profile_counts,
     theorem3_profile,
 )
 from repro.errors import GameError
@@ -184,3 +190,78 @@ class TestDynamicsMachinery:
         assert set(all_c.values()) == {Strategy.COOPERATE}
         all_d = random_profile(game, 0.0)
         assert Strategy.COOPERATE not in set(all_d.values())
+
+
+class TestProfileHelpers:
+    def test_profile_counts_cover_all_strategies(self):
+        game = _foundation_game()
+        counts = profile_counts(all_cooperate(game))
+        assert counts[Strategy.COOPERATE] == len(game.players)
+        assert counts[Strategy.DEFECT] == 0
+        assert counts[Strategy.OFFLINE] == 0
+
+    def test_shares(self):
+        game = _foundation_game()
+        profile = all_defect(game)
+        assert defection_share(profile) == 1.0
+        assert cooperation_share(profile) == 0.0
+        assert defection_share({}) == 0.0 and cooperation_share({}) == 0.0
+
+    def test_synchronous_best_responses_matches_dynamics_step(self):
+        """The shared helper is exactly one full synchronous revision."""
+        game = _foundation_game()
+        profile = all_cooperate(game)
+        responses = synchronous_best_responses(game, profile)
+        dynamics = BestResponseDynamics(game, revision_rate=1.0)
+        evolved = dict(profile)
+        dynamics._revise(game, evolved)
+        assert evolved == {**profile, **responses}
+
+    def test_synchronous_best_responses_respects_revising_subset(self):
+        game = _foundation_game()
+        profile = all_cooperate(game)
+        responses = synchronous_best_responses(game, profile, revising=[0])
+        assert set(responses) == {0}
+
+
+class TestReplicatorStep:
+    def test_moves_toward_the_fitter_strategy(self):
+        up = replicator_step(0.5, payoff_cooperate=2e-6, payoff_defect=1e-6)
+        down = replicator_step(0.5, payoff_cooperate=1e-6, payoff_defect=2e-6)
+        assert up > 0.5 > down
+
+    def test_is_scale_invariant_in_payoff_units(self):
+        a = replicator_step(0.4, 2e-6, 1e-6)
+        b = replicator_step(0.4, 2.0, 1.0)
+        assert a == pytest.approx(b)
+
+    def test_boundaries_are_absorbing_without_mutation(self):
+        assert replicator_step(0.0, 5.0, 1.0) == 0.0
+        assert replicator_step(1.0, 1.0, 5.0) == 1.0
+
+    def test_mutation_pulls_toward_the_interior(self):
+        assert replicator_step(0.0, 5.0, 1.0, mutation=0.1) == pytest.approx(0.05)
+        assert replicator_step(1.0, 1.0, 5.0, mutation=0.1) == pytest.approx(0.95)
+
+    def test_equal_payoffs_are_a_fixed_point(self):
+        assert replicator_step(0.3, 1.5, 1.5) == pytest.approx(0.3)
+
+    def test_extreme_advantage_does_not_overflow(self):
+        assert 0.0 <= replicator_step(0.5, 1e6, -1e6, intensity=100.0) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(GameError):
+            replicator_step(1.5, 1.0, 1.0)
+        with pytest.raises(GameError):
+            replicator_step(0.5, 1.0, 1.0, intensity=0.0)
+        with pytest.raises(GameError):
+            replicator_step(0.5, 1.0, 1.0, mutation=1.0)
+
+    def test_mean_payoff_by_strategy(self):
+        game = _foundation_game(b_i=0.0)
+        profile = all_defect(game)
+        means = mean_payoff_by_strategy(game, profile)
+        # Everyone defects: the D mean is -c_so, extinct strategies are 0.
+        assert means[Strategy.DEFECT] == pytest.approx(-_COSTS.sortition)
+        assert means[Strategy.COOPERATE] == 0.0
+        assert means[Strategy.OFFLINE] == 0.0

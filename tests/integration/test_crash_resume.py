@@ -1,0 +1,135 @@
+"""Killing a sweep mid-run must not change its final output.
+
+The orchestrator's contract: interrupt a campaign at any point, re-run
+with the same cache directory, and the merged output is bit-identical to
+an uninterrupted run.  These tests simulate the kill with an exception
+raised from inside the shard task (``KeyboardInterrupt`` — exactly what a
+Ctrl-C delivers to the inline execution path), leaving a *partial* shard
+cache on disk, then resume.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.orchestrator import run_sweep
+from repro.analysis.sweep import SweepSpec, canonical_json
+from repro.scenarios import ScenarioCampaignConfig, run_scenarios_campaign
+from repro.scenarios.experiment import _scenario_shard, scenarios_sweep_spec
+from repro.sim.rng import derive_seed
+
+#: Shards computed before the simulated kill.
+_CRASH_AFTER = 3
+
+_SPEC = SweepSpec(
+    name="crash-resume",
+    grid={"x": [1, 2, 3], "y": [10, 20, 30]},
+    base={"offset": 5},
+    root_seed=99,
+)
+
+
+def _shard_task(params, seed):
+    """A deterministic toy shard: value depends on params and seed."""
+    return {
+        "value": params["x"] * params["y"] + params["offset"],
+        "stream": derive_seed(seed, "inner") % 1_000,
+    }
+
+
+class _CrashingTask:
+    """Wraps a shard task; raises like a Ctrl-C after ``crash_after`` calls."""
+
+    def __init__(self, task, crash_after):
+        self._task = task
+        self._crash_after = crash_after
+        self.calls = 0
+
+    def __call__(self, params, seed):
+        if self.calls >= self._crash_after:
+            raise KeyboardInterrupt("simulated mid-sweep kill")
+        self.calls += 1
+        return self._task(params, seed)
+
+
+class TestOrchestratorCrashResume:
+    def test_resume_is_bit_identical_to_uninterrupted(self, tmp_path):
+        uninterrupted = run_sweep(
+            _SPEC, _shard_task, workers=1, cache_dir=tmp_path / "clean"
+        )
+
+        crash_dir = tmp_path / "crashed"
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                _SPEC,
+                _CrashingTask(_shard_task, _CRASH_AFTER),
+                workers=1,
+                cache_dir=crash_dir,
+            )
+
+        # The kill left a *partial* cache: some shards done, not all.
+        cached = list(crash_dir.glob("*.json"))
+        assert len(cached) == _CRASH_AFTER
+        assert len(cached) < _SPEC.n_shards
+
+        resumed = run_sweep(_SPEC, _shard_task, workers=1, cache_dir=crash_dir)
+        assert resumed.stats.n_cached == _CRASH_AFTER
+        assert resumed.stats.n_computed == _SPEC.n_shards - _CRASH_AFTER
+        assert canonical_json(resumed.results()) == canonical_json(
+            uninterrupted.results()
+        )
+
+    def test_cache_files_are_self_describing(self, tmp_path):
+        run_sweep(_SPEC, _shard_task, workers=1, cache_dir=tmp_path)
+        for path in tmp_path.glob("*.json"):
+            payload = json.loads(path.read_text())
+            assert payload["key"] == path.stem
+            assert "params" in payload and "result" in payload
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
+        first = run_sweep(_SPEC, _shard_task, workers=1, cache_dir=tmp_path)
+        victim = sorted(tmp_path.glob("*.json"))[0]
+        victim.write_text("{not json")
+        second = run_sweep(_SPEC, _shard_task, workers=1, cache_dir=tmp_path)
+        assert second.stats.n_computed == 1
+        assert canonical_json(second.results()) == canonical_json(first.results())
+
+
+class TestScenarioCampaignCrashResume:
+    """The same guarantee end-to-end through the scenarios experiment."""
+
+    _CONFIG = ScenarioCampaignConfig(
+        scenarios=("uniform-baseline",),
+        n_replications=2,
+        n_players=20,
+        n_epochs=4,
+        simulate_rounds=0,
+        seed=31,
+    )
+
+    def test_interrupted_campaign_resumes_bit_identically(self, tmp_path):
+        clean = run_scenarios_campaign(
+            self._CONFIG, workers=1, cache_dir=tmp_path / "clean"
+        )
+        clean_csv = tmp_path / "clean.csv"
+        clean.to_csv(clean_csv)
+
+        crash_dir = tmp_path / "crashed"
+        sweep_spec = scenarios_sweep_spec(self._CONFIG)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                sweep_spec,
+                _CrashingTask(_scenario_shard, 2),
+                workers=1,
+                cache_dir=crash_dir,
+            )
+        assert 0 < len(list(crash_dir.glob("*.json"))) < sweep_spec.n_shards
+
+        resumed = run_scenarios_campaign(
+            self._CONFIG, workers=1, cache_dir=crash_dir
+        )
+        resumed_csv = tmp_path / "resumed.csv"
+        resumed.to_csv(resumed_csv)
+        assert resumed_csv.read_bytes() == clean_csv.read_bytes()

@@ -1,0 +1,130 @@
+"""Scenario spec validation and the built-in registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    AdversaryPolicy,
+    ScenarioSpec,
+    UpdateRule,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+
+class TestSpecValidation:
+    def test_defaults_are_valid(self):
+        spec = ScenarioSpec(name="t", description="d")
+        assert spec.update_rule is UpdateRule.BEST_RESPONSE
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="", description="d")
+
+    def test_tiny_population_raises(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", description="d", n_players=4)
+
+    def test_committee_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                name="t", description="d", n_players=10, committee_fraction=0.9
+            )
+
+    def test_adversary_needs_policy(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", description="d", adversary_fraction=0.2)
+
+    def test_headroom_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", description="d", reward_headroom=1.0)
+
+    def test_split_must_be_paired(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", description="d", alpha=0.2)
+
+    def test_with_overrides_revalidates(self):
+        spec = ScenarioSpec(name="t", description="d")
+        assert spec.with_overrides(n_players=60).n_players == 60
+        with pytest.raises(ConfigurationError):
+            spec.with_overrides(n_players=1)
+
+    def test_quorum_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", description="d", committee_quorum=1.7)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", description="d", committee_quorum=0.0)
+
+    def test_params_roundtrip_preserves_every_field(self):
+        spec = ScenarioSpec(
+            name="t",
+            description="d",
+            update_rule=UpdateRule.REPLICATOR,
+            adversary_fraction=0.1,
+            adversary_policy=AdversaryPolicy.GREEDY_HARM,
+            stake_kind="whale_mix",
+            whale_fraction=0.1,
+        )
+        params = spec.to_params()
+        # JSON-stable: plain data only (the shard-cache requirement).
+        import json
+
+        json.dumps(params)
+        assert ScenarioSpec.from_params(params) == spec
+
+
+class TestStakeSampling:
+    def test_uniform_bounds(self):
+        spec = ScenarioSpec(name="t", description="d", n_players=64)
+        stakes = spec.sample_stakes(np.random.default_rng(0))
+        assert stakes.shape == (64,)
+        assert stakes.min() >= spec.stake_low
+        assert stakes.max() <= spec.stake_high
+
+    def test_whale_mix_has_heavy_tail(self):
+        spec = ScenarioSpec(
+            name="t",
+            description="d",
+            n_players=64,
+            stake_kind="whale_mix",
+            whale_fraction=0.125,
+        )
+        stakes = spec.sample_stakes(np.random.default_rng(0))
+        n_whales = int((stakes > spec.stake_high).sum())
+        assert n_whales == round(0.125 * 64)
+
+    def test_sampling_is_deterministic_in_seed(self):
+        spec = ScenarioSpec(name="t", description="d")
+        a = spec.sample_stakes(np.random.default_rng(5))
+        b = spec.sample_stakes(np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestRegistry:
+    def test_six_families_registered(self):
+        names = scenario_names()
+        assert len(names) >= 6
+        assert "uniform-baseline" in names
+        assert "replicator-mix" in names
+
+    def test_lookup_roundtrip(self):
+        for name in scenario_names():
+            assert get_scenario(name).name == name
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("no-such-scenario")
+
+    def test_duplicate_registration_raises(self):
+        spec = get_scenario("uniform-baseline")
+        with pytest.raises(ConfigurationError):
+            register_scenario(spec)
+
+    def test_adversary_family_has_policy(self):
+        spec = get_scenario("adaptive-adversary")
+        assert spec.adversary_policy is AdversaryPolicy.GREEDY_HARM
+        assert spec.n_adversaries() > 0

@@ -7,7 +7,12 @@ import random
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.sim.behavior import Behavior, assign_behaviors, defective_fraction
+from repro.sim.behavior import (
+    Behavior,
+    assign_behaviors,
+    defective_fraction,
+    strategic_fraction,
+)
 
 
 class TestCapabilities:
@@ -43,6 +48,18 @@ class TestCapabilities:
         assert not b.is_online
         assert not b.relays
 
+    def test_capability_matrix_is_consistent(self):
+        """The predicates respect their implications for every member."""
+        for b in Behavior:
+            if b.is_strategic:
+                assert b.is_online  # strategic players at least run sortition
+            if b.cooperates:
+                assert b.is_online and b.relays and b.votes
+        assert {b for b in Behavior if b.is_strategic} == {
+            Behavior.SELFISH_COOPERATE,
+            Behavior.SELFISH_DEFECT,
+        }
+
 
 class TestAssignment:
     def test_counts_match_rates(self):
@@ -68,13 +85,53 @@ class TestAssignment:
         with pytest.raises(ConfigurationError):
             assign_behaviors(10, 0.6, 0.6, 0, random.Random(0))
 
-    def test_non_positive_count_raises(self):
+    def test_empty_population_yields_empty_assignment(self):
+        """Scenario engines legitimately drive populations to extinction."""
+        assert assign_behaviors(0, 0.3, 0.1, 0.1, random.Random(0)) == []
+
+    def test_negative_count_raises(self):
         with pytest.raises(ConfigurationError):
-            assign_behaviors(0, 0, 0, 0, random.Random(0))
+            assign_behaviors(-1, 0, 0, 0, random.Random(0))
 
     def test_full_defection_allowed(self):
         behaviors = assign_behaviors(10, 1.0, 0, 0, random.Random(0))
         assert set(behaviors) == {Behavior.SELFISH_DEFECT}
+
+    def test_rates_summing_to_one_within_float_tolerance(self):
+        """0.58 + 0.21 + 0.21 sums to 1.0000000000000002; must not raise."""
+        behaviors = assign_behaviors(100, 0.58, 0.21, 0.21, random.Random(0))
+        assert len(behaviors) == 100
+        assert behaviors.count(Behavior.SELFISH_DEFECT) == 58
+
+    def test_rounding_overshoot_is_repaired(self):
+        """Three rates of ~1/3 each round up: counts must still fit n_nodes."""
+        third = 1.0 / 3.0
+        behaviors = assign_behaviors(10, 0.15, 0.15, 0.70, random.Random(0))
+        assert len(behaviors) == 10
+        # round(1.5) + round(1.5) + round(7.0) = 11 before the repair.
+        assert behaviors.count(Behavior.HONEST) == 0
+        behaviors = assign_behaviors(100, third, third, third, random.Random(0))
+        assert len(behaviors) == 100
+
+    def test_individual_rate_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            assign_behaviors(10, -0.1, 0.5, 0.2, random.Random(0))
+
+    def test_selfish_cooperate_rate(self):
+        behaviors = assign_behaviors(
+            20, 0.25, 0.0, 0.0, random.Random(3), selfish_cooperate_rate=0.5
+        )
+        assert behaviors.count(Behavior.SELFISH_COOPERATE) == 10
+        assert behaviors.count(Behavior.SELFISH_DEFECT) == 5
+        assert behaviors.count(Behavior.HONEST) == 5
+
+    def test_selfish_cooperate_default_is_bit_identical(self):
+        """Adding the keyword must not perturb existing seeded assignments."""
+        a = assign_behaviors(50, 0.2, 0.1, 0.05, random.Random(7))
+        b = assign_behaviors(
+            50, 0.2, 0.1, 0.05, random.Random(7), selfish_cooperate_rate=0.0
+        )
+        assert a == b
 
 
 class TestDefectiveFraction:
@@ -84,3 +141,17 @@ class TestDefectiveFraction:
 
     def test_empty_is_zero(self):
         assert defective_fraction([]) == 0.0
+
+
+class TestStrategicFraction:
+    def test_counts_both_selfish_kinds(self):
+        behaviors = [
+            Behavior.SELFISH_COOPERATE,
+            Behavior.SELFISH_DEFECT,
+            Behavior.HONEST,
+            Behavior.FAULTY,
+        ]
+        assert strategic_fraction(behaviors) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert strategic_fraction([]) == 0.0
