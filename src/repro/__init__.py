@@ -1,7 +1,7 @@
 """repro — reproduction of "On Incentive Compatible Role-based Reward
 Distribution in Algorand" (Fooladgar et al., DSN 2020).
 
-The package has four layers:
+The package has five layers:
 
 * :mod:`repro.sim` — an Algorand discrete-event simulator (sortition,
   gossip, BA* consensus, behaviours), the substrate of the paper's
@@ -9,29 +9,100 @@ The package has four layers:
 * :mod:`repro.core` — the paper's contribution: the cost model, the
   Foundation and role-based reward-sharing mechanisms, the game
   G_Al / G_Al+, equilibrium analysis, and Algorithm 1.
+* :mod:`repro.schemes` — the pluggable reward-scheme framework: a
+  registry of distribution mechanisms (the paper's two plus IRS-style,
+  axiomatic-family and hybrid schemes), a vectorized
+  incentive-compatibility audit engine, and cross-scheme tournaments.
 * :mod:`repro.stakes` — stake-distribution generators and the synthetic
   exchange used in the evaluation.
 * :mod:`repro.analysis` — experiment drivers regenerating every table and
   figure, with CSV and ASCII-chart rendering.
+* :mod:`repro.scenarios` — declarative scenario families and the
+  iterated-game campaigns evaluating every scheme's participation
+  dynamics.
 """
 
-__version__ = "1.0.0"
+import importlib as _importlib
+from importlib import metadata as _metadata
+from typing import TYPE_CHECKING
+
+try:
+    # setup.py is the single source of truth; installed metadata carries it.
+    __version__ = _metadata.version("algorand-role-rewards-repro")
+except _metadata.PackageNotFoundError:  # running from a bare source tree
+    __version__ = "0.0.0+uninstalled"
 
 from repro.errors import (
+    AuditError,
     ConfigurationError,
     GameError,
     InfeasibleRewardError,
     MechanismError,
     ReproError,
+    SchemeError,
     SimulationError,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.scenarios import (
+        ScenarioSpec,
+        get_scenario,
+        register_scenario,
+        scenario_names,
+    )
+    from repro.schemes import (
+        RewardScheme,
+        get_scheme,
+        register_scheme,
+        scheme_names,
+    )
+
+#: Registry re-exports resolved lazily (PEP 562): the scenario and scheme
+#: packages pull in numpy/scipy and the experiment drivers, which light
+#: consumers of ``repro.__version__`` (e.g. ``repro-runner --version``)
+#: should not pay ~0.7s of import time for.
+_LAZY_EXPORTS = {
+    "ScenarioSpec": "repro.scenarios",
+    "get_scenario": "repro.scenarios",
+    "register_scenario": "repro.scenarios",
+    "scenario_names": "repro.scenarios",
+    "RewardScheme": "repro.schemes",
+    "get_scheme": "repro.schemes",
+    "register_scheme": "repro.schemes",
+    "scheme_names": "repro.schemes",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    value = getattr(_importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
 __all__ = [
+    "AuditError",
     "ConfigurationError",
     "GameError",
     "InfeasibleRewardError",
     "MechanismError",
     "ReproError",
+    "RewardScheme",
+    "ScenarioSpec",
+    "SchemeError",
     "SimulationError",
     "__version__",
+    "get_scenario",
+    "get_scheme",
+    "register_scenario",
+    "register_scheme",
+    "scenario_names",
+    "scheme_names",
 ]

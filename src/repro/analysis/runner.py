@@ -8,6 +8,7 @@ Regenerate any of the paper's artifacts from the command line::
     python -m repro.analysis.runner fig3 --scale paper --workers auto
     python -m repro.analysis.runner fig6 --workers 4 --cache-dir .sweep-cache
     python -m repro.analysis.runner scenarios --scale small --workers 2
+    python -m repro.analysis.runner tournament --scale small --workers 2
 
 Each experiment prints its ASCII rendition and, with ``--out``, writes the
 underlying data as CSV.  ``--scale`` trades fidelity for runtime:
@@ -16,14 +17,19 @@ underlying data as CSV.  ``--scale`` trades fidelity for runtime:
 
 ``scenarios`` runs the strategic-participation campaign: every scenario
 family under naive and role-based rewards, producing the defection-share
-convergence trajectories (see :mod:`repro.scenarios`).
+convergence trajectories (see :mod:`repro.scenarios`).  ``tournament``
+widens that to *every registered reward scheme* — the built-in five plus
+anything user-registered — and emits a ranked league table of equilibrium
+cooperation share, budget efficiency and epsilon-IC margin (with
+``--out``, both ``tournament.csv`` and ``tournament.md``; see
+:mod:`repro.schemes.tournament`).
 
-The simulation-heavy experiments (fig3, fig5, fig6, fig7c, scenarios)
-shard through the sweep orchestrator: ``--workers N`` fans shards out over ``N``
-processes (``auto`` = one per CPU), ``--seed`` re-roots every random
-stream, and ``--cache-dir`` persists finished shards so interrupted
-campaigns resume instead of restarting.  Results are bit-identical at any
-worker count.
+The simulation-heavy experiments (fig3, fig5, fig6, fig7c, scenarios,
+tournament) shard through the sweep orchestrator: ``--workers N`` fans
+shards out over ``N`` processes (``auto`` = one per CPU), ``--seed``
+re-roots every random stream, and ``--cache-dir`` persists finished
+shards so interrupted campaigns resume instead of restarting.  Results
+are bit-identical at any worker count.
 """
 
 from __future__ import annotations
@@ -45,25 +51,29 @@ from repro.analysis.tables import table2, table3
 from repro.errors import ConfigurationError
 
 #: Per-scale experiment parameters: (fig3 runs/rounds/nodes, fig6 instances,
-#: scenario campaign shape (players, epochs, replications, simulated rounds)).
+#: scenario campaign shape (players, epochs, replications, simulated rounds),
+#: tournament shape (players, epochs, replications, simulated rounds)).
 _SCALES = {
     "small": {
         "fig3": (2, 6, 40),
         "instances": 2,
         "surface_nodes": 50_000,
         "scenarios": (28, 10, 2, 2),
+        "tournament": (24, 8, 1, 1),
     },
     "bench": {
         "fig3": (3, 12, 60),
         "instances": 8,
         "surface_nodes": 500_000,
         "scenarios": (48, 16, 4, 2),
+        "tournament": (32, 12, 2, 2),
     },
     "paper": {
         "fig3": (100, 60, 100),
         "instances": 200,
         "surface_nodes": 500_000,
         "scenarios": (80, 30, 10, 4),
+        "tournament": (64, 24, 6, 2),
     },
 }
 
@@ -207,6 +217,33 @@ def _run_scenarios(options: RunOptions) -> ExperimentOutcome:
     return ExperimentOutcome("scenarios", result.render(), csv_path)
 
 
+def _run_tournament(options: RunOptions) -> ExperimentOutcome:
+    from repro.schemes.tournament import TournamentConfig, run_tournament
+
+    n_players, n_epochs, n_replications, simulate_rounds = _SCALES[options.scale][
+        "tournament"
+    ]
+    config = TournamentConfig(
+        n_replications=n_replications,
+        n_players=n_players,
+        n_epochs=n_epochs,
+        simulate_rounds=simulate_rounds,
+    )
+    if options.seed is not None:
+        config = replace(config, seed=options.seed)
+    result = run_tournament(
+        config,
+        workers=options.workers,
+        cache_dir=options.cache_dir,
+        progress=options.progress,
+    )
+    csv_path = _csv_path(options, "tournament.csv")
+    if csv_path is not None:
+        result.to_csv(csv_path)
+        result.to_markdown(csv_path.with_suffix(".md"))
+    return ExperimentOutcome("tournament", result.render(), csv_path)
+
+
 EXPERIMENTS: Dict[str, Callable[[RunOptions], ExperimentOutcome]] = {
     "table2": _run_table2,
     "table3": _run_table3,
@@ -215,6 +252,7 @@ EXPERIMENTS: Dict[str, Callable[[RunOptions], ExperimentOutcome]] = {
     "fig6": _run_fig6,
     "fig7c": _run_fig7c,
     "scenarios": _run_scenarios,
+    "tournament": _run_tournament,
 }
 
 
@@ -264,8 +302,17 @@ def _parse_workers(value: str) -> Union[int, str]:
 
 
 def main(argv=None) -> int:
+    import repro
+
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    # The version comes from the installed package metadata via
+    # repro.__version__ — setup.py stays the single source of truth.
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
     )
     parser.add_argument("experiment", choices=[*sorted(EXPERIMENTS), "all"])
     parser.add_argument("--scale", default="bench", choices=sorted(_SCALES))

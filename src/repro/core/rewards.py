@@ -13,6 +13,7 @@ Implements the machinery of paper Section III-B and Figure 2:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple, Union
 
@@ -151,11 +152,18 @@ class FoundationRewardPool:
     deposited_total: float = field(default=0.0)
     disbursed_total: float = field(default=0.0)
 
+    #: Float-noise tolerance on withdrawals: overshoot within it is
+    #: clamped to the remaining balance, beyond it is an overdraw error.
+    TOLERANCE = 1e-9
+
     def deposit(self, amount: float) -> float:
         """Add ``R_i`` Algos, clamped so lifetime deposits respect the ceiling.
 
-        Returns the amount actually deposited.
+        Returns the amount actually deposited.  Negative and non-finite
+        amounts raise — a pool balance must never be silently corrupted.
         """
+        if not math.isfinite(amount):
+            raise MechanismError(f"cannot deposit non-finite amount {amount}")
         if amount < 0:
             raise MechanismError(f"cannot deposit negative amount {amount}")
         room = self.ceiling - self.deposited_total
@@ -165,13 +173,24 @@ class FoundationRewardPool:
         return accepted
 
     def withdraw(self, amount: float) -> float:
-        """Disburse ``B_i`` Algos; fails if the pool cannot cover it."""
+        """Disburse ``B_i`` Algos; returns the amount actually withdrawn.
+
+        Overdrawing beyond the remaining balance raises.  Requests within
+        :data:`TOLERANCE` of the balance (float noise from schedule
+        arithmetic) are clamped to the exact remaining balance, so the
+        pool can never be driven negative — the invariant ``balance >= 0``
+        holds after every operation.  Negative and non-finite amounts
+        raise.
+        """
+        if not math.isfinite(amount):
+            raise MechanismError(f"cannot withdraw non-finite amount {amount}")
         if amount < 0:
             raise MechanismError(f"cannot withdraw negative amount {amount}")
-        if amount > self.balance + 1e-9:
+        if amount > self.balance + self.TOLERANCE:
             raise MechanismError(
                 f"withdrawal of {amount} exceeds pool balance {self.balance}"
             )
+        amount = min(amount, self.balance)
         self.balance -= amount
         self.disbursed_total += amount
         return amount
@@ -194,6 +213,8 @@ class TransactionFeePool:
     balance: float = 0.0
 
     def deposit(self, amount: float) -> None:
+        if not math.isfinite(amount):
+            raise MechanismError(f"cannot deposit non-finite fee {amount}")
         if amount < 0:
             raise MechanismError(f"cannot deposit negative fee {amount}")
         self.balance += amount

@@ -53,6 +53,24 @@ class GameError(ReproError):
     """A game-theoretic query was malformed (unknown player, bad profile)."""
 
 
+class SchemeError(ConfigurationError):
+    """A reward scheme is misdeclared (bad pools, unknown name, collision).
+
+    Subclasses :class:`ConfigurationError`: an unknown or inconsistent
+    scheme is a configuration problem wherever it is referenced (scenario
+    campaigns, audits, tournaments).
+    """
+
+
+class AuditError(ReproError):
+    """The incentive-compatibility audit failed internally.
+
+    Raised when the vectorized deviation payoffs disagree with the scalar
+    game oracle beyond tolerance — a correctness failure of the audit
+    engine itself, never a verdict about the scheme under audit.
+    """
+
+
 class OrchestrationError(ReproError):
     """A sweep shard failed or the orchestrator was misconfigured.
 

@@ -41,10 +41,8 @@ from repro.core.equilibrium import synchronous_best_responses
 from repro.core.game import (
     AlgorandGame,
     BlockSuccessModel,
-    FoundationRule,
     Player,
     PlayerRole,
-    RoleBasedRule,
     Strategy,
     profile_counts,
     with_deviation,
@@ -57,11 +55,15 @@ from repro.scenarios.spec import (
     ScenarioSpec,
     UpdateRule,
 )
+from repro.schemes import SchemeSplit, resolve_scheme
+from repro.schemes.base import RewardScheme
+from repro.schemes.registry import SchemeLike
 from repro.sim.behavior import Behavior
 from repro.sim.config import SimulationConfig
 from repro.sim.rng import derive_seed
 
-#: The two reward schemes every scenario is evaluated under.
+#: The paper's two mechanisms — the default scheme pair of a campaign.
+#: Any scheme registered in :mod:`repro.schemes` can be passed instead.
 SCHEMES: Tuple[str, ...] = ("foundation", "role_based")
 
 
@@ -78,6 +80,10 @@ class EpochRecord:
     mean_payoff_cooperate: float
     mean_payoff_defect: float
     realized_final_fraction: Optional[float] = None
+    #: Fraction of the distributed budget paid to cooperating players this
+    #: epoch (0 when no block was produced) — the tournament's efficiency
+    #: metric: budget spent on defectors buys no protocol work.
+    budget_efficiency: float = 0.0
 
     @property
     def defection_share(self) -> float:
@@ -99,6 +105,7 @@ class EpochRecord:
             "mean_payoff_cooperate": self.mean_payoff_cooperate,
             "mean_payoff_defect": self.mean_payoff_defect,
             "realized_final_fraction": self.realized_final_fraction,
+            "budget_efficiency": self.budget_efficiency,
         }
 
     @staticmethod
@@ -117,6 +124,7 @@ class EpochRecord:
                 if row.get("realized_final_fraction") is None
                 else float(row["realized_final_fraction"])  # type: ignore[arg-type]
             ),
+            budget_efficiency=float(row.get("budget_efficiency", 0.0)),  # type: ignore[arg-type]
         )
 
 
@@ -241,7 +249,7 @@ def _build_game(
     stakes: np.ndarray,
     population: _Population,
     spec: ScenarioSpec,
-    scheme: str,
+    scheme: RewardScheme,
     b_i: float,
     alpha: float,
     beta: float,
@@ -251,10 +259,7 @@ def _build_game(
         pid: Player(node_id=pid, stake=float(stakes[pid]), role=role)
         for pid, role in population.roles.items()
     }
-    if scheme == "foundation":
-        rule = FoundationRule(b_i=b_i)
-    else:
-        rule = RoleBasedRule(alpha=alpha, beta=beta, b_i=b_i)
+    rule = scheme.make_rule(b_i, SchemeSplit(alpha, beta))
     model = BlockSuccessModel(
         committee_quorum=spec.committee_quorum,
         synchrony_set=population.synchrony_set,
@@ -464,33 +469,52 @@ def _measure(
 ) -> EpochRecord:
     counts = profile_counts(profile)
     means = mean_payoff_by_strategy(game, profile)
+    succeeded = game.block_succeeds(profile)
+    efficiency = 0.0
+    if succeeded:
+        payments = game.reward_rule.payments(game, profile)
+        paid = sum(payments.values())
+        if paid > 0:
+            efficiency = (
+                sum(
+                    value
+                    for pid, value in payments.items()
+                    if profile[pid] is Strategy.COOPERATE
+                )
+                / paid
+            )
     return EpochRecord(
         epoch=epoch,
         n_players=len(profile),
         n_cooperating=counts[Strategy.COOPERATE],
         n_defecting=counts[Strategy.DEFECT],
         n_offline=counts[Strategy.OFFLINE],
-        block_success=game.block_succeeds(profile),
+        block_success=succeeded,
         mean_payoff_cooperate=means[Strategy.COOPERATE],
         mean_payoff_defect=means[Strategy.DEFECT],
         realized_final_fraction=realized,
+        budget_efficiency=efficiency,
     )
 
 
 # -- the driver --------------------------------------------------------------------
 
 
-def run_scenario(spec: ScenarioSpec, scheme: str, seed: int) -> ScenarioTrajectory:
+def run_scenario(
+    spec: ScenarioSpec, scheme: SchemeLike, seed: int
+) -> ScenarioTrajectory:
     """Evolve one scenario under one reward scheme; pure in (spec, scheme, seed).
 
-    The random streams (stakes, roles, initial defectors, revision
-    sampling, churn, simulation) depend on ``seed`` but *not* on the
-    scheme, so the foundation and role-based trajectories of the same
-    ``(spec, seed)`` pair share all exogenous randomness — a paired
+    ``scheme`` is anything :func:`repro.schemes.resolve_scheme` accepts: a
+    registered name (``"foundation"``, ``"irs"``, ...), a
+    ``RewardScheme.to_params()`` mapping (how sweep shards carry schemes),
+    or a scheme instance.  The random streams (stakes, roles, initial
+    defectors, revision sampling, churn, simulation) depend on ``seed``
+    but *not* on the scheme, so every scheme's trajectory of the same
+    ``(spec, seed)`` pair shares all exogenous randomness — a paired
     comparison, exactly like the paper's Figure 6 instances.
     """
-    if scheme not in SCHEMES:
-        raise ConfigurationError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+    scheme = resolve_scheme(scheme)
     costs = RoleCosts.paper_defaults()
 
     stake_rng = np.random.default_rng(derive_seed(seed, f"scenario:{spec.name}:stakes"))
@@ -516,7 +540,7 @@ def run_scenario(spec: ScenarioSpec, scheme: str, seed: int) -> ScenarioTrajecto
     b_i, alpha, beta = _calibrate_mechanism(stakes, population, spec, costs)
 
     trajectory = ScenarioTrajectory(
-        scenario=spec.name, scheme=scheme, b_i=b_i, alpha=alpha, beta=beta
+        scenario=spec.name, scheme=scheme.name, b_i=b_i, alpha=alpha, beta=beta
     )
     game = _build_game(stakes, population, spec, scheme, b_i, alpha, beta, costs)
     trajectory.records.append(_measure(0, game, profile, None))

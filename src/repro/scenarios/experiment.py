@@ -26,18 +26,23 @@ from repro.errors import ConfigurationError
 from repro.scenarios.dynamics import SCHEMES, ScenarioTrajectory, run_scenario
 from repro.scenarios.registry import get_scenario, scenario_names
 from repro.scenarios.spec import ScenarioSpec
+from repro.schemes.registry import get_scheme, scheme_names
 from repro.sim.metrics import mean_series
 from repro.sim.rng import derive_seed
 
 #: Bump when the scenario engine's semantics change (invalidates caches).
-CAMPAIGN_VERSION = 1
+#: 2: schemes resolved from the scheme registry; epoch records carry
+#: budget efficiency.
+CAMPAIGN_VERSION = 2
 
 
 @dataclass(frozen=True)
 class ScenarioCampaignConfig:
     """Parameters of one scenario campaign.
 
-    ``scenarios`` empty means "every registered family".  ``n_players``,
+    ``scenarios`` empty means "every registered family".  ``schemes``
+    names any reward schemes registered in :mod:`repro.schemes` (default:
+    the paper's foundation / role-based pair).  ``n_players``,
     ``n_epochs`` and ``simulate_rounds`` override the specs uniformly —
     the campaign's scale knobs (``simulate_rounds`` only applies to
     families that already tie into the simulator, so a scale bump never
@@ -58,9 +63,13 @@ class ScenarioCampaignConfig:
         unknown = [name for name in self.scenarios if name not in scenario_names()]
         if unknown:
             raise ConfigurationError(f"unknown scenarios: {unknown}")
-        bad = [scheme for scheme in self.schemes if scheme not in SCHEMES]
+        bad = [scheme for scheme in self.schemes if scheme not in scheme_names()]
         if bad:
-            raise ConfigurationError(f"unknown schemes: {bad}")
+            raise ConfigurationError(
+                f"unknown schemes: {bad}; registered: {scheme_names()}"
+            )
+        if not self.schemes:
+            raise ConfigurationError("campaign needs at least one scheme")
 
     def scenario_list(self) -> List[str]:
         return list(self.scenarios) if self.scenarios else scenario_names()
@@ -86,7 +95,11 @@ def scenarios_sweep_spec(config: ScenarioCampaignConfig) -> SweepSpec:
     just its name), so the orchestrator's content-addressed cache key
     covers every field — editing or re-registering a scenario invalidates
     exactly its own cached shards — and worker processes never need the
-    registry (user-registered scenarios survive spawn-based pools).
+    registry (user-registered scenarios survive spawn-based pools).  The
+    scheme axis carries ``RewardScheme.to_params()`` mappings for the
+    same two reasons: re-registering a scheme under the same name with
+    different parameters invalidates its shards, and workers rebuild the
+    scheme from its declared kind and parameters alone.
     """
     return SweepSpec(
         name="scenarios",
@@ -95,7 +108,7 @@ def scenarios_sweep_spec(config: ScenarioCampaignConfig) -> SweepSpec:
                 _spec_for_campaign(config, name).to_params()
                 for name in config.scenario_list()
             ],
-            "scheme": list(config.schemes),
+            "scheme": [get_scheme(name).to_params() for name in config.schemes],
             "replication": list(range(config.n_replications)),
         },
         base={"seed": config.seed},
@@ -108,8 +121,8 @@ def _scenario_shard(params: Mapping[str, Any], _seed: int) -> Dict[str, object]:
     """One campaign shard: a full multi-epoch trajectory.
 
     The run seed is derived from the campaign seed and the (scenario,
-    replication) pair — *not* the scheme — so the two schemes of a
-    replication share all exogenous randomness (paired comparison), and
+    replication) pair — *not* the scheme — so every scheme of a
+    replication shares all exogenous randomness (paired comparison), and
     not from the shard's own sweep seed, which would differ per scheme.
     """
     spec = ScenarioSpec.from_params(params["scenario"])
@@ -138,6 +151,7 @@ class MergedTrajectory:
     block_rate: List[float] = field(default_factory=list)
     mean_payoff_cooperate: List[float] = field(default_factory=list)
     mean_payoff_defect: List[float] = field(default_factory=list)
+    budget_efficiency: List[float] = field(default_factory=list)
     realized_final_fraction: Optional[List[float]] = None
 
     @property
@@ -169,6 +183,9 @@ def _merge_replications(
         ),
         mean_payoff_defect=mean_series(
             [[r.mean_payoff_defect for r in run.records] for run in runs]
+        ),
+        budget_efficiency=mean_series(
+            [[r.budget_efficiency for r in run.records] for run in runs]
         ),
     )
     realized = [
@@ -243,6 +260,7 @@ class ScenarioCampaignResult:
                         merged.block_rate[epoch],
                         merged.mean_payoff_cooperate[epoch],
                         merged.mean_payoff_defect[epoch],
+                        merged.budget_efficiency[epoch],
                         realized,
                         merged.b_i,
                         merged.alpha,
@@ -260,6 +278,7 @@ class ScenarioCampaignResult:
                 "block_rate",
                 "mean_payoff_cooperate",
                 "mean_payoff_defect",
+                "budget_efficiency",
                 "realized_final_fraction",
                 "b_i",
                 "alpha",

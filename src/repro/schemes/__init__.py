@@ -1,0 +1,75 @@
+"""Pluggable reward schemes, their registry, and the IC audit engine.
+
+The layer the paper's two mechanisms and any number of alternatives plug
+into:
+
+* :mod:`repro.schemes.base` — the :class:`RewardScheme` protocol and the
+  declarative pool algebra every scheme is expressed in.
+* :mod:`repro.schemes.registry` — decorator registration and by-name
+  discovery (:func:`get_scheme`, :func:`scheme_names`).
+* :mod:`repro.schemes.catalog` — the five built-ins: ``foundation`` and
+  ``role_based`` adapters over the paper's mechanisms, plus ``irs``,
+  ``axiomatic_tau`` and ``hybrid``.
+* :mod:`repro.schemes.audit` — the vectorized epsilon-IC audit engine
+  with its scalar game oracle.
+* :mod:`repro.schemes.tournament` — cross-scheme tournaments over the
+  scenario families (imported lazily: it depends on
+  :mod:`repro.scenarios`, which itself resolves schemes from this
+  package's registry).
+"""
+
+from repro.schemes.base import (
+    PooledRule,
+    PoolSpec,
+    RewardScheme,
+    SchemeSplit,
+    WeightKind,
+)
+from repro.schemes.catalog import (
+    AxiomaticTauScheme,
+    FoundationScheme,
+    HybridScheme,
+    IRSScheme,
+    RoleBasedScheme,
+)
+from repro.schemes.registry import (
+    get_scheme,
+    register_scheme,
+    resolve_scheme,
+    scheme,
+    scheme_from_params,
+    scheme_names,
+)
+from repro.schemes.audit import (
+    AuditConfig,
+    AuditReport,
+    CellAudit,
+    DeviationWitness,
+    audit_scheme,
+    audit_schemes,
+)
+
+__all__ = [
+    "AuditConfig",
+    "AuditReport",
+    "AxiomaticTauScheme",
+    "CellAudit",
+    "DeviationWitness",
+    "FoundationScheme",
+    "HybridScheme",
+    "IRSScheme",
+    "PoolSpec",
+    "PooledRule",
+    "RewardScheme",
+    "RoleBasedScheme",
+    "SchemeSplit",
+    "WeightKind",
+    "audit_scheme",
+    "audit_schemes",
+    "get_scheme",
+    "register_scheme",
+    "resolve_scheme",
+    "scheme",
+    "scheme_from_params",
+    "scheme_names",
+]

@@ -118,6 +118,52 @@ class TestFoundationRewardPool:
         assert pool.deposited_total == 100.0
         assert pool.disbursed_total == 30.0
 
+    # -- edge-case regressions: the balance can never go negative ---------
+
+    def test_float_noise_overshoot_clamps_to_zero(self):
+        """A withdrawal within tolerance of the balance must not push it
+        negative (regression: ``balance -= amount`` used to leave ~-5e-10)."""
+        pool = FoundationRewardPool()
+        pool.deposit(10.0)
+        withdrawn = pool.withdraw(10.0 + 5e-10)
+        assert withdrawn == pytest.approx(10.0)
+        assert pool.balance == 0.0
+        assert pool.balance >= 0.0
+
+    def test_overdraw_beyond_tolerance_raises_and_preserves_state(self):
+        pool = FoundationRewardPool()
+        pool.deposit(10.0)
+        with pytest.raises(MechanismError):
+            pool.withdraw(10.0 + 1e-6)
+        assert pool.balance == 10.0
+        assert pool.disbursed_total == 0.0
+
+    def test_withdraw_from_empty_pool_raises(self):
+        pool = FoundationRewardPool()
+        with pytest.raises(MechanismError):
+            pool.withdraw(1.0)
+        assert pool.balance == 0.0
+
+    def test_non_finite_amounts_rejected(self):
+        pool = FoundationRewardPool()
+        pool.deposit(10.0)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(MechanismError):
+                pool.deposit(bad)
+            with pytest.raises(MechanismError):
+                pool.withdraw(bad)
+        assert pool.balance == 10.0
+
+    def test_repeated_schedule_withdrawals_keep_invariant(self):
+        """Drain a pool in schedule-arithmetic slices: balance stays >= 0."""
+        pool = FoundationRewardPool(ceiling=100.0)
+        pool.deposit(100.0)
+        slice_amount = 100.0 / 3.0
+        for _ in range(3):
+            pool.withdraw(min(slice_amount, pool.balance + 1e-12))
+            assert pool.balance >= 0.0
+        assert pool.balance == pytest.approx(0.0, abs=1e-9)
+
 
 class TestTransactionFeePool:
     def test_accumulates_only(self):
@@ -129,3 +175,7 @@ class TestTransactionFeePool:
     def test_negative_fee_rejected(self):
         with pytest.raises(MechanismError):
             TransactionFeePool().deposit(-0.1)
+
+    def test_non_finite_fee_rejected(self):
+        with pytest.raises(MechanismError):
+            TransactionFeePool().deposit(float("nan"))

@@ -122,3 +122,22 @@ class TestRunnerRegistry:
         assert main(["table2"]) == 0
         out = capsys.readouterr().out
         assert "Table II" in out
+
+    def test_tournament_registered(self):
+        from repro.analysis.runner import EXPERIMENTS, _SCALES
+
+        assert "tournament" in EXPERIMENTS
+        for scale in _SCALES.values():
+            assert "tournament" in scale
+
+    def test_cli_version_from_package_metadata(self, capsys):
+        """--version prints repro.__version__, which comes from importlib
+        metadata (setup.py), not a second hard-coded string."""
+        import repro
+        from repro.analysis.runner import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out

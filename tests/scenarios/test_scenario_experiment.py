@@ -99,6 +99,76 @@ class TestCampaignRuns:
             result.trajectory("uniform-baseline", "naive")
 
 
+class TestSchemeParametricCampaigns:
+    """Campaigns over registry schemes beyond the paper's default pair."""
+
+    def test_campaign_with_registered_scheme(self):
+        config = ScenarioCampaignConfig(
+            scenarios=("uniform-baseline",),
+            schemes=("foundation", "irs"),
+            n_replications=1,
+            n_players=20,
+            n_epochs=4,
+            simulate_rounds=0,
+            seed=13,
+        )
+        result = run_scenarios_campaign(config, workers=1)
+        irs = result.trajectory("uniform-baseline", "irs")
+        naive = result.trajectory("uniform-baseline", "foundation")
+        assert irs.scheme == "irs"
+        # Cooperator-only rewards sustain more cooperation than naive
+        # sharing at the same budget.
+        assert irs.cooperation_share[-1] > naive.cooperation_share[-1]
+        # Budget efficiency: everything IRS distributes goes to cooperators.
+        assert irs.budget_efficiency[-1] == pytest.approx(1.0)
+
+    def test_scheme_axis_carries_scheme_params(self):
+        """Cache keys must cover scheme parameters, not just names."""
+        from repro.schemes import AxiomaticTauScheme, register_scheme
+        from repro.schemes.registry import _SCHEMES
+
+        name = "test-cache-scheme"
+        register_scheme(AxiomaticTauScheme(tau=1.0, name=name))
+        try:
+            config = ScenarioCampaignConfig(
+                scenarios=("uniform-baseline",),
+                schemes=(name,),
+                n_replications=1,
+                n_players=20,
+                n_epochs=2,
+            )
+            shards = scenarios_sweep_spec(config).shards()
+            assert shards[0].params["scheme"]["name"] == name
+            assert shards[0].params["scheme"]["params"] == {"tau": 1.0}
+            keys_v1 = {shard.key for shard in shards}
+            register_scheme(
+                AxiomaticTauScheme(tau=3.0, name=name), overwrite=True
+            )
+            keys_v2 = {
+                shard.key for shard in scenarios_sweep_spec(config).shards()
+            }
+            assert keys_v1.isdisjoint(keys_v2)
+        finally:
+            _SCHEMES.pop(name, None)
+
+    def test_schemes_are_paired_on_exogenous_randomness(self):
+        """All schemes of a replication share stakes/roles/initial mix."""
+        config = ScenarioCampaignConfig(
+            scenarios=("uniform-baseline",),
+            schemes=("foundation", "role_based", "hybrid"),
+            n_replications=1,
+            n_players=20,
+            n_epochs=2,
+            simulate_rounds=0,
+        )
+        result = run_scenarios_campaign(config, workers=1)
+        initial = {
+            scheme: result.trajectory("uniform-baseline", scheme).defection_share[0]
+            for scheme in config.schemes
+        }
+        assert len(set(initial.values())) == 1
+
+
 class TestConvergence:
     def test_single_scheme_campaign_does_not_crash(self):
         config = ScenarioCampaignConfig(
