@@ -1,0 +1,234 @@
+"""The vectorized round kernel vs the discrete-event simulator.
+
+Not a paper figure — tracks the speedup that makes full-fidelity
+simulation campaigns cheap: the fast kernel replaces the per-message
+event loop with batched sortition, hop-budget gossip reachability and
+array-reduction vote tallies, while the DES stays around as the
+differential oracle.  This benchmark
+
+* times both backends on a paired Figure 3 subset (identical configs and
+  seeds) and checks they agree record for record,
+* times the full bench-scale Figure 3 campaign on the fast kernel
+  against the recorded seed baseline (98.2s serial, BENCH_sweep.json),
+* times a small scenario campaign with ``simulate_rounds`` raised 10x,
+  and
+* writes every measurement to ``BENCH_des.json`` at the repo root — the
+  file the CI drift guard (``benchmarks/check_fastpath_drift.py``)
+  checks against.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.defection import (
+    DefectionExperimentConfig,
+    run_defection_experiment,
+    shape_assertions,
+)
+from repro.analysis.plotting import format_table
+from repro.analysis.reward_comparison import (
+    RewardComparisonConfig,
+    run_truncation_experiment,
+)
+from repro.scenarios import ScenarioCampaignConfig, run_scenarios_campaign
+from repro.sim import AlgorandSimulation, FastSimulation, SimulationConfig
+
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_des.json"
+
+#: Seed-baseline timing of the bench-scale Figure 3 campaign on the DES
+#: (BENCH_sweep.json, measured after PR 1's event-engine optimizations).
+_SEED_FIG3_DES_S = 98.157
+
+#: The paired subset both backends run end to end: small enough for CI,
+#: large enough that the DES side dominates measurement noise.
+_PAIRED_RATES = (0.05, 0.30)
+_PAIRED_RUNS = 2
+_PAIRED_ROUNDS = 8
+_PAIRED_NODES = 60
+
+#: Fast-vs-DES speedup the CI box must clear (see check_fastpath_drift).
+_GUARD_MIN_SPEEDUP = 8.0
+_GUARD_TOLERANCE = 0.25
+
+
+def _machine() -> str:
+    return (
+        f"{os.cpu_count()}-core {platform.system()} container, "
+        f"Python {platform.python_version()}, numpy {np.__version__}"
+    )
+
+
+def _paired_config(rate: float, run: int, backend: str) -> SimulationConfig:
+    return SimulationConfig(
+        n_nodes=_PAIRED_NODES,
+        seed=9_000 + int(rate * 100) * 10 + run,
+        defection_rate=rate,
+        tau_proposer=8.0,
+        tau_step=60.0,
+        tau_final=80.0,
+        verify_crypto=False,
+        backend=backend,
+    )
+
+
+def run_paired_subset(backend: str):
+    """Run the paired subset on one backend; returns (records, seconds)."""
+    cls = FastSimulation if backend == "fast" else AlgorandSimulation
+    records = []
+    start = time.perf_counter()
+    for rate in _PAIRED_RATES:
+        for run in range(_PAIRED_RUNS):
+            metrics = cls(_paired_config(rate, run, backend)).run(_PAIRED_ROUNDS)
+            records.append(
+                [
+                    (r.n_final, r.n_tentative, r.n_none, r.steps_used, r.n_leaders)
+                    for r in metrics.records
+                ]
+            )
+    return records, time.perf_counter() - start
+
+
+def test_bench_fastpath_vs_des(benchmark, report):
+    """All fast-kernel measurements, recorded to BENCH_des.json."""
+    # 1. Paired subset: both backends, identical seeds, must agree.
+    des_records, des_s = run_paired_subset("des")
+    fast_records, fast_s = benchmark.pedantic(
+        run_paired_subset, args=("fast",), rounds=1, iterations=1
+    )
+    paired_speedup = des_s / fast_s
+    agreement = des_records == fast_records
+
+    # 2. Full bench-scale Figure 3 campaign on the fast kernel.
+    fig3_config = DefectionExperimentConfig(
+        n_runs=3, n_rounds=12, n_nodes=60, backend="fast"
+    )
+    start = time.perf_counter()
+    fig3 = run_defection_experiment(fig3_config, workers=1)
+    fig3_fast_s = time.perf_counter() - start
+    problems = shape_assertions(fig3)
+
+    # 3. Scenario campaign with simulate_rounds raised 10x over the small
+    #    scale default (2 -> 20), on the fast kernel.
+    campaign_config = ScenarioCampaignConfig(
+        n_replications=2, n_players=28, n_epochs=10, simulate_rounds=20, backend="fast"
+    )
+    start = time.perf_counter()
+    run_scenarios_campaign(campaign_config, workers=1)
+    campaign_fast_s = time.perf_counter() - start
+
+    # 4. Figure 7(c) for the record: analytic in the stake vector, so the
+    #    backend switch leaves it untouched — timed to document that the
+    #    fast-kernel change did not perturb the non-simulator figures.
+    start = time.perf_counter()
+    run_truncation_experiment(
+        RewardComparisonConfig(n_nodes=50_000, n_instances=2, n_rounds=2), workers=1
+    )
+    fig7c_s = time.perf_counter() - start
+
+    table = format_table(
+        ("measurement", "des", "fast", "speedup"),
+        [
+            (
+                "paired fig3 subset",
+                f"{des_s:.2f}s",
+                f"{fast_s:.2f}s",
+                f"{paired_speedup:.1f}x",
+            ),
+            (
+                "fig3 bench campaign",
+                f"{_SEED_FIG3_DES_S:.1f}s (seed)",
+                f"{fig3_fast_s:.2f}s",
+                f"{_SEED_FIG3_DES_S / fig3_fast_s:.1f}x",
+            ),
+            (
+                "scenarios 10x rounds",
+                "-",
+                f"{campaign_fast_s:.2f}s",
+                "-",
+            ),
+        ],
+        title="Fast kernel vs discrete-event simulator",
+    )
+    report(
+        table
+        + f"\npaired-records agreement: {'exact' if agreement else 'DIVERGED'}"
+        + ("\nshape check: OK" if not problems else "\nshape: " + "; ".join(problems))
+    )
+
+    payload = {
+        "benchmark": "fastpath-kernel-vs-des",
+        "date": datetime.date.today().isoformat(),
+        "machine": _machine(),
+        "note": (
+            "The vectorized round kernel (repro.sim.fastpath) vs the "
+            "per-message DES.  Paired subset runs identical configs/seeds "
+            "on both backends and demands record-for-record agreement; "
+            "the fig3 campaign number is the headline serial time vs the "
+            "98.2s DES baseline recorded in BENCH_sweep.json."
+        ),
+        "paired_subset": {
+            "rates": list(_PAIRED_RATES),
+            "runs_per_rate": _PAIRED_RUNS,
+            "rounds": _PAIRED_ROUNDS,
+            "n_nodes": _PAIRED_NODES,
+            "des_s": des_s,
+            "fast_s": fast_s,
+            "speedup": paired_speedup,
+            "records_exact_match": agreement,
+        },
+        "fig3_bench": {
+            "cmd": "python -m repro.analysis.runner fig3 --scale bench",
+            "seed_des_serial_s": _SEED_FIG3_DES_S,
+            "fast_serial_s": fig3_fast_s,
+            "speedup_vs_seed": _SEED_FIG3_DES_S / fig3_fast_s,
+            "shape_assertions_pass": not problems,
+        },
+        "scenario_campaign": {
+            "cmd": (
+                "runner scenarios --scale small --backend fast "
+                "(simulate_rounds raised 2 -> 20)"
+            ),
+            "simulate_rounds": 20,
+            "fast_serial_s": campaign_fast_s,
+            "reference_des_small_simulate_rounds_2_s": 3.93,
+        },
+        "fig7c_bench": {
+            "cmd": "python -m repro.analysis.runner fig7c (analytic; backend-independent)",
+            "serial_s": fig7c_s,
+        },
+        "ci_guard": {
+            "min_speedup": _GUARD_MIN_SPEEDUP,
+            "tolerance": _GUARD_TOLERANCE,
+        },
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert agreement, "fast kernel diverged from the DES on the paired subset"
+    assert not problems, f"fig3 shape violated on the fast kernel: {problems}"
+    assert fig3_fast_s < 12.0, (
+        f"fig3 bench campaign took {fig3_fast_s:.1f}s on the fast kernel; "
+        "the acceptance target is <= 12s (>= 8x vs the 98.2s DES baseline)"
+    )
+
+
+def test_bench_fastpath_round_micro(benchmark, report):
+    """Micro: single fast-kernel rounds at fig3 scale (no campaign overhead)."""
+    simulation = FastSimulation(_paired_config(0.05, 0, "fast"))
+
+    def run_rounds():
+        simulation.run(5)
+
+    benchmark.pedantic(run_rounds, rounds=3, iterations=1)
+    per_round = benchmark.stats.stats.mean / 5
+    report(
+        f"fast kernel: {per_round * 1000:.2f} ms/round at "
+        f"{_PAIRED_NODES} nodes (DES reference ~0.5-1 s/round)"
+    )

@@ -1,0 +1,68 @@
+"""CI benchmark-drift guard for the fast simulation kernel.
+
+Re-measures the paired Figure 3 subset from ``bench_fastpath`` (both
+backends, identical seeds, on *this* machine — absolute wall-clock from
+another box would be meaningless) and fails when
+
+* the fast kernel no longer agrees with the DES record for record, or
+* the measured fast-vs-DES speedup regresses more than the recorded
+  tolerance below the ``ci_guard.min_speedup`` floor committed in
+  ``BENCH_des.json`` (default: fail below 8.0 * (1 - 0.25) = 6x).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_fastpath_drift.py [--ref BENCH_des.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_fastpath import run_paired_subset  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--ref",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_des.json",
+        help="reference benchmark record (default: repo-root BENCH_des.json)",
+    )
+    args = parser.parse_args(argv)
+
+    reference = json.loads(args.ref.read_text())
+    guard = reference["ci_guard"]
+    floor = guard["min_speedup"] * (1.0 - guard["tolerance"])
+
+    des_records, des_s = run_paired_subset("des")
+    fast_records, fast_s = run_paired_subset("fast")
+    speedup = des_s / fast_s
+
+    print(f"paired subset: des {des_s:.2f}s, fast {fast_s:.2f}s, {speedup:.1f}x")
+    print(
+        f"guard: min_speedup {guard['min_speedup']:g}, "
+        f"tolerance {guard['tolerance']:.0%} -> floor {floor:.2f}x"
+    )
+
+    if des_records != fast_records:
+        print("FAIL: fast kernel diverged from the DES on the paired subset")
+        return 1
+    print("agreement: exact")
+    if speedup < floor:
+        print(
+            f"FAIL: fast-kernel speedup {speedup:.2f}x regressed below the "
+            f"{floor:.2f}x drift floor"
+        )
+        return 1
+    print("OK: no drift")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

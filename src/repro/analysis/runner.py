@@ -9,6 +9,9 @@ Regenerate any of the paper's artifacts from the command line::
     python -m repro.analysis.runner fig6 --workers 4 --cache-dir .sweep-cache
     python -m repro.analysis.runner scenarios --scale small --workers 2
     python -m repro.analysis.runner tournament --scale small --workers 2
+    python -m repro.analysis.runner fig3 --backend des
+    python -m repro.analysis.runner all --scale small --timings-json timings.json
+    python -m repro.analysis.runner profile fig3 --scale small
 
 Each experiment prints its ASCII rendition and, with ``--out``, writes the
 underlying data as CSV.  ``--scale`` trades fidelity for runtime:
@@ -30,12 +33,22 @@ shards out over ``N`` processes (``auto`` = one per CPU), ``--seed``
 re-roots every random stream, and ``--cache-dir`` persists finished
 shards so interrupted campaigns resume instead of restarting.  Results
 are bit-identical at any worker count.
+
+The protocol-simulator experiments (fig3, scenarios, tournament) run on
+the vectorized fast kernel by default; ``--backend des`` switches back
+to the per-message discrete-event oracle (see
+:mod:`repro.sim.fastpath`).  ``all`` prints a per-figure wall-clock
+summary table, ``--timings-json`` writes it machine-readably, and
+``profile <experiment>`` wraps one experiment in cProfile and prints
+the dominant functions.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, Optional, Union
@@ -49,6 +62,7 @@ from repro.analysis.reward_comparison import (
 from repro.analysis.reward_surface import RewardSurfaceConfig, run_reward_surface
 from repro.analysis.tables import table2, table3
 from repro.errors import ConfigurationError
+from repro.sim.config import SIMULATION_BACKENDS
 
 #: Per-scale experiment parameters: (fig3 runs/rounds/nodes, fig6 instances,
 #: scenario campaign shape (players, epochs, replications, simulated rounds),
@@ -80,7 +94,14 @@ _SCALES = {
 
 @dataclass(frozen=True)
 class RunOptions:
-    """Cross-cutting execution options shared by every experiment."""
+    """Cross-cutting execution options shared by every experiment.
+
+    ``backend`` overrides the simulation engine of the simulator-backed
+    experiments (fig3, scenarios, tournament): ``"fast"`` for the
+    vectorized round-level kernel, ``"des"`` for the per-message
+    discrete-event oracle, ``None`` for each experiment's own default
+    (the fast kernel).  Analytic experiments ignore it.
+    """
 
     scale: str = "bench"
     out: Optional[Path] = None
@@ -88,6 +109,7 @@ class RunOptions:
     seed: Optional[int] = None
     cache_dir: Optional[Path] = None
     progress: bool = False
+    backend: Optional[str] = None
 
 
 @dataclass
@@ -126,6 +148,8 @@ def _run_fig3(options: RunOptions) -> ExperimentOutcome:
     config = DefectionExperimentConfig(n_runs=runs, n_rounds=rounds, n_nodes=nodes)
     if options.seed is not None:
         config = replace(config, seed=options.seed)
+    if options.backend is not None:
+        config = replace(config, backend=options.backend)
     result = run_defection_experiment(
         config,
         workers=options.workers,
@@ -202,6 +226,7 @@ def _run_scenarios(options: RunOptions) -> ExperimentOutcome:
         n_players=n_players,
         n_epochs=n_epochs,
         simulate_rounds=simulate_rounds,
+        backend=options.backend,
     )
     if options.seed is not None:
         config = replace(config, seed=options.seed)
@@ -228,6 +253,7 @@ def _run_tournament(options: RunOptions) -> ExperimentOutcome:
         n_players=n_players,
         n_epochs=n_epochs,
         simulate_rounds=simulate_rounds,
+        backend=options.backend,
     )
     if options.seed is not None:
         config = replace(config, seed=options.seed)
@@ -264,6 +290,7 @@ def run_experiment(
     seed: Optional[int] = None,
     cache_dir: Optional[Path] = None,
     progress: bool = False,
+    backend: Optional[str] = None,
 ) -> ExperimentOutcome:
     """Run one registered experiment by name."""
     if name not in EXPERIMENTS:
@@ -274,6 +301,10 @@ def run_experiment(
         raise ConfigurationError(
             f"unknown scale {scale!r}; choose from {sorted(_SCALES)}"
         )
+    if backend is not None and backend not in SIMULATION_BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {sorted(SIMULATION_BACKENDS)}"
+        )
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
     options = RunOptions(
@@ -283,8 +314,61 @@ def run_experiment(
         seed=seed,
         cache_dir=cache_dir,
         progress=progress,
+        backend=backend,
     )
     return EXPERIMENTS[name](options)
+
+
+def profile_experiment(
+    name: str,
+    scale: str = "small",
+    workers: Union[int, str] = 1,
+    backend: Optional[str] = None,
+    top_n: int = 25,
+) -> str:
+    """Run one experiment under cProfile and render the top-N hot spots.
+
+    The profiling harness behind ``python -m repro.analysis.runner
+    profile <figure>``: runs the experiment in-process (serial workers,
+    so the profile sees the actual compute, not pool plumbing) and
+    returns a cumulative-time table of the ``top_n`` dominant functions.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    started = time.perf_counter()
+    try:
+        run_experiment(name, scale=scale, workers=workers, backend=backend)
+    finally:
+        profiler.disable()
+    elapsed = time.perf_counter() - started
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top_n)
+    header = (
+        f"profile: {name} --scale {scale}"
+        + (f" --backend {backend}" if backend else "")
+        + f" ({elapsed:.2f}s wall)"
+    )
+    return header + "\n" + stream.getvalue()
+
+
+def _timing_table(timings: "Dict[str, float]") -> str:
+    """Per-figure wall-clock summary printed after multi-experiment runs."""
+    from repro.analysis.plotting import format_table
+
+    total = sum(timings.values())
+    rows = [
+        (name, f"{seconds:.2f}")
+        for name, seconds in timings.items()
+    ]
+    rows.append(("total", f"{total:.2f}"))
+    return format_table(
+        ("experiment", "seconds"), rows, title="Per-figure wall-clock timings"
+    )
 
 
 def _parse_workers(value: str) -> Union[int, str]:
@@ -314,9 +398,44 @@ def main(argv=None) -> int:
         action="version",
         version=f"%(prog)s {repro.__version__}",
     )
-    parser.add_argument("experiment", choices=[*sorted(EXPERIMENTS), "all"])
+    parser.add_argument(
+        "experiment",
+        choices=[*sorted(EXPERIMENTS), "all", "profile"],
+        help="experiment to run; 'all' runs every experiment and prints a "
+        "per-figure timing summary; 'profile <experiment>' runs one "
+        "experiment under cProfile and prints the hot spots",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        choices=sorted(EXPERIMENTS),
+        help="the experiment to profile (only with 'profile')",
+    )
     parser.add_argument("--scale", default="bench", choices=sorted(_SCALES))
     parser.add_argument("--out", type=Path, default=None, help="CSV output directory")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=sorted(SIMULATION_BACKENDS),
+        help="simulation engine for the simulator-backed experiments "
+        "(fig3, scenarios, tournament): 'fast' for the vectorized "
+        "round-level kernel (their default), 'des' for the per-message "
+        "discrete-event oracle; analytic experiments ignore it",
+    )
+    parser.add_argument(
+        "--timings-json",
+        type=Path,
+        default=None,
+        help="write the per-experiment wall-clock timings to this JSON "
+        "file (machine-readable companion of the summary table)",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        help="number of functions shown by the 'profile' subcommand",
+    )
     parser.add_argument(
         "--workers",
         type=_parse_workers,
@@ -346,8 +465,31 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.experiment == "profile":
+        if args.target is None:
+            parser.error("profile needs a target experiment, e.g. 'profile fig3'")
+        # Default to serial workers: with a process pool the shard compute
+        # happens in children invisible to the parent's cProfile, and the
+        # table would show only pool plumbing.  An explicit --workers N is
+        # honoured (e.g. to profile the orchestrator itself).
+        workers = 1 if args.workers == "auto" else args.workers
+        print(
+            profile_experiment(
+                args.target,
+                scale=args.scale,
+                workers=workers,
+                backend=args.backend,
+                top_n=args.profile_top,
+            )
+        )
+        return 0
+    if args.target is not None:
+        parser.error("a target experiment is only valid with 'profile'")
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    timings: Dict[str, float] = {}
     for name in names:
+        started = time.perf_counter()
         outcome = run_experiment(
             name,
             scale=args.scale,
@@ -356,12 +498,27 @@ def main(argv=None) -> int:
             seed=args.seed,
             cache_dir=args.cache_dir,
             progress=not args.no_progress,
+            backend=args.backend,
         )
+        timings[name] = time.perf_counter() - started
         print(f"=== {outcome.name} ===")
         print(outcome.rendered)
         if outcome.csv_path is not None:
             print(f"[data written to {outcome.csv_path}]")
         print()
+    if len(names) > 1:
+        print(_timing_table(timings))
+    if args.timings_json is not None:
+        args.timings_json.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "scale": args.scale,
+            "workers": args.workers,
+            "backend": args.backend,
+            "timings_s": timings,
+            "total_s": sum(timings.values()),
+        }
+        args.timings_json.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"[timings written to {args.timings_json}]")
     return 0
 
 

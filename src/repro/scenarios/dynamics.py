@@ -430,13 +430,15 @@ def _simulate_epoch(
     adversary_ids: FrozenSet[int],
     seed: int,
 ) -> float:
-    """Realized finalization fraction from a short discrete-event run.
+    """Realized finalization fraction from a short protocol-simulator run.
 
     The simulation is driven by the epoch's *exact* behaviour vector:
     cooperators become honest-but-selfish cooperators, defectors become
-    defective nodes, and adversary players run byzantine.
+    defective nodes, and adversary players run byzantine.  The engine is
+    the spec's ``sim_backend`` — the vectorized fast kernel by default,
+    the per-message DES when full event fidelity is requested.
     """
-    from repro.sim.protocol import AlgorandSimulation
+    from repro.sim.fastpath import make_simulation
 
     behaviors: List[Behavior] = []
     for pid in range(stakes.size):
@@ -454,8 +456,9 @@ def _simulate_epoch(
         stakes=[float(s) for s in stakes],
         gossip_fanout=min(5, stakes.size - 1),
         verify_crypto=False,
+        backend=spec.sim_backend,
     )
-    simulation = AlgorandSimulation(config, behaviors=behaviors)
+    simulation = make_simulation(config, behaviors=behaviors)
     metrics = simulation.run(spec.simulate_rounds)
     series = metrics.series("fraction_final")
     return sum(series) / len(series) if series else 0.0

@@ -33,7 +33,9 @@ from repro.sim.rng import derive_seed
 #: Bump when the scenario engine's semantics change (invalidates caches).
 #: 2: schemes resolved from the scheme registry; epoch records carry
 #: budget efficiency.
-CAMPAIGN_VERSION = 2
+#: 3: specs carry ``sim_backend`` — per-epoch simulations default to the
+#: vectorized fast kernel.
+CAMPAIGN_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -46,7 +48,9 @@ class ScenarioCampaignConfig:
     ``n_epochs`` and ``simulate_rounds`` override the specs uniformly —
     the campaign's scale knobs (``simulate_rounds`` only applies to
     families that already tie into the simulator, so a scale bump never
-    turns simulation on for analytic-only families).
+    turns simulation on for analytic-only families).  ``backend``
+    (``"des"`` / ``"fast"`` / ``None`` for the specs' own default)
+    selects the engine behind those per-epoch simulations.
     """
 
     scenarios: Tuple[str, ...] = ()
@@ -55,11 +59,20 @@ class ScenarioCampaignConfig:
     n_players: Optional[int] = None
     n_epochs: Optional[int] = None
     simulate_rounds: Optional[int] = None
+    backend: Optional[str] = None
     seed: int = 2021
 
     def __post_init__(self) -> None:
         if self.n_replications < 1:
             raise ConfigurationError("need at least one replication")
+        if self.backend is not None:
+            from repro.sim.config import SIMULATION_BACKENDS
+
+            if self.backend not in SIMULATION_BACKENDS:
+                raise ConfigurationError(
+                    f"unknown backend {self.backend!r}; "
+                    f"choose from {sorted(SIMULATION_BACKENDS)}"
+                )
         unknown = [name for name in self.scenarios if name not in scenario_names()]
         if unknown:
             raise ConfigurationError(f"unknown scenarios: {unknown}")
@@ -85,6 +98,8 @@ def _spec_for_campaign(config: ScenarioCampaignConfig, name: str) -> "ScenarioSp
             overrides[field_name] = value
     if config.simulate_rounds is not None and spec.simulate_rounds > 0:
         overrides["simulate_rounds"] = config.simulate_rounds
+    if config.backend is not None:
+        overrides["sim_backend"] = config.backend
     return spec.with_overrides(**overrides) if overrides else spec
 
 

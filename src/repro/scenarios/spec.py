@@ -95,8 +95,12 @@ class ScenarioSpec:
         Selection intensity and trembling rate of the replicator update.
     simulate_rounds:
         When positive, each epoch additionally runs this many rounds of
-        the discrete-event simulator with the epoch's exact behaviour
-        vector, recording the realized finalization fraction.
+        the protocol simulator with the epoch's exact behaviour vector,
+        recording the realized finalization fraction.
+    sim_backend:
+        Which engine realizes those per-epoch rounds: the vectorized
+        ``"fast"`` kernel (default) or the per-message ``"des"`` oracle
+        (see :mod:`repro.sim.fastpath`).
     expect_separation:
         Whether the paper's headline separation (naive unravels,
         role-based stabilizes) is expected to show — collapse/adversary
@@ -135,6 +139,7 @@ class ScenarioSpec:
     replicator_intensity: float = 4.0
     replicator_mutation: float = 0.0
     simulate_rounds: int = 0
+    sim_backend: str = "fast"
     expect_separation: bool = True
 
     def __post_init__(self) -> None:
@@ -186,6 +191,13 @@ class ScenarioSpec:
             )
         if self.simulate_rounds < 0:
             raise ConfigurationError("simulate_rounds must be >= 0")
+        from repro.sim.config import SIMULATION_BACKENDS
+
+        if self.sim_backend not in SIMULATION_BACKENDS:
+            raise ConfigurationError(
+                f"unknown sim backend {self.sim_backend!r}; "
+                f"choose from {sorted(SIMULATION_BACKENDS)}"
+            )
         if self.adversary_fraction > 0 and self.adversary_policy is AdversaryPolicy.NONE:
             raise ConfigurationError(
                 "adversary_fraction > 0 requires an adversary policy"

@@ -58,7 +58,8 @@ class TournamentConfig:
 
     Empty ``schemes`` / ``scenarios`` mean "everything registered".  The
     scale knobs (``n_players``, ``n_epochs``, ``simulate_rounds``,
-    ``n_replications``) pass straight through to the scenario campaign.
+    ``n_replications``) and the simulation ``backend`` pass straight
+    through to the scenario campaign.
     """
 
     schemes: Tuple[str, ...] = ()
@@ -67,6 +68,7 @@ class TournamentConfig:
     n_players: Optional[int] = None
     n_epochs: Optional[int] = None
     simulate_rounds: Optional[int] = None
+    backend: Optional[str] = None
     seed: int = 2021
     audit: AuditConfig = TOURNAMENT_AUDIT
 
@@ -84,6 +86,7 @@ class TournamentConfig:
             n_players=self.n_players,
             n_epochs=self.n_epochs,
             simulate_rounds=self.simulate_rounds,
+            backend=self.backend,
             seed=self.seed,
         )
 

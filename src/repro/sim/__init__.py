@@ -20,6 +20,9 @@ ba_star
     The Reduction + BinaryBA* consensus state machine.
 protocol
     Multi-round simulation driver with reward-mechanism hooks.
+fastpath
+    Vectorized round-level kernel (the ``"fast"`` backend) with the
+    event-driven simulator retained as its differential oracle.
 config / metrics / roles
     Tunables, per-round measurements, and role snapshots.
 """
@@ -31,8 +34,14 @@ from repro.sim.behavior import (
     strategic_fraction,
 )
 from repro.sim.blocks import Block, ConsensusLabel, Ledger, Transaction
-from repro.sim.config import SimulationConfig
+from repro.sim.config import SIMULATION_BACKENDS, SimulationConfig
 from repro.sim.engine import EventEngine
+from repro.sim.fastpath import (
+    FastSimulation,
+    LatencyModel,
+    fit_latency_model,
+    make_simulation,
+)
 from repro.sim.metrics import RoundRecord, SimulationMetrics, average_fractions
 from repro.sim.protocol import AlgorandSimulation, RewardMechanism
 from repro.sim.rng import RngStreams
@@ -45,7 +54,10 @@ __all__ = [
     "Block",
     "ConsensusLabel",
     "EventEngine",
+    "FastSimulation",
+    "LatencyModel",
     "Ledger",
+    "SIMULATION_BACKENDS",
     "RewardAllocation",
     "RewardMechanism",
     "RngStreams",
@@ -60,6 +72,8 @@ __all__ = [
     "defective_fraction",
     "strategic_fraction",
     "average_fractions",
+    "fit_latency_model",
+    "make_simulation",
     "sortition",
     "verify_sortition",
 ]

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.messages import EMPTY_HASH, VoteMessage
@@ -42,6 +42,35 @@ FINAL_STEP = 10_000
 FIRST_BINARY_STEP = 3
 
 
+def resolve_quorum(
+    weights: Mapping[int, int],
+    tau: float,
+    threshold: float,
+) -> Optional[int]:
+    """Pure threshold rule of CountVotes: winning value or ``None`` (timeout).
+
+    ``weights`` maps each candidate value to its accumulated sub-user
+    weight.  A value wins when its weight exceeds ``threshold * tau``
+    (paper Section II-B3).  If several values cross the threshold —
+    possible only with substantial adversarial weight — the heaviest wins,
+    with the numerically smallest hash as the deterministic tie-break.
+
+    This is the single quorum rule shared by both simulation backends: the
+    event-driven path tallies :class:`VoteMessage` objects into a weight
+    mapping (:func:`count_votes`), the vectorized fast path reduces numpy
+    tally arrays to the same mapping shape — both then defer here, so the
+    decision logic cannot drift between backends.
+    """
+    needed = threshold * tau
+    winners = [
+        (weight, value) for value, weight in weights.items() if weight > needed
+    ]
+    if not winners:
+        return None
+    winners.sort(key=lambda pair: (-pair[0], pair[1]))
+    return winners[0][1]
+
+
 def count_votes(
     votes: Iterable[VoteMessage],
     tau: float,
@@ -49,24 +78,16 @@ def count_votes(
 ) -> Optional[int]:
     """Tally committee votes; return the winning value or ``None`` (timeout).
 
-    A value wins when its accumulated sub-user weight exceeds
-    ``threshold * tau`` (paper Section II-B3).  Votes are assumed already
-    deduplicated per sender (the node's vote store keeps first-votes only).
-    If several values cross the threshold — possible only with substantial
-    adversarial weight — the heaviest wins, with the numerically smallest
-    hash as the deterministic tie-break.
+    Votes are assumed already deduplicated per sender (the node's vote
+    store keeps first-votes only); the threshold decision is
+    :func:`resolve_quorum`.
     """
     weights: Dict[int, int] = {}
     for vote in votes:
         if vote.weight <= 0:
             continue
         weights[vote.value] = weights.get(vote.value, 0) + vote.weight
-    needed = threshold * tau
-    winners = [(weight, value) for value, weight in weights.items() if weight > needed]
-    if not winners:
-        return None
-    winners.sort(key=lambda pair: (-pair[0], pair[1]))
-    return winners[0][1]
+    return resolve_quorum(weights, tau, threshold)
 
 
 class Phase(str, Enum):

@@ -25,6 +25,11 @@ PAPER_TAU_PROPOSER = 26
 PAPER_TAU_STEP = 1_000
 PAPER_TAU_FINAL = 10_000
 
+#: The two simulation engines a config can select: the per-message
+#: discrete-event simulator (the differential oracle) and the vectorized
+#: round-level fast kernel.
+SIMULATION_BACKENDS = ("des", "fast")
+
 
 @dataclass
 class SimulationConfig:
@@ -77,6 +82,13 @@ class SimulationConfig:
         When True, receivers verify signatures and sortition proofs on
         first delivery (slower; exercised in tests, disabled in large
         benchmark sweeps).
+    backend:
+        Which simulation engine realizes this config: ``"des"`` for the
+        per-message discrete-event simulator (ground truth), ``"fast"``
+        for the vectorized round-level kernel in
+        :mod:`repro.sim.fastpath` (same metrics schema, ~10x faster;
+        statistically calibrated against the DES).  Construct through
+        :func:`repro.sim.fastpath.make_simulation` to honour the switch.
     """
 
     n_nodes: int = 100
@@ -103,6 +115,7 @@ class SimulationConfig:
     offline_rate: float = 0.0
     verify_crypto: bool = True
     short_circuit_rounds: bool = True
+    backend: str = "des"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -169,6 +182,11 @@ class SimulationConfig:
         if sum(rates.values()) > 1.0 + 1e-9:
             raise ConfigurationError(
                 f"behaviour rates sum to {sum(rates.values()):.3f} > 1"
+            )
+        if self.backend not in SIMULATION_BACKENDS:
+            raise ConfigurationError(
+                f"unknown simulation backend {self.backend!r}; "
+                f"choose from {sorted(SIMULATION_BACKENDS)}"
             )
 
     def total_step_count(self) -> int:

@@ -46,17 +46,25 @@ class Event:
     label:
         Human-readable tag used in error messages and traces.
     cancelled:
-        Cancelled events stay in the heap but are skipped when popped.
+        Cancelled events stay in the heap (lazy deletion) but are skipped
+        when popped; the owning engine counts them and compacts the heap
+        when they accumulate.
     """
 
     time: float
     callback: EventCallback
     label: str = ""
     cancelled: bool = False
+    #: Set by the scheduling engine so it can count lazy deletions and
+    #: trigger compaction; ``None`` for events never handed to an engine.
+    _on_cancel: Optional[Callable[[], None]] = None
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it when it is popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._on_cancel is not None:
+                self._on_cancel()
 
 
 class EventEngine:
@@ -73,12 +81,17 @@ class EventEngine:
     ['a', 'b']
     """
 
+    #: Compaction is skipped below this queue size — rebuilding a tiny heap
+    #: costs more than lazily skipping its few cancelled entries.
+    _COMPACT_MIN_SIZE = 16
+
     def __init__(self) -> None:
         self._queue: List[_QueueEntry] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._executed = 0
         self._running = False
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
@@ -95,6 +108,11 @@ class EventEngine:
         """Number of events still in the queue, including cancelled ones."""
         return len(self._queue)
 
+    @property
+    def cancelled_pending_count(self) -> int:
+        """Number of cancelled events still occupying heap slots."""
+        return self._cancelled_pending
+
     def schedule_at(self, time: float, callback: EventCallback, label: str = "") -> Event:
         """Schedule ``callback`` to run at absolute simulation ``time``."""
         if time < self._now:
@@ -103,8 +121,33 @@ class EventEngine:
                 f"(now={self._now})"
             )
         event = Event(time=time, callback=callback, label=label)
+        event._on_cancel = self._note_cancelled
         heapq.heappush(self._queue, (time, next(self._seq), event, callback))
         return event
+
+    def _note_cancelled(self) -> None:
+        """Count a lazy deletion; compact once dead entries dominate.
+
+        Without compaction a schedule/cancel-heavy workload (e.g. 100k
+        per-step timeouts that are almost all cancelled early) keeps every
+        dead entry in the heap until its fire time is reached, so each push
+        pays ``O(log dead)`` — quadratic in aggregate.  Rebuilding the heap
+        whenever cancelled entries exceed half of it amortizes to O(1) per
+        cancellation and keeps the heap proportional to *live* events.
+        """
+        self._cancelled_pending += 1
+        queue = self._queue
+        if (
+            len(queue) >= self._COMPACT_MIN_SIZE
+            and self._cancelled_pending * 2 > len(queue)
+        ):
+            # In-place rebuild: ``run()`` holds a local reference to the
+            # queue list, so the compacted heap must live in the same object.
+            queue[:] = [
+                entry for entry in queue if entry[2] is None or not entry[2].cancelled
+            ]
+            heapq.heapify(queue)
+            self._cancelled_pending = 0
 
     def schedule_after(self, delay: float, callback: EventCallback, label: str = "") -> Event:
         """Schedule ``callback`` to run ``delay`` time units from now."""
@@ -137,6 +180,7 @@ class EventEngine:
         while queue:
             time, _seq, event, callback = heapq.heappop(queue)
             if event is not None and event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = time
             self._executed += 1
@@ -182,6 +226,7 @@ class EventEngine:
                 event = head[2]
                 if event is not None and event.cancelled:
                     pop(queue)
+                    self._cancelled_pending -= 1
                     continue
                 if until is not None and head[0] > until:
                     break
@@ -204,6 +249,7 @@ class EventEngine:
             event = entry[2]
             if event is not None and event.cancelled:
                 heapq.heappop(queue)
+                self._cancelled_pending -= 1
                 continue
             return entry[0]
         return None
@@ -211,6 +257,7 @@ class EventEngine:
     def clear(self) -> None:
         """Drop all pending events (the clock is left untouched)."""
         self._queue.clear()
+        self._cancelled_pending = 0
 
 
 def drain(engine: EventEngine, until: float, max_events: int = 10_000_000) -> Tuple[int, float]:

@@ -1,0 +1,952 @@
+"""Vectorized round-level simulation kernel (the ``"fast"`` backend).
+
+The discrete-event simulator in :mod:`repro.sim.protocol` is the ground
+truth: every gossip hop is an event, every node a callback-driven object.
+That fidelity costs ~1 second per simulated round — the dominant cost of
+the Figure 3 sweep and of every scenario epoch with ``simulate_rounds > 0``.
+This module implements the same round semantics as batched array work:
+
+* **Sortition** recomputes the *exact same* VRFs as the event-driven path
+  (same keypairs, same seed chain, same domain tags) and inverts the
+  binomial CDF with the batched :func:`repro.sim.sortition.binomial_weights`
+  primitive, so per-step committee weights are bit-identical to the DES on
+  paired seeds.
+* **Gossip** is replaced by a reachability model: hop distances through
+  the relaying subgraph (defectors and offline nodes do not forward) plus
+  a calibrated :class:`LatencyModel` mapping time windows to hop budgets.
+  A message cast at one step deadline reaches a node by a later deadline
+  iff its hop distance fits the window's budget.  In a healthy network the
+  budget exceeds the overlay diameter and the model is exact; under heavy
+  defection the thinned relay graph disconnects and finality collapses —
+  the same mechanism that drives the paper's Figure 3.
+* **Agreement (BA*)** reuses the event path's pure
+  :class:`~repro.sim.ba_star.ConsensusStateMachine` per node (cheap: tens
+  of transitions per round) while the heavy CountVotes tallies are numpy
+  reductions feeding the shared
+  :func:`~repro.sim.ba_star.resolve_quorum` threshold rule.
+
+The kernel emits the same :class:`~repro.sim.metrics.RoundRecord` /
+:class:`~repro.sim.metrics.SimulationMetrics` schema as the DES and honours
+the same mechanism/behaviour hooks, so experiments switch backends through
+:func:`make_simulation` without touching their measurement code.  The DES
+remains available as the differential oracle
+(``tests/sim/test_fastpath_oracle.py``).
+
+Known approximations (tolerance-tested, never silently wrong):
+
+* per-hop delays are collapsed to a fitted quantile (arrival becomes a
+  deterministic hop-budget test instead of a random sum of uniforms),
+* ``drop_probability`` thins the overlay once per round instead of per
+  message, and
+* malicious equivocation draws from a dedicated fast-path stream (the DES
+  consumes per-node streams in arrival order, which has no analogue here).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim import crypto
+from repro.sim.ba_star import (
+    FINAL_STEP,
+    ConsensusStateMachine,
+    make_common_coin,
+    resolve_quorum,
+)
+from repro.sim.behavior import Behavior
+from repro.sim.blocks import Block, ConsensusLabel, Ledger, Transaction, make_empty_block
+from repro.sim.config import SimulationConfig
+from repro.sim.messages import EMPTY_HASH
+from repro.sim.metrics import RoundRecord, SimulationMetrics
+from repro.sim.network import build_random_overlay
+from repro.sim.node import RoundContext
+from repro.sim.protocol import (
+    AlgorandSimulation,
+    RewardMechanism,
+    TransactionSource,
+    initial_stakes,
+    resolve_behaviors,
+)
+from repro.sim.rng import RngStreams, derive_seed
+from repro.sim.roles import RoleSnapshot
+from repro.sim.sortition import Role, binomial_weights
+
+#: Hop-distance sentinel for "no path through the relaying subgraph".
+UNREACHABLE = np.iinfo(np.int32).max
+
+#: Default per-hop latency quantile, fitted once from the DES via
+#: :func:`fit_latency_model` on the reference configuration (60 nodes,
+#: fanout 5, U(0.05, 0.30) hop delays): first-arrival times divided by hop
+#: distance land near the 35th percentile of the per-hop delay
+#: distribution — path multiplicity makes the effective hop cheaper than
+#: the mean.  ``tests/sim/test_fastpath_oracle.py`` re-fits and checks
+#: this constant stays in band.
+DEFAULT_HOP_QUANTILE = 0.35
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Maps gossip time windows to hop budgets.
+
+    The DES delivers a message over ``h`` hops after a sum of ``h``
+    independent ``U(delay_min, delay_max) * delay_scale`` draws, minimized
+    over all paths.  The fast kernel collapses that distribution to one
+    *effective per-hop delay* — the ``hop_quantile`` of the hop-delay
+    distribution — and admits a message within a window iff
+    ``hops * effective_delay <= window``.
+    """
+
+    hop_quantile: float = DEFAULT_HOP_QUANTILE
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hop_quantile <= 1.0:
+            raise ConfigurationError(
+                f"hop quantile must be in [0, 1], got {self.hop_quantile}"
+            )
+
+    def effective_hop_delay(self, config: SimulationConfig) -> float:
+        """The modelled cost of one gossip hop, in simulated seconds."""
+        span = config.delay_max - config.delay_min
+        return (config.delay_min + span * self.hop_quantile) * config.delay_scale
+
+    def hop_budget(self, window: float, config: SimulationConfig) -> int:
+        """Largest hop count that completes within ``window`` seconds."""
+        delay = self.effective_hop_delay(config)
+        if delay <= 0.0:
+            return UNREACHABLE - 1
+        return int(window / delay)
+
+
+def fit_latency_model(
+    config: Optional[SimulationConfig] = None,
+    n_probes: int = 8,
+    seed: int = 0,
+) -> LatencyModel:
+    """Fit the per-hop latency quantile from the event-driven gossip layer.
+
+    Floods probe messages from ``n_probes`` sources through a real
+    :class:`~repro.sim.network.GossipNetwork` (every node relaying),
+    records each node's first-arrival time, divides by its BFS hop
+    distance, and maps the median effective per-hop delay back to a
+    quantile of the configured ``U(delay_min, delay_max)`` distribution.
+    This is the "fitted once from the DES" calibration behind
+    :data:`DEFAULT_HOP_QUANTILE`; re-run it to recalibrate after changing
+    the gossip layer.
+    """
+    from repro.sim.engine import EventEngine
+    from repro.sim.messages import Message
+    from repro.sim.network import GossipNetwork
+
+    if config is None:
+        config = SimulationConfig(n_nodes=60, seed=seed, verify_crypto=False)
+    span = config.delay_max - config.delay_min
+    if span <= 0:
+        return LatencyModel(hop_quantile=0.0)
+
+    streams = RngStreams(config.seed)
+    ids = list(range(config.n_nodes))
+    overlay = build_random_overlay(ids, config.gossip_fanout, streams.get("topology"))
+    engine = EventEngine()
+    delay_rng = streams.get("net.delay")
+
+    class _Probe:
+        relays_gossip = True
+        is_online = True
+
+        def __init__(self, node_id: int) -> None:
+            self.node_id = node_id
+            self.arrived_at: Optional[float] = None
+
+        def on_receive(self, message: Message, now: float) -> bool:
+            if self.arrived_at is None:
+                self.arrived_at = now
+            return True
+
+    network = GossipNetwork(
+        engine=engine,
+        neighbors=overlay,
+        delay_sampler=lambda: delay_rng.uniform(config.delay_min, config.delay_max),
+    )
+    network.delay_scale = config.delay_scale
+    probes = [_Probe(node_id) for node_id in ids]
+    for probe in probes:
+        network.register(probe)
+
+    # All nodes relay, so hop distances are plain BFS on the overlay.
+    hops = _bfs_hops(
+        overlay,
+        online=np.ones(config.n_nodes, dtype=bool),
+        relays=np.ones(config.n_nodes, dtype=bool),
+    )
+
+    per_hop: List[float] = []
+    for source in range(min(n_probes, config.n_nodes)):
+        for probe in probes:
+            probe.arrived_at = None
+        network.reset_seen()
+        start = engine.now
+        network.broadcast(source, Message(sender=source))
+        engine.run()
+        for probe in probes:
+            h = int(hops[source, probe.node_id])
+            if probe.arrived_at is None or h <= 0 or h >= UNREACHABLE:
+                continue
+            per_hop.append((probe.arrived_at - start) / h)
+    if not per_hop:
+        return LatencyModel()
+    effective = float(np.median(per_hop)) / config.delay_scale
+    quantile = (effective - config.delay_min) / span
+    return LatencyModel(hop_quantile=float(np.clip(quantile, 0.0, 1.0)))
+
+
+def _bfs_hops(
+    neighbors: Dict[int, List[int]],
+    online: np.ndarray,
+    relays: np.ndarray,
+    edge_keep: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """All-pairs hop distances through the relaying subgraph.
+
+    ``hops[i, j]`` is the minimum number of gossip hops from ``i`` to
+    ``j`` where every *intermediate* node forwards (``relays`` — the
+    origin always forwards its own message, matching
+    ``GossipNetwork.broadcast``) and endpoints are online.  Offline nodes
+    neither send nor receive.  ``edge_keep`` optionally thins the overlay
+    (per-round drop realizations).  Runs one synchronous frontier
+    expansion per hop — a handful of boolean matmuls per round.
+    """
+    n = len(neighbors)
+    adjacency = np.zeros((n, n), dtype=bool)
+    for node_id, peers in neighbors.items():
+        adjacency[node_id, peers] = True
+    if edge_keep is not None:
+        adjacency &= edge_keep
+    adjacency &= online[:, None] & online[None, :]
+
+    hops = np.full((n, n), UNREACHABLE, dtype=np.int32)
+    sources = online.copy()
+    hops[np.diag_indices(n)] = np.where(sources, 0, UNREACHABLE)
+    visited = np.eye(n, dtype=bool)
+    frontier = np.diag(sources).astype(bool)
+    relay_row = (relays & online)[None, :]
+    hop = 0
+    adjacency_int = adjacency.astype(np.int16)
+    while frontier.any():
+        hop += 1
+        # The origin forwards its own broadcast regardless of its relay
+        # flag; every later hop requires a relaying intermediate.
+        expanding = frontier if hop == 1 else (frontier & relay_row)
+        reached = (expanding.astype(np.int16) @ adjacency_int) > 0
+        reached &= ~visited
+        if not reached.any():
+            break
+        hops[reached] = hop
+        visited |= reached
+        frontier = reached
+    return hops
+
+
+@dataclass
+class _Proposal:
+    """One proposed block as the fast kernel tracks it."""
+
+    sender: int
+    block: Block
+    block_hash: int
+    priority: float
+
+
+class FastSimulation:
+    """Vectorized drop-in for :class:`~repro.sim.protocol.AlgorandSimulation`.
+
+    Accepts the same constructor arguments plus an optional
+    :class:`LatencyModel`; produces the same
+    :class:`~repro.sim.metrics.SimulationMetrics`.  Runs are a pure
+    function of ``(config, behaviors, latency)``, so orchestrated sweeps
+    remain bit-identical at any worker count.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        mechanism: Optional[RewardMechanism] = None,
+        transaction_source: Optional[TransactionSource] = None,
+        behaviors: Optional[Sequence[Behavior]] = None,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.mechanism = mechanism
+        self.transaction_source = transaction_source
+        self.latency = latency if latency is not None else LatencyModel()
+        self.streams = RngStreams(config.seed)
+        self.metrics = SimulationMetrics()
+        self.round_index = 0
+        self.sortition_seed = crypto.sha256_int("genesis-seed", config.seed) % 2**64
+
+        n = config.n_nodes
+        # Same substreams and draw logic as the DES constructor (shared
+        # helpers), so stakes, behaviours and the gossip overlay are
+        # identical on paired seeds.
+        self.stakes: List[float] = initial_stakes(config, self.streams)
+        self.behaviors: List[Behavior] = resolve_behaviors(
+            config, self.streams, behaviors
+        )
+        self._keypairs = [
+            crypto.KeyPair.generate((config.seed, node_id)) for node_id in range(n)
+        ]
+        self._private_keys = [keypair.private for keypair in self._keypairs]
+        # Behaviour predicates as plain lists: the voting loop consults
+        # them once per (node, step) and enum-property dispatch is
+        # measurable at that rate.
+        self._votes_list = [b.votes for b in self.behaviors]
+        self._equivocates_list = [b.equivocates for b in self.behaviors]
+        self.rewards_received: List[float] = [0.0] * n
+        self._neighbors = build_random_overlay(
+            list(range(n)), config.gossip_fanout, self.streams.get("topology")
+        )
+
+        self._online = np.array([b.is_online for b in self.behaviors], dtype=bool)
+        self._relays = np.array([b.relays for b in self.behaviors], dtype=bool)
+        self._votes_mask = np.array([b.votes for b in self.behaviors], dtype=bool)
+        self._online_ids = [i for i in range(n) if self.behaviors[i].is_online]
+
+        self.authoritative = Ledger(genesis_seed=0)
+        genesis_hash = self.authoritative.tip().block_hash()
+        self._tips: List[int] = [genesis_hash] * n
+
+        self._drop_rng = (
+            np.random.default_rng(derive_seed(config.seed, "fastpath:drop"))
+            if config.drop_probability
+            else None
+        )
+        self._equiv_rngs: Dict[int, random.Random] = {
+            i: random.Random(derive_seed(config.seed, f"fastpath:equivocate:{i}"))
+            for i in range(n)
+            if self.behaviors[i].equivocates
+        }
+        self._static_hops = (
+            None
+            if config.drop_probability
+            else _bfs_hops(self._neighbors, self._online, self._relays)
+        )
+
+    # -- public accessors ----------------------------------------------------
+
+    def total_stake(self) -> float:
+        return sum(self.stakes)
+
+    def stake_vector(self) -> Dict[int, float]:
+        return {node_id: stake for node_id, stake in enumerate(self.stakes)}
+
+    # -- round driver --------------------------------------------------------
+
+    def run(self, n_rounds: int) -> SimulationMetrics:
+        """Run ``n_rounds`` consecutive rounds and return the metrics."""
+        if n_rounds < 1:
+            raise SimulationError(f"n_rounds must be >= 1, got {n_rounds}")
+        for _ in range(n_rounds):
+            self.run_round()
+        return self.metrics
+
+    def run_round(self) -> RoundRecord:
+        """Simulate one full round as batched array work."""
+        config = self.config
+        n = config.n_nodes
+        self.round_index += 1
+        round_index = self.round_index
+        round_seed = self.sortition_seed
+        total_stake = self.total_stake()
+        ctx = RoundContext(
+            round_index=round_index,
+            sortition_seed=round_seed,
+            total_stake=total_stake,
+            tau_proposer=config.tau_proposer,
+            tau_step=config.tau_step,
+            tau_final=config.tau_final,
+            t_step=config.t_step,
+            t_final=config.t_final,
+            max_binary_steps=config.max_binary_steps,
+            coin_seed=round_seed,
+        )
+        hops = self._round_hops()
+        stake_units = np.array([int(s) for s in self.stakes], dtype=np.int64)
+
+        # Per-step sortition weights are computed lazily: a short-circuited
+        # round only pays for the VRFs of the steps it actually ran.
+        step_weight_cache: Dict[int, np.ndarray] = {}
+
+        def step_weights(step: int) -> np.ndarray:
+            cached = step_weight_cache.get(step)
+            if cached is None:
+                cached = self._role_weights(
+                    Role.STEP, step, round_index, round_seed, stake_units, total_stake
+                )
+                step_weight_cache[step] = cached
+            return cached
+
+        final_weight_cache: List[Optional[np.ndarray]] = [None]
+
+        def final_weights() -> np.ndarray:
+            if final_weight_cache[0] is None:
+                final_weight_cache[0] = self._role_weights(
+                    Role.FINAL,
+                    FINAL_STEP,
+                    round_index,
+                    round_seed,
+                    stake_units,
+                    total_stake,
+                )
+            return final_weight_cache[0]
+
+        # -- phase A: proposals ---------------------------------------------
+        proposals = self._propose(ctx, stake_units, total_stake)
+        registry: Dict[int, _Proposal] = {p.block_hash: p for p in proposals}
+        candidates = [EMPTY_HASH] + sorted(registry)
+        value_index = {value: k for k, value in enumerate(candidates)}
+
+        budget_prop = self.latency.hop_budget(config.proposal_wait, config)
+        best_hash = self._best_proposals(proposals, hops, budget_prop)
+
+        # -- phase B: reduction + BinaryBA* ----------------------------------
+        coin = make_common_coin(round_seed, round_index)
+        machines: Dict[int, ConsensusStateMachine] = {}
+        proposed = {p.sender for p in proposals}
+        voted_any = set()
+        # votes[s]: list of (sender, weight, value, cast_deadline_index);
+        # step-s votes are tallied at deadline index s, normal votes are
+        # cast at index s-1 (one window of travel), helper votes earlier.
+        votes: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        final_votes: List[Tuple[int, int, int, int]] = []
+
+        first_weights = step_weights(1)
+        for i in self._online_ids:
+            machine = ConsensusStateMachine(config.max_binary_steps, coin)
+            machines[i] = machine
+            step, value = machine.start(best_hash[i])
+            self._cast(
+                i, step, value, 0, first_weights, votes, voted_any, proposals
+            )
+
+        needed_step = config.t_step * config.tau_step
+        total_steps = config.total_step_count()
+        steps_used = 0
+        for step in range(1, total_steps + 1):
+            counted = self._tally(
+                votes.get(step, ()),
+                step,
+                hops,
+                candidates,
+                value_index,
+                needed_step,
+            )
+            for i in self._online_ids:
+                machine = machines[i]
+                if machine.concluded or machine.failed:
+                    continue
+                directive = machine.on_step_result(step, counted[i])
+                if directive.vote is not None:
+                    vstep, vvalue = directive.vote
+                    self._cast(
+                        i,
+                        vstep,
+                        vvalue,
+                        step,
+                        step_weights(vstep),
+                        votes,
+                        voted_any,
+                        proposals,
+                    )
+                for vstep, vvalue in directive.helper_votes:
+                    self._cast(
+                        i,
+                        vstep,
+                        vvalue,
+                        step,
+                        step_weights(vstep),
+                        votes,
+                        voted_any,
+                        proposals,
+                    )
+                if directive.final_vote is not None and self._votes_list[i]:
+                    weight = int(final_weights()[i])
+                    if weight > 0:
+                        value = directive.final_vote
+                        if self._equivocates_list[i]:
+                            value = self._equivocated(i, value, proposals)
+                        final_votes.append((i, weight, value, step))
+                        voted_any.add(i)
+            steps_used = step
+            if config.short_circuit_rounds and all(
+                m.concluded or m.failed for m in machines.values()
+            ):
+                break
+
+        # -- phase C: extraction and rewards ---------------------------------
+        return self._finalize_round(
+            ctx,
+            steps_used,
+            machines,
+            registry,
+            proposals,
+            proposed,
+            voted_any,
+            final_votes,
+            hops,
+        )
+
+    # -- sortition ------------------------------------------------------------
+
+    def _role_weights(
+        self,
+        role: Role,
+        step: int,
+        round_index: int,
+        round_seed: int,
+        stake_units: np.ndarray,
+        total_stake: float,
+    ) -> np.ndarray:
+        """Exact per-node sortition weights for one (role, step).
+
+        Recomputes the same VRFs the event-driven nodes evaluate (same
+        keypairs, seed and domain separation) and inverts the binomial
+        CDF for the whole population in one batched call, so the result
+        matches the DES bit-for-bit on paired seeds.
+        """
+        tag = {Role.PROPOSER: 0, Role.STEP: 1_000, Role.FINAL: 2_000}[role] + step
+        expected = {
+            Role.PROPOSER: self.config.tau_proposer,
+            Role.STEP: self.config.tau_step,
+            Role.FINAL: self.config.tau_final,
+        }[role]
+        values = self._vrf_values(round_seed, round_index, tag)
+        probability = min(1.0, expected / total_stake)
+        weights = binomial_weights(values, stake_units, probability)
+        weights[~self._online] = 0
+        return weights
+
+    def _vrf_values(
+        self, round_seed: int, round_index: int, tag: int
+    ) -> np.ndarray:
+        """Population VRF outputs for one (round, role-step) domain.
+
+        Hot-loop specialization of ``crypto.vrf_evaluate(...).value``: it
+        hashes the *identical* canonical payload (``repr`` of an int is
+        its decimal string; ``repr("vrf")`` keeps its quotes) and
+        extracts the same top-53-bit fraction, so
+        the outputs are bit-identical — asserted by the differential
+        suite — while skipping the per-part ``repr``/join machinery that
+        dominates profiles at population x steps x rounds scale.
+        """
+        suffix = f"\x1f{round_seed}\x1f{round_index}\x1f{tag}".encode("utf-8")
+        sha256 = hashlib.sha256
+        scale = float(2**53)
+        return np.array(
+            [
+                (
+                    int.from_bytes(
+                        sha256(b"'vrf'\x1f%d%b" % (private, suffix)).digest()[:7],
+                        "big",
+                    )
+                    >> 3
+                )
+                / scale
+                for private in self._private_keys
+            ]
+        )
+
+    # -- proposals ------------------------------------------------------------
+
+    def _propose(
+        self, ctx: RoundContext, stake_units: np.ndarray, total_stake: float
+    ) -> List[_Proposal]:
+        config = self.config
+        weights = self._role_weights(
+            Role.PROPOSER, 0, ctx.round_index, ctx.sortition_seed, stake_units, total_stake
+        )
+        pending = (
+            self.transaction_source(ctx.round_index) if self.transaction_source else []
+        )
+        block_seed = crypto.next_round_seed(ctx.sortition_seed, ctx.round_index)
+        proposals: List[_Proposal] = []
+        for i in np.flatnonzero(weights > 0):
+            i = int(i)
+            behavior = self.behaviors[i]
+            if not behavior.proposes:
+                continue
+            vrf = crypto.vrf_evaluate(
+                self._keypairs[i], ctx.sortition_seed, ctx.round_index, 0
+            )
+            priority = min(
+                crypto.subuser_priority(vrf.proof, index)
+                for index in range(int(weights[i]))
+            )
+            payload = self._validated_payload(pending)
+            block = Block(
+                round_index=ctx.round_index,
+                previous_hash=self._tips[i],
+                seed=block_seed,
+                transactions=payload,
+                proposer=i,
+            )
+            proposals.append(
+                _Proposal(
+                    sender=i,
+                    block=block,
+                    block_hash=block.block_hash(),
+                    priority=priority,
+                )
+            )
+            if behavior.equivocates:
+                rogue_payload = payload[1:] if payload else ()
+                rogue = Block(
+                    round_index=ctx.round_index,
+                    previous_hash=self._tips[i],
+                    seed=block_seed,
+                    transactions=rogue_payload,
+                    proposer=i,
+                )
+                rogue_hash = rogue.block_hash()
+                if rogue_hash != block.block_hash():
+                    proposals.append(
+                        _Proposal(
+                            sender=i,
+                            block=rogue,
+                            block_hash=rogue_hash,
+                            priority=priority,
+                        )
+                    )
+        return proposals
+
+    @staticmethod
+    def _validated_payload(pending: List[Transaction]) -> Tuple[Transaction, ...]:
+        return tuple(
+            txn
+            for txn in pending
+            if txn.amount > 0 and txn.from_account != txn.to_account
+        )
+
+    def _best_proposals(
+        self, proposals: List[_Proposal], hops: np.ndarray, budget: int
+    ) -> List[Optional[int]]:
+        """Per node: hash of the best proposal that arrives in the window.
+
+        Iterates proposals worst-first so the best reachable proposal ends
+        up owning each node's slot — the array form of the DES's
+        ``min(proposals, key=(priority, block_hash))``.
+        """
+        n = self.config.n_nodes
+        best: List[Optional[int]] = [None] * n
+        ranked = sorted(
+            proposals, key=lambda p: (p.priority, p.block_hash), reverse=True
+        )
+        for proposal in ranked:
+            reach = np.flatnonzero(hops[proposal.sender] <= budget)
+            for j in reach:
+                best[int(j)] = proposal.block_hash
+        return best
+
+    # -- voting ----------------------------------------------------------------
+
+    def _cast(
+        self,
+        node_id: int,
+        step: int,
+        value: int,
+        cast_index: int,
+        weights: np.ndarray,
+        votes: Dict[int, List[Tuple[int, int, int, int]]],
+        voted_any: set,
+        proposals: List[_Proposal],
+    ) -> None:
+        """Record one committee vote if the node votes and was selected."""
+        if not self._votes_list[node_id]:
+            return
+        weight = int(weights[node_id])
+        if weight <= 0:
+            return
+        if self._equivocates_list[node_id]:
+            value = self._equivocated(node_id, value, proposals)
+        votes.setdefault(step, []).append((node_id, weight, value, cast_index))
+        voted_any.add(node_id)
+
+    def _equivocated(
+        self, node_id: int, honest_value: int, proposals: List[_Proposal]
+    ) -> int:
+        """Fast-path analogue of ``Node._equivocated_value``.
+
+        The DES draws from the node's stream over proposals in *arrival*
+        order; the fast path has no arrival order, so it draws from a
+        dedicated stream over proposals in priority order — statistically
+        equivalent, never bit-matched (documented approximation).
+        """
+        options = [EMPTY_HASH, honest_value] + [
+            p.block_hash for p in sorted(proposals, key=lambda p: (p.priority, p.block_hash))
+        ]
+        return self._equiv_rngs[node_id].choice(options)
+
+    def _tally(
+        self,
+        step_votes: Sequence[Tuple[int, int, int, int]],
+        step: int,
+        hops: np.ndarray,
+        candidates: List[int],
+        value_index: Dict[int, int],
+        needed: float,
+    ) -> List[Optional[int]]:
+        """Per-node CountVotes for one step, as one array reduction.
+
+        Accumulates, for every receiving node, the sub-user weight of each
+        candidate value over the votes whose hop distance fits the travel
+        windows between cast and tally deadlines, then applies the shared
+        :func:`resolve_quorum` rule (vectorized: candidates are ordered
+        ascending, so the first argmax reproduces the smallest-value
+        tie-break exactly).
+        """
+        n = self.config.n_nodes
+        if not step_votes:
+            return [None] * n
+        config = self.config
+        tally = np.zeros((n, len(candidates)))
+        for sender, weight, value, cast_index in step_votes:
+            windows = step - cast_index
+            budget = self.latency.hop_budget(windows * config.step_timeout, config)
+            reach = hops[sender] <= budget
+            tally[reach, value_index[value]] += weight
+        quorum = tally > needed
+        has_quorum = quorum.any(axis=1)
+        winner = np.where(quorum, tally, -1.0).argmax(axis=1)
+        return [
+            candidates[int(winner[j])] if has_quorum[j] else None for j in range(n)
+        ]
+
+    # -- network ----------------------------------------------------------------
+
+    def _round_hops(self) -> np.ndarray:
+        """The round's hop-distance matrix (per-round under message drops)."""
+        if self._static_hops is not None:
+            return self._static_hops
+        n = self.config.n_nodes
+        keep = self._drop_rng.random((n, n)) >= self.config.drop_probability
+        return _bfs_hops(self._neighbors, self._online, self._relays, edge_keep=keep)
+
+    # -- finalization -------------------------------------------------------------
+
+    def _finalize_round(
+        self,
+        ctx: RoundContext,
+        steps_used: int,
+        machines: Dict[int, ConsensusStateMachine],
+        registry: Dict[int, _Proposal],
+        proposals: List[_Proposal],
+        proposed: set,
+        voted_any: set,
+        final_votes: List[Tuple[int, int, int, int]],
+        hops: np.ndarray,
+    ) -> RoundRecord:
+        config = self.config
+        n = config.n_nodes
+
+        authoritative_value, authoritative_label = self._authoritative_outcome(
+            ctx, machines, registry, final_votes
+        )
+
+        # FINAL-vote tallies as seen by each node at extraction time: the
+        # driver grants one trailing window past the last deadline, so a
+        # vote cast at deadline c travels (steps_used + 1 - c) windows.
+        extraction_index = steps_used + 1
+        needed_final = config.t_final * config.tau_final
+        candidates = [EMPTY_HASH] + sorted(registry)
+        value_index = {value: k for k, value in enumerate(candidates)}
+        final_counted = self._tally(
+            [
+                (sender, weight, value, cast_index)
+                for sender, weight, value, cast_index in final_votes
+            ],
+            extraction_index,
+            hops,
+            candidates,
+            value_index,
+            needed_final,
+        )
+
+        # Blocks remain collectible until extraction: the whole round is
+        # the travel window.
+        window_fin = config.proposal_wait + extraction_index * config.step_timeout
+        budget_fin = self.latency.hop_budget(window_fin, config)
+        empty_seed = crypto.next_round_seed(ctx.sortition_seed, ctx.round_index)
+        auth_tip = self.authoritative.tip().block_hash()
+
+        n_final = n_tentative = n_none = 0
+        n_concluded_empty = n_desynced = n_caught_up = 0
+        for i in self._online_ids:
+            machine = machines[i]
+            value = machine.concluded_value if machine.concluded else None
+            if value is None:
+                n_none += 1
+                continue
+            if value == EMPTY_HASH:
+                empty = make_empty_block(ctx.round_index, self._tips[i], empty_seed)
+                self._tips[i] = empty.block_hash()
+                n_tentative += 1
+                n_concluded_empty += 1
+                continue
+            proposal = registry.get(value)
+            received = (
+                proposal is not None and hops[proposal.sender, i] <= budget_fin
+            )
+            if not received:
+                n_none += 1
+                continue
+            has_finality = final_counted[i] == value
+            parent_matches = proposal.block.previous_hash == self._tips[i]
+            if has_finality:
+                n_final += 1
+                if parent_matches:
+                    self._tips[i] = value
+                else:
+                    self._tips[i] = auth_tip
+                    n_caught_up += 1
+            elif parent_matches:
+                self._tips[i] = value
+                n_tentative += 1
+            else:
+                n_none += 1
+                n_desynced += 1
+
+        snapshot = self.role_snapshot(ctx.round_index, proposed, voted_any)
+        reward_total = 0.0
+        reward_params: Dict[str, float] = {}
+        if self.mechanism is not None:
+            allocation = self.mechanism.allocate(snapshot)
+            reward_total = allocation.total
+            reward_params = dict(allocation.params)
+            for node_id, amount in allocation.per_node.items():
+                self.stakes[node_id] += amount
+                self.rewards_received[node_id] += amount
+
+        self.sortition_seed, _refreshed = crypto.refresh_seed(
+            ctx.sortition_seed, ctx.round_index, config.seed_refresh_interval
+        )
+
+        record = RoundRecord(
+            round_index=ctx.round_index,
+            n_online=len(self._online_ids),
+            n_final=n_final,
+            n_tentative=n_tentative,
+            n_none=n_none,
+            n_concluded_empty=n_concluded_empty,
+            n_desynced=n_desynced,
+            n_caught_up=n_caught_up,
+            authoritative_label=authoritative_label,
+            authoritative_value=authoritative_value,
+            steps_used=steps_used,
+            reward_total=reward_total,
+            reward_params=reward_params,
+            n_leaders=len(snapshot.leaders),
+            n_committee=len(snapshot.committee),
+        )
+        self.metrics.record(record)
+        return record
+
+    def _authoritative_outcome(
+        self,
+        ctx: RoundContext,
+        machines: Dict[int, ConsensusStateMachine],
+        registry: Dict[int, _Proposal],
+        final_votes: List[Tuple[int, int, int, int]],
+    ):
+        """Ground truth, identical to the DES's omniscient observer."""
+        conclusions = Counter(
+            machine.concluded_value
+            for machine in machines.values()
+            if machine.concluded
+        )
+        if not conclusions:
+            return None, ConsensusLabel.NONE
+        winner, _count = min(
+            conclusions.items(), key=lambda item: (-item[1], item[0])
+        )
+        weights: Dict[int, int] = {}
+        for _sender, weight, value, _cast in final_votes:
+            weights[value] = weights.get(value, 0) + weight
+        final_tally = resolve_quorum(weights, ctx.tau_final, ctx.t_final)
+        if winner == EMPTY_HASH:
+            block = make_empty_block(
+                ctx.round_index,
+                self.authoritative.tip().block_hash(),
+                crypto.next_round_seed(ctx.sortition_seed, ctx.round_index),
+            )
+            self.authoritative.append(block, ConsensusLabel.TENTATIVE)
+            return EMPTY_HASH, ConsensusLabel.TENTATIVE
+        proposal = registry.get(winner)
+        if (
+            proposal is None
+            or proposal.block.previous_hash != self.authoritative.tip().block_hash()
+        ):
+            return winner, ConsensusLabel.NONE
+        label = (
+            ConsensusLabel.FINAL if final_tally == winner else ConsensusLabel.TENTATIVE
+        )
+        self.authoritative.append(proposal.block, label)
+        return winner, label
+
+    # -- role classification -------------------------------------------------------
+
+    def role_snapshot(
+        self, round_index: int, proposed: set, voted_any: set
+    ) -> RoleSnapshot:
+        """Classify online nodes by performed role (L / M / K)."""
+        leaders: Dict[int, float] = {}
+        committee: Dict[int, float] = {}
+        others: Dict[int, float] = {}
+        for i in self._online_ids:
+            if i in proposed:
+                leaders[i] = self.stakes[i]
+            elif i in voted_any:
+                committee[i] = self.stakes[i]
+            else:
+                others[i] = self.stakes[i]
+        return RoleSnapshot(
+            round_index=round_index,
+            leaders=leaders,
+            committee=committee,
+            others=others,
+        )
+
+
+def make_simulation(
+    config: SimulationConfig,
+    mechanism: Optional[RewardMechanism] = None,
+    transaction_source: Optional[TransactionSource] = None,
+    behaviors: Optional[Sequence[Behavior]] = None,
+    latency: Optional[LatencyModel] = None,
+):
+    """Build the simulation engine selected by ``config.backend``.
+
+    ``"des"`` returns the event-driven :class:`AlgorandSimulation` (the
+    differential oracle); ``"fast"`` the vectorized :class:`FastSimulation`.
+    Both expose ``run(n_rounds) -> SimulationMetrics`` with the same
+    record schema.
+    """
+    if config.backend == "fast":
+        return FastSimulation(
+            config,
+            mechanism=mechanism,
+            transaction_source=transaction_source,
+            behaviors=behaviors,
+            latency=latency,
+        )
+    return AlgorandSimulation(
+        config,
+        mechanism=mechanism,
+        transaction_source=transaction_source,
+        behaviors=behaviors,
+    )

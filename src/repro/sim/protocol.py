@@ -42,6 +42,45 @@ from repro.sim.roles import RewardAllocation, RoleSnapshot
 TransactionSource = Callable[[int], List[Transaction]]
 
 
+def initial_stakes(config: SimulationConfig, streams: RngStreams) -> List[float]:
+    """The run's starting stake vector, drawn from the ``"stakes"`` stream.
+
+    Shared by both simulation backends: paired-seed agreement between the
+    DES and the fast kernel depends on a single implementation of this
+    draw (paper Section III-C: stakes uniform between 1 and 50 Algos).
+    """
+    if config.stakes is not None:
+        return [float(s) for s in config.stakes]
+    rng = streams.get("stakes")
+    low, high = config.stake_low, config.stake_high
+    return [float(rng.randint(int(low), int(high))) for _ in range(config.n_nodes)]
+
+
+def resolve_behaviors(
+    config: SimulationConfig,
+    streams: RngStreams,
+    explicit: Optional[Sequence[Behavior]],
+) -> List[Behavior]:
+    """The run's behaviour vector: explicit, or drawn from ``"behaviors"``.
+
+    Shared by both simulation backends for the same bit-identity reason
+    as :func:`initial_stakes`.
+    """
+    if explicit is not None:
+        if len(explicit) != config.n_nodes:
+            raise ConfigurationError(
+                f"behaviors has length {len(explicit)}, expected {config.n_nodes}"
+            )
+        return list(explicit)
+    return assign_behaviors(
+        config.n_nodes,
+        config.defection_rate,
+        config.malicious_rate,
+        config.offline_rate,
+        streams.get("behaviors"),
+    )
+
+
 class RewardMechanism(Protocol):
     """Structural interface every reward-sharing mechanism implements."""
 
@@ -69,8 +108,8 @@ class AlgorandSimulation:
         self.round_index = 0
         self.sortition_seed = crypto.sha256_int("genesis-seed", config.seed) % 2**64
 
-        stakes = self._initial_stakes()
-        node_behaviors = self._behaviors(behaviors)
+        stakes = initial_stakes(config, self.streams)
+        node_behaviors = resolve_behaviors(config, self.streams, behaviors)
         self.nodes: List[Node] = []
         key_registry: Dict[int, crypto.KeyPair] = {}
         for node_id in range(config.n_nodes):
@@ -113,31 +152,6 @@ class AlgorandSimulation:
         self.authoritative = Ledger(genesis_seed=0)
         self._block_registry: Dict[int, Block] = {}
         self._final_votes: Dict[int, VoteMessage] = {}
-
-    # -- construction helpers ---------------------------------------------------
-
-    def _initial_stakes(self) -> List[float]:
-        if self.config.stakes is not None:
-            return [float(s) for s in self.config.stakes]
-        rng = self.streams.get("stakes")
-        low, high = self.config.stake_low, self.config.stake_high
-        # Paper Section III-C: stakes uniform between 1 and 50 Algos.
-        return [float(rng.randint(int(low), int(high))) for _ in range(self.config.n_nodes)]
-
-    def _behaviors(self, explicit: Optional[Sequence[Behavior]]) -> List[Behavior]:
-        if explicit is not None:
-            if len(explicit) != self.config.n_nodes:
-                raise ConfigurationError(
-                    f"behaviors has length {len(explicit)}, expected {self.config.n_nodes}"
-                )
-            return list(explicit)
-        return assign_behaviors(
-            self.config.n_nodes,
-            self.config.defection_rate,
-            self.config.malicious_rate,
-            self.config.offline_rate,
-            self.streams.get("behaviors"),
-        )
 
     # -- public accessors ----------------------------------------------------------
 

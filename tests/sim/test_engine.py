@@ -145,6 +145,78 @@ class TestCancellation:
         assert engine.pending_count == 0
         assert engine.run() == 0
 
+    def test_clear_resets_cancelled_counter(self):
+        engine = EventEngine()
+        engine.schedule_at(1.0, lambda: None).cancel()
+        engine.clear()
+        assert engine.cancelled_pending_count == 0
+
+
+class TestLazyDeletionCompaction:
+    """Regression: cancelled events must not pile up in the heap.
+
+    Before the lazy-deletion counter, a schedule/cancel-heavy workload
+    (per-step protocol timeouts that are almost always cancelled early)
+    left every dead entry in the heap until its fire time, making each
+    push O(log dead) — quadratic in aggregate for 100k timeouts.
+    """
+
+    def test_100k_scheduled_and_cancelled_timeouts_stay_compact(self):
+        engine = EventEngine()
+        live = engine.schedule_at(10_000_000.0, lambda: None, label="live")
+        for i in range(100_000):
+            engine.schedule_at(1_000_000.0 + i, lambda: None, label="timeout").cancel()
+            # The heap never holds more dead entries than live ones (plus
+            # the sub-threshold slack below the compaction minimum).
+            assert engine.pending_count <= EventEngine._COMPACT_MIN_SIZE
+        assert engine.cancelled_pending_count <= engine.pending_count
+        assert not live.cancelled
+        assert engine.run() == 1  # only the live event ever fires
+
+    def test_rolling_timeout_pattern_stays_compact(self):
+        # The protocol idiom: arm a timeout, cancel it when progress
+        # arrives, arm the next one.
+        engine = EventEngine()
+        fired = []
+        previous = None
+        for i in range(10_000):
+            if previous is not None:
+                previous.cancel()
+            previous = engine.schedule_at(
+                float(i + 1), lambda i=i: fired.append(i), label="timeout"
+            )
+            assert engine.pending_count <= EventEngine._COMPACT_MIN_SIZE
+        engine.run()
+        assert fired == [9_999]
+
+    def test_compaction_preserves_order_and_counts(self):
+        engine = EventEngine()
+        fired = []
+        events = [
+            engine.schedule_at(float(i), lambda i=i: fired.append(i))
+            for i in range(64)
+        ]
+        for event in events[1::2]:
+            event.cancel()
+        engine.run()
+        assert fired == list(range(0, 64, 2))
+        assert engine.executed_count == 32
+        assert engine.cancelled_pending_count == 0
+
+    def test_cancel_is_idempotent_in_counter(self):
+        engine = EventEngine()
+        event = engine.schedule_at(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert engine.cancelled_pending_count == 1
+
+    def test_standalone_event_cancel_still_works(self):
+        from repro.sim.engine import Event
+
+        event = Event(time=1.0, callback=lambda: None)
+        event.cancel()
+        assert event.cancelled
+
 
 class TestDrain:
     def test_drain_returns_counts_and_time(self):

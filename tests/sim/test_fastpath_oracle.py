@@ -1,0 +1,296 @@
+"""Differential suite: the vectorized fast kernel vs the DES oracle.
+
+The fast kernel (:mod:`repro.sim.fastpath`) must agree with the
+event-driven simulator on paired seeds:
+
+* **bit-exact** where the kernel recomputes the same quantities — VRF
+  outputs, sortition committee weights, population/overlay construction,
+  and the shared pure threshold/step functions, and
+* **statistically** for full-round metrics, where the gossip layer is
+  approximated by the calibrated hop-budget latency model — in the
+  calibrated regime (the paper's default timing constants) the agreement
+  is in fact exact on every configuration these tests pin.
+
+Plus kernel-only invariants: purity (same config, same result),
+backend dispatch, and the latency-model calibration staying in band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    AlgorandSimulation,
+    Behavior,
+    FastSimulation,
+    LatencyModel,
+    SimulationConfig,
+    make_simulation,
+)
+from repro.sim import crypto
+from repro.sim.ba_star import count_votes, resolve_quorum
+from repro.sim.fastpath import DEFAULT_HOP_QUANTILE, fit_latency_model
+from repro.sim.roles import RewardAllocation, RoleSnapshot
+
+
+def _paired_config(**overrides) -> SimulationConfig:
+    """A small paper-regime config shared by both backends."""
+    base = dict(
+        n_nodes=40,
+        seed=11,
+        tau_proposer=6.0,
+        tau_step=60.0,
+        tau_final=80.0,
+        verify_crypto=False,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def _records(simulation, n_rounds):
+    return simulation.run(n_rounds).records
+
+
+# -- pure threshold/step functions shared by both backends -------------------
+
+
+@dataclass(frozen=True)
+class _Vote:
+    """Minimal vote shape ``count_votes`` consumes (value + weight)."""
+
+    value: int
+    weight: int
+
+
+class TestSharedPureFunctions:
+    @given(
+        weights=st.dictionaries(
+            st.integers(min_value=-1, max_value=50),
+            st.integers(min_value=1, max_value=200),
+            max_size=8,
+        ),
+        tau=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+        threshold=st.floats(min_value=0.51, max_value=0.99, allow_nan=False),
+    )
+    def test_count_votes_defers_to_resolve_quorum(self, weights, tau, threshold):
+        votes = [_Vote(value=value, weight=weight) for value, weight in weights.items()]
+        assert count_votes(votes, tau, threshold) == resolve_quorum(
+            weights, tau, threshold
+        )
+
+    @given(
+        tau=st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+        threshold=st.floats(min_value=0.51, max_value=0.99, allow_nan=False),
+    )
+    def test_resolve_quorum_requires_strict_majority_of_tau(self, tau, threshold):
+        needed = threshold * tau
+        below = {7: int(needed)}  # weight <= needed never wins
+        assert resolve_quorum(below, tau, threshold) is None
+
+    def test_resolve_quorum_tie_breaks_to_smallest_value(self):
+        weights = {9: 80, 3: 80, 5: 70}
+        assert resolve_quorum(weights, 100.0, 0.685) == 3
+
+    def test_resolve_quorum_prefers_heaviest(self):
+        weights = {9: 90, 3: 80}
+        assert resolve_quorum(weights, 100.0, 0.685) == 9
+
+
+class TestVrfHotLoopExact:
+    def test_vrf_values_match_crypto_for_every_domain(self):
+        simulation = FastSimulation(_paired_config(backend="fast"))
+        for tag in (0, 1_000 + 1, 1_000 + 13, 2_000 + 10_000):
+            batch = simulation._vrf_values(987_654_321, 5, tag)
+            reference = [
+                crypto.vrf_evaluate(keypair, 987_654_321, 5, tag).value
+                for keypair in simulation._keypairs
+            ]
+            assert batch.tolist() == reference
+
+
+# -- paired-seed differential comparisons ------------------------------------
+
+
+class TestPairedSeedExactAgreement:
+    """Configs in the calibrated regime agree record-for-record."""
+
+    @pytest.mark.parametrize("defection_rate", [0.0, 0.05, 0.15, 0.30])
+    def test_round_records_match_des(self, defection_rate):
+        kwargs = dict(n_nodes=40, seed=71, defection_rate=defection_rate)
+        des = AlgorandSimulation(_paired_config(**kwargs))
+        fast = FastSimulation(_paired_config(**kwargs, backend="fast"))
+        for des_record, fast_record in zip(_records(des, 4), _records(fast, 4)):
+            assert (
+                des_record.n_final,
+                des_record.n_tentative,
+                des_record.n_none,
+                des_record.n_concluded_empty,
+                des_record.steps_used,
+                des_record.n_leaders,
+                des_record.n_committee,
+                des_record.n_online,
+                des_record.authoritative_label,
+                des_record.authoritative_value,
+            ) == (
+                fast_record.n_final,
+                fast_record.n_tentative,
+                fast_record.n_none,
+                fast_record.n_concluded_empty,
+                fast_record.steps_used,
+                fast_record.n_leaders,
+                fast_record.n_committee,
+                fast_record.n_online,
+                fast_record.authoritative_label,
+                fast_record.authoritative_value,
+            )
+
+    def test_explicit_behavior_vector_matches_des(self):
+        behaviors = (
+            [Behavior.SELFISH_COOPERATE] * 20
+            + [Behavior.SELFISH_DEFECT] * 6
+            + [Behavior.HONEST] * 12
+            + [Behavior.FAULTY] * 2
+        )
+        config = _paired_config(seed=5)
+        des = AlgorandSimulation(config, behaviors=list(behaviors))
+        fast = FastSimulation(
+            _paired_config(seed=5, backend="fast"), behaviors=list(behaviors)
+        )
+        des_metrics = des.run(3)
+        fast_metrics = fast.run(3)
+        assert des_metrics.series("fraction_final") == fast_metrics.series(
+            "fraction_final"
+        )
+        assert des_metrics.series("n_online") == fast_metrics.series("n_online")
+
+
+class _UnitRewardPerLeader:
+    """Toy mechanism: 1 Algo per performing leader (stake compounds)."""
+
+    def allocate(self, snapshot: RoleSnapshot) -> RewardAllocation:
+        per_node = {node_id: 1.0 for node_id in snapshot.leaders}
+        return RewardAllocation(
+            per_node=per_node, total=float(len(per_node)), params={"b_i": 1.0}
+        )
+
+
+class TestMechanismParity:
+    def test_reward_compounding_matches_des(self):
+        des = AlgorandSimulation(_paired_config(), mechanism=_UnitRewardPerLeader())
+        fast = FastSimulation(
+            _paired_config(backend="fast"), mechanism=_UnitRewardPerLeader()
+        )
+        des_records = _records(des, 4)
+        fast_records = _records(fast, 4)
+        assert [r.reward_total for r in des_records] == [
+            r.reward_total for r in fast_records
+        ]
+        assert des.stake_vector() == fast.stake_vector()
+
+
+class TestStatisticalAgreement:
+    """Hypothesis sweep: committee sizes exact, timing stats in tolerance."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        defection_rate=st.sampled_from([0.0, 0.1, 0.2, 0.3]),
+        n_nodes=st.sampled_from([24, 32, 40]),
+    )
+    def test_committee_sizes_exact_and_quantiles_close(
+        self, seed, defection_rate, n_nodes
+    ):
+        kwargs = dict(n_nodes=n_nodes, seed=seed, defection_rate=defection_rate)
+        des_records = _records(AlgorandSimulation(_paired_config(**kwargs)), 3)
+        fast_records = _records(
+            FastSimulation(_paired_config(**kwargs, backend="fast")), 3
+        )
+        # Sortition is recomputed exactly: realized role counts must match
+        # round for round.
+        assert [(r.n_leaders, r.n_committee, r.n_online) for r in des_records] == [
+            (r.n_leaders, r.n_committee, r.n_online) for r in fast_records
+        ]
+        # Finalization-time proxy (steps used) and extraction fractions
+        # agree within tolerance even outside the exact regime.
+        des_steps = median(r.steps_used for r in des_records)
+        fast_steps = median(r.steps_used for r in fast_records)
+        assert abs(des_steps - fast_steps) <= 2
+        des_final = np.mean([r.fraction_final for r in des_records])
+        fast_final = np.mean([r.fraction_final for r in fast_records])
+        assert abs(des_final - fast_final) <= 0.34
+
+
+# -- kernel-only invariants ---------------------------------------------------
+
+
+class TestFastKernelInvariants:
+    def test_runs_are_pure_functions_of_config(self):
+        config = _paired_config(defection_rate=0.1, backend="fast")
+        first = FastSimulation(config).run(4)
+        second = FastSimulation(config).run(4)
+        assert first.series("fraction_final") == second.series("fraction_final")
+        assert first.series("steps_used") == second.series("steps_used")
+
+    def test_fraction_categories_partition_online(self):
+        metrics = FastSimulation(
+            _paired_config(defection_rate=0.2, offline_rate=0.1, backend="fast")
+        ).run(4)
+        for record in metrics.records:
+            assert record.n_final + record.n_tentative + record.n_none == (
+                record.n_online
+            )
+
+    def test_drop_probability_degrades_gracefully(self):
+        healthy = FastSimulation(_paired_config(seed=3, backend="fast")).run(4)
+        lossy = FastSimulation(
+            _paired_config(seed=3, drop_probability=0.6, backend="fast")
+        ).run(4)
+        assert sum(lossy.series("fraction_final")) <= sum(
+            healthy.series("fraction_final")
+        )
+
+    def test_latency_model_validates(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(hop_quantile=1.5)
+
+    def test_zero_delay_window_admits_everything(self):
+        config = _paired_config(delay_min=0.0, delay_max=0.0, backend="fast")
+        metrics = FastSimulation(config).run(2)
+        assert all(r.n_online == 40 for r in metrics.records)
+
+
+class TestLatencyCalibration:
+    def test_fitted_quantile_matches_shipped_constant(self):
+        fitted = fit_latency_model()
+        assert abs(fitted.hop_quantile - DEFAULT_HOP_QUANTILE) < 0.1
+
+    def test_fit_handles_degenerate_delay_span(self):
+        config = SimulationConfig(
+            n_nodes=12, seed=0, delay_min=0.1, delay_max=0.1, verify_crypto=False
+        )
+        assert fit_latency_model(config).hop_quantile == 0.0
+
+
+class TestBackendDispatch:
+    def test_make_simulation_honours_backend(self):
+        assert isinstance(make_simulation(_paired_config()), AlgorandSimulation)
+        assert isinstance(
+            make_simulation(_paired_config(backend="fast")), FastSimulation
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _paired_config(backend="warp")
+
+    def test_scenario_spec_rejects_unknown_backend(self):
+        from repro.scenarios.spec import ScenarioSpec
+
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="x", description="", sim_backend="warp")
