@@ -15,6 +15,11 @@ The package has five layers:
   incentive-compatibility audit engine, and cross-scheme tournaments.
 * :mod:`repro.stakes` — stake-distribution generators and the synthetic
   exchange used in the evaluation.
+* :mod:`repro.populations` — streaming million-agent populations:
+  columnar agent arrays, chunk-stable generator families (Zipf, Pareto,
+  lognormal, empirical exchange snapshots), and the by-reference
+  :class:`~repro.populations.spec.PopulationSpec` consumed by the
+  chunked audits, tournaments and the ``scale`` runner.
 * :mod:`repro.analysis` — experiment drivers regenerating every table and
   figure, with CSV and ASCII-chart rendering.
 * :mod:`repro.scenarios` — declarative scenario families and the
@@ -44,6 +49,12 @@ from repro.errors import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.populations import (
+        PopulationArrays,
+        PopulationSpec,
+        family_names,
+        population_family,
+    )
     from repro.scenarios import (
         ScenarioSpec,
         get_scenario,
@@ -62,6 +73,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing aid only
 #: consumers of ``repro.__version__`` (e.g. ``repro-runner --version``)
 #: should not pay ~0.7s of import time for.
 _LAZY_EXPORTS = {
+    "PopulationArrays": "repro.populations",
+    "PopulationSpec": "repro.populations",
+    "family_names": "repro.populations",
+    "population_family": "repro.populations",
     "ScenarioSpec": "repro.scenarios",
     "get_scenario": "repro.scenarios",
     "register_scenario": "repro.scenarios",
@@ -93,14 +108,18 @@ __all__ = [
     "GameError",
     "InfeasibleRewardError",
     "MechanismError",
+    "PopulationArrays",
+    "PopulationSpec",
     "ReproError",
     "RewardScheme",
     "ScenarioSpec",
     "SchemeError",
     "SimulationError",
     "__version__",
+    "family_names",
     "get_scenario",
     "get_scheme",
+    "population_family",
     "register_scenario",
     "register_scheme",
     "scenario_names",

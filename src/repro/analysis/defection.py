@@ -88,12 +88,15 @@ class DefectionSeries:
     fraction_none: List[float]
 
     def mean_final(self) -> float:
+        """Mean fraction of nodes reaching FINAL consensus, across runs."""
         return sum(self.fraction_final) / len(self.fraction_final)
 
     def mean_tentative(self) -> float:
+        """Mean fraction of nodes reaching TENTATIVE consensus, across runs."""
         return sum(self.fraction_tentative) / len(self.fraction_tentative)
 
     def mean_none(self) -> float:
+        """Mean fraction of nodes reaching no consensus, across runs."""
         return sum(self.fraction_none) / len(self.fraction_none)
 
 
@@ -137,6 +140,7 @@ class DefectionExperimentResult:
         return "\n\n".join(panels)
 
     def to_csv(self, path: PathLike) -> None:
+        """Write one row per (defection rate, run, round) as CSV."""
         rows = []
         for rate in sorted(self.series):
             data = self.series[rate]

@@ -90,9 +90,11 @@ class DistributionRewards:
     per_round_mean: List[float]  # averaged over instances, indexed by round
 
     def summary(self) -> Dict[str, float]:
+        """Summary statistics of the final cumulative rewards."""
         return stats.summary(self.rewards)
 
     def mean(self) -> float:
+        """Mean final cumulative reward across sampled nodes."""
         return stats.mean(self.rewards)
 
 
@@ -107,10 +109,12 @@ class RewardComparisonResult:
     # -- Figure 6 -------------------------------------------------------------
 
     def histogram(self, name: str, bins: int = 12) -> Tuple[List[float], List[int]]:
+        """Reward histogram (bin edges, counts) for one distribution."""
         data = self._get(name)
         return stats.histogram(data.rewards, bins=bins)
 
     def render_figure6(self) -> str:
+        """ASCII rendition of Figure 6 (reward distributions)."""
         panels = []
         for name, data in self.distributions.items():
             edges, counts = self.histogram(name)
@@ -130,6 +134,7 @@ class RewardComparisonResult:
     # -- Figure 7(a): per-round rewards -----------------------------------------
 
     def figure7a_series(self) -> Dict[str, List[float]]:
+        """Per-round mean reward series, ours vs Foundation, per distribution."""
         series = {
             f"ours {name}": data.per_round_mean
             for name, data in self.distributions.items()
@@ -140,6 +145,7 @@ class RewardComparisonResult:
         return series
 
     def render_figure7a(self) -> str:
+        """ASCII rendition of Figure 7(a) (per-round reward trajectories)."""
         return plotting.line_chart(
             self.figure7a_series(),
             title="Figure 7(a) — per-round reward: adaptive (ours) vs Foundation",
@@ -167,6 +173,7 @@ class RewardComparisonResult:
         return xs, series
 
     def render_figure7b(self) -> str:
+        """ASCII rendition of Figure 7(b) (cumulative reward trajectories)."""
         xs, series = self.figure7b_series()
         chart = plotting.line_chart(
             series,
@@ -188,6 +195,7 @@ class RewardComparisonResult:
         return rows
 
     def to_csv(self, path: PathLike) -> None:
+        """Write per-(distribution, node) final rewards as CSV."""
         rows = []
         for name, data in self.distributions.items():
             for index, value in enumerate(data.rewards):
@@ -364,6 +372,7 @@ class TruncationResult:
     rewards_by_threshold: Dict[str, float] = field(default_factory=dict)
 
     def render(self) -> str:
+        """ASCII rendition of Figure 7(c) (truncated populations)."""
         labels = list(self.rewards_by_threshold)
         values = [self.rewards_by_threshold[label] for label in labels]
         chart = plotting.bar_chart(
@@ -374,9 +383,11 @@ class TruncationResult:
         return chart
 
     def summary_rows(self) -> List[Tuple[str, float]]:
+        """(population, mean B_i) rows of the truncation comparison."""
         return list(self.rewards_by_threshold.items())
 
     def to_csv(self, path: PathLike) -> None:
+        """Write the truncation comparison rows as CSV."""
         write_rows(path, ("population", "mean_b_i"), self.summary_rows())
 
 

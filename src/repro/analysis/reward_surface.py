@@ -67,6 +67,7 @@ class RewardSurfaceResult:
 
     @property
     def best(self) -> OptimalSplit:
+        """The grid point minimizing the required reward B_i."""
         return self.grid.best
 
     def binding_bound(self) -> str:
@@ -77,6 +78,7 @@ class RewardSurfaceResult:
         ).binding
 
     def render(self) -> str:
+        """ASCII heat map of B_i over the (alpha, beta) grid (Figure 5)."""
         table = plotting.surface_table(
             row_labels=list(self.grid.alphas),
             col_labels=list(self.grid.betas),
@@ -100,6 +102,7 @@ class RewardSurfaceResult:
         return "\n".join(lines)
 
     def to_csv(self, path: PathLike) -> None:
+        """Write one row per (alpha, beta) grid point as CSV."""
         write_rows(path, ("alpha", "beta", "min_b_i"), self.grid.surface_rows())
 
     def summary_rows(self) -> List[Tuple[str, float, float, float]]:

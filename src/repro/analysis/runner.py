@@ -66,7 +66,8 @@ from repro.sim.config import SIMULATION_BACKENDS
 
 #: Per-scale experiment parameters: (fig3 runs/rounds/nodes, fig6 instances,
 #: scenario campaign shape (players, epochs, replications, simulated rounds),
-#: tournament shape (players, epochs, replications, simulated rounds)).
+#: tournament shape (players, epochs, replications, simulated rounds),
+#: population-scale audit size (agents)).
 _SCALES = {
     "small": {
         "fig3": (2, 6, 40),
@@ -74,6 +75,7 @@ _SCALES = {
         "surface_nodes": 50_000,
         "scenarios": (28, 10, 2, 2),
         "tournament": (24, 8, 1, 1),
+        "scale_agents": 20_000,
     },
     "bench": {
         "fig3": (3, 12, 60),
@@ -81,6 +83,7 @@ _SCALES = {
         "surface_nodes": 500_000,
         "scenarios": (48, 16, 4, 2),
         "tournament": (32, 12, 2, 2),
+        "scale_agents": 1_000_000,
     },
     "paper": {
         "fig3": (100, 60, 100),
@@ -88,6 +91,7 @@ _SCALES = {
         "surface_nodes": 500_000,
         "scenarios": (80, 30, 10, 4),
         "tournament": (64, 24, 6, 2),
+        "scale_agents": 10_000_000,
     },
 }
 
@@ -110,6 +114,16 @@ class RunOptions:
     cache_dir: Optional[Path] = None
     progress: bool = False
     backend: Optional[str] = None
+    #: Population-scale (``scale`` experiment) knobs; other experiments
+    #: ignore them.  ``agents=None`` uses the ``--scale`` preset;
+    #: ``family_params`` holds raw ``key=value`` strings from
+    #: ``--family-param`` (values parsed as JSON where possible).
+    family: str = "zipf"
+    family_params: tuple = ()
+    agents: Optional[int] = None
+    chunk_agents: Optional[int] = None
+    dtype: str = "float64"
+    schemes: tuple = ()
 
 
 @dataclass
@@ -270,6 +284,63 @@ def _run_tournament(options: RunOptions) -> ExperimentOutcome:
     return ExperimentOutcome("tournament", result.render(), csv_path)
 
 
+def _parse_family_params(raw: tuple) -> Dict[str, object]:
+    """Parse ``--family-param key=value`` pairs into a parameter dict.
+
+    Values are decoded as JSON when possible (numbers, booleans) and
+    kept as strings otherwise (e.g. ``path=snap.txt`` for the
+    ``exchange_snapshot`` family).
+    """
+    params: Dict[str, object] = {}
+    for token in raw:
+        key, separator, value = token.partition("=")
+        if not separator or not key:
+            raise ConfigurationError(
+                f"--family-param expects KEY=VALUE, got {token!r}"
+            )
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
+def _run_scale(options: RunOptions) -> ExperimentOutcome:
+    """The ``scale`` experiment: population-scale audits of every scheme.
+
+    Streams a population of ``--agents`` agents (default: the ``--scale``
+    preset — 20k small, 10^6 bench, 10^7 paper) from the ``--family``
+    generator, audits each requested scheme chunk by chunk in O(chunk)
+    memory, samples a sortition committee from the same stream, and
+    renders the BENCH_scale-style table.  With ``--out``, writes
+    ``scale.csv`` and the machine-readable ``scale.json``.
+    """
+    from repro.analysis.scale import ScaleConfig, run_scale
+
+    config = ScaleConfig(
+        family=options.family,
+        family_params=_parse_family_params(options.family_params),
+        n_agents=(
+            options.agents
+            if options.agents is not None
+            else _SCALES[options.scale]["scale_agents"]
+        ),
+        schemes=tuple(options.schemes),
+        chunk_agents=options.chunk_agents,
+        dtype=options.dtype,
+    )
+    if options.seed is not None:
+        config = replace(config, seed=options.seed)
+    result = run_scale(config)
+    csv_path = _csv_path(options, "scale.csv")
+    if csv_path is not None:
+        result.to_csv(csv_path)
+        csv_path.with_suffix(".json").write_text(
+            json.dumps(result.to_payload(), indent=2, sort_keys=True)
+        )
+    return ExperimentOutcome("scale", result.render(), csv_path)
+
+
 EXPERIMENTS: Dict[str, Callable[[RunOptions], ExperimentOutcome]] = {
     "table2": _run_table2,
     "table3": _run_table3,
@@ -279,6 +350,7 @@ EXPERIMENTS: Dict[str, Callable[[RunOptions], ExperimentOutcome]] = {
     "fig7c": _run_fig7c,
     "scenarios": _run_scenarios,
     "tournament": _run_tournament,
+    "scale": _run_scale,
 }
 
 
@@ -291,6 +363,12 @@ def run_experiment(
     cache_dir: Optional[Path] = None,
     progress: bool = False,
     backend: Optional[str] = None,
+    family: str = "zipf",
+    family_params: tuple = (),
+    agents: Optional[int] = None,
+    chunk_agents: Optional[int] = None,
+    dtype: str = "float64",
+    schemes: tuple = (),
 ) -> ExperimentOutcome:
     """Run one registered experiment by name."""
     if name not in EXPERIMENTS:
@@ -315,6 +393,12 @@ def run_experiment(
         cache_dir=cache_dir,
         progress=progress,
         backend=backend,
+        family=family,
+        family_params=family_params,
+        agents=agents,
+        chunk_agents=chunk_agents,
+        dtype=dtype,
+        schemes=schemes,
     )
     return EXPERIMENTS[name](options)
 
@@ -386,6 +470,7 @@ def _parse_workers(value: str) -> Union[int, str]:
 
 
 def main(argv=None) -> int:
+    """Command-line entry point (the ``repro-runner`` console script)."""
     import repro
 
     parser = argparse.ArgumentParser(
@@ -422,6 +507,54 @@ def main(argv=None) -> int:
         "(fig3, scenarios, tournament): 'fast' for the vectorized "
         "round-level kernel (their default), 'des' for the per-message "
         "discrete-event oracle; analytic experiments ignore it",
+    )
+    parser.add_argument(
+        "--family",
+        default="zipf",
+        help="population generator family for the 'scale' experiment "
+        "(zipf, pareto, lognormal, uniform, normal, exchange_snapshot); "
+        "other experiments ignore it",
+    )
+    parser.add_argument(
+        "--family-param",
+        action="append",
+        default=None,
+        dest="family_params",
+        metavar="KEY=VALUE",
+        help="generator-family parameter for the 'scale' experiment "
+        "(repeatable), e.g. --family-param exponent=1.8 or "
+        "--family-param path=snapshot.txt for exchange_snapshot; values "
+        "parse as JSON where possible, else strings",
+    )
+    parser.add_argument(
+        "--agents",
+        type=int,
+        default=None,
+        help="population size for the 'scale' experiment (default: the "
+        "--scale preset — 20k small, 1M bench, 10M paper)",
+    )
+    parser.add_argument(
+        "--chunk-agents",
+        type=int,
+        default=None,
+        help="streaming window of the 'scale' experiment: agents held in "
+        "memory at once (rounded up to whole seed blocks; default 131072); "
+        "results are identical at any value",
+    )
+    parser.add_argument(
+        "--dtype",
+        default="float64",
+        choices=["float64", "float32"],
+        help="stake/cost storage dtype for the 'scale' experiment "
+        "(float32 halves memory; arithmetic stays float64)",
+    )
+    parser.add_argument(
+        "--scheme",
+        action="append",
+        default=None,
+        dest="schemes",
+        help="restrict the 'scale' experiment to one scheme (repeatable; "
+        "default: every registered scheme)",
     )
     parser.add_argument(
         "--timings-json",
@@ -499,6 +632,12 @@ def main(argv=None) -> int:
             cache_dir=args.cache_dir,
             progress=not args.no_progress,
             backend=args.backend,
+            family=args.family,
+            family_params=tuple(args.family_params) if args.family_params else (),
+            agents=args.agents,
+            chunk_agents=args.chunk_agents,
+            dtype=args.dtype,
+            schemes=tuple(args.schemes) if args.schemes else (),
         )
         timings[name] = time.perf_counter() - started
         print(f"=== {outcome.name} ===")

@@ -1,0 +1,252 @@
+"""The ``scale`` experiment: population-scale audits as a runner artifact.
+
+Drives the chunked audit engine
+(:mod:`repro.schemes.population_audit`) and the streamed committee
+sampler (:func:`repro.sim.fastpath.sample_committee_stream`) over a
+:class:`~repro.populations.spec.PopulationSpec`, and renders the
+BENCH_scale-style table: per-scheme epsilon-IC verdicts, audit
+throughput (agents/second) and peak RSS versus population size —
+"millions of users" as a routine command-line parameter::
+
+    repro-runner scale --scale small                 # 20k agents, CI smoke
+    repro-runner scale --agents 1000000 --chunk-agents 131072
+    repro-runner scale --family lognormal --dtype float32 --out results/
+
+The underlying engine guarantees verdicts are bit-identical at every
+``--chunk-agents`` (and to the monolithic path on sizes that fit); this
+module only arranges, times and renders.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.csvio import PathLike, write_rows
+from repro.errors import ConfigurationError
+from repro.populations.arrays import DEFAULT_CHUNK_AGENTS
+from repro.populations.spec import PopulationSpec
+from repro.schemes.population_audit import (
+    PopulationAuditConfig,
+    PopulationAuditReport,
+    audit_populations,
+)
+from repro.schemes.registry import scheme_names
+
+
+def peak_rss_mb() -> float:
+    """The process's lifetime peak resident set size, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux but **bytes** on macOS; both are
+    normalized here.  The benchmark harness runs each population size in
+    a fresh subprocess so per-size peaks are honest.
+    """
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return raw / divisor
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """One population-scale audit run.
+
+    ``schemes`` empty means "every registered scheme".  ``chunk_agents``
+    is the streaming window (``None`` = the default chunk, *not*
+    monolithic — use :class:`PopulationAuditConfig` directly for
+    monolithic cross-checks).
+    """
+
+    family: str = "zipf"
+    family_params: Dict[str, Any] = field(default_factory=dict)
+    n_agents: int = 1_000_000
+    schemes: Tuple[str, ...] = ()
+    chunk_agents: Optional[int] = None
+    dtype: str = "float64"
+    seed: int = 2021
+    committee_expected_size: float = 2000.0
+    audit: PopulationAuditConfig = PopulationAuditConfig()
+
+    def population_spec(self) -> PopulationSpec:
+        """The population under audit, by reference."""
+        return PopulationSpec(
+            family=self.family,
+            size=self.n_agents,
+            params=dict(self.family_params),
+            dtype=self.dtype,
+            seed=self.seed,
+        )
+
+    def scheme_list(self) -> List[str]:
+        """Requested schemes, defaulting to everything registered."""
+        return list(self.schemes) if self.schemes else scheme_names()
+
+    def audit_config(self) -> PopulationAuditConfig:
+        """The audit shape with this run's streaming window applied."""
+        chunk = (
+            self.chunk_agents if self.chunk_agents is not None else DEFAULT_CHUNK_AGENTS
+        )
+        if chunk < 1:
+            raise ConfigurationError(f"chunk_agents must be >= 1, got {chunk}")
+        return replace(self.audit, chunk_agents=chunk)
+
+
+@dataclass
+class ScaleResult:
+    """Audit reports plus run-level throughput for one population."""
+
+    config: ScaleConfig
+    reports: Dict[str, PopulationAuditReport]
+    committee_members: int
+    committee_weight: int
+    committee_agents_per_s: float
+    elapsed_s: float
+    peak_rss_mb: float
+
+    def rows(self) -> List[Tuple[object, ...]]:
+        """One table row per audited scheme, in registry order."""
+        rows: List[Tuple[object, ...]] = []
+        for name in self.config.scheme_list():
+            report = self.reports[name]
+            witness = report.witness
+            rows.append(
+                (
+                    name,
+                    "IC" if report.certified else "DEVIATES",
+                    f"{report.max_gain:+.3g}",
+                    f"{report.shirk_margin:+.3g}",
+                    "-" if witness is None else witness.describe(),
+                    f"{report.agents_per_second / 1e6:.2f}",
+                )
+            )
+        return rows
+
+    def render(self) -> str:
+        """The ASCII BENCH_scale table."""
+        from repro.analysis.plotting import format_table
+
+        spec = self.config.population_spec()
+        table = format_table(
+            (
+                "scheme",
+                "verdict",
+                "max gain",
+                "shirk margin",
+                "best deviation",
+                "M agents/s",
+            ),
+            self.rows(),
+            title=(
+                f"Population-scale epsilon-IC audit — {spec.describe()}, "
+                f"chunk {self.config.audit_config().chunk_agents}"
+            ),
+        )
+        footer = (
+            f"committee: {self.committee_members} members / "
+            f"{self.committee_weight} sub-users sampled from the stream at "
+            f"{self.committee_agents_per_s / 1e6:.2f} M agents/s; "
+            f"peak RSS {self.peak_rss_mb:.0f} MiB; "
+            f"total {self.elapsed_s:.2f}s"
+        )
+        return table + "\n" + footer
+
+    def to_csv(self, path: PathLike) -> None:
+        """Write the per-scheme verdict rows as CSV."""
+        rows: List[Sequence[object]] = []
+        for name in self.config.scheme_list():
+            report = self.reports[name]
+            witness = report.witness
+            rows.append(
+                (
+                    name,
+                    self.config.family,
+                    report.n_agents,
+                    report.dtype,
+                    report.chunk_agents,
+                    int(report.certified),
+                    report.max_gain,
+                    report.max_shirk_gain,
+                    report.n_deviations,
+                    report.b_i,
+                    "" if witness is None else witness.describe(),
+                    report.agents_per_second,
+                )
+            )
+        write_rows(
+            path,
+            (
+                "scheme",
+                "family",
+                "n_agents",
+                "dtype",
+                "chunk_agents",
+                "certified",
+                "max_gain",
+                "max_shirk_gain",
+                "n_deviations",
+                "b_i",
+                "witness",
+                "agents_per_second",
+            ),
+            rows,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Machine-readable form (the BENCH_scale.json building block)."""
+        return {
+            "family": self.config.family,
+            "family_params": dict(self.config.family_params),
+            "n_agents": self.config.n_agents,
+            "dtype": self.config.dtype,
+            "chunk_agents": self.config.audit_config().chunk_agents,
+            "elapsed_s": self.elapsed_s,
+            "peak_rss_mb": self.peak_rss_mb,
+            "committee": {
+                "expected_size": self.config.committee_expected_size,
+                "members": self.committee_members,
+                "weight": self.committee_weight,
+                "agents_per_s": self.committee_agents_per_s,
+            },
+            "schemes": {
+                name: {
+                    **report.verdict_dict(),
+                    "agents_per_second": report.agents_per_second,
+                }
+                for name, report in self.reports.items()
+            },
+        }
+
+
+def run_scale(config: ScaleConfig = ScaleConfig()) -> ScaleResult:
+    """Audit every requested scheme over one streamed population."""
+    from repro.sim.fastpath import sample_committee_stream
+
+    spec = config.population_spec()
+    audit_config = config.audit_config()
+    started = time.perf_counter()
+    reports = audit_populations(config.scheme_list(), spec, audit_config)
+
+    committee_started = time.perf_counter()
+    # The audit's selection pass already totalled the integer stake
+    # units; passing them in saves the sampler a whole generation pass.
+    any_report = next(iter(reports.values()))
+    committee = sample_committee_stream(
+        spec,
+        config.committee_expected_size,
+        chunk_agents=audit_config.chunk_agents,
+        total_stake_units=any_report.total_stake_units,
+    )
+    committee_elapsed = time.perf_counter() - committee_started
+    return ScaleResult(
+        config=config,
+        reports=reports,
+        committee_members=committee.n_selected,
+        committee_weight=committee.total_weight,
+        committee_agents_per_s=(
+            spec.size / committee_elapsed if committee_elapsed > 0 else 0.0
+        ),
+        elapsed_s=time.perf_counter() - started,
+        peak_rss_mb=peak_rss_mb(),
+    )

@@ -30,6 +30,7 @@ def trimmed_mean(values: Sequence[float], trim: float = 0.2) -> float:
 
 
 def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
     if not values:
         raise ConfigurationError("mean of an empty sequence")
     return sum(values) / len(values)

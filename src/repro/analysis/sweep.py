@@ -115,6 +115,7 @@ class SweepSpec:
 
     @property
     def n_shards(self) -> int:
+        """Number of grid points the spec expands into."""
         count = 1
         for values in self.grid.values():
             count *= len(values)

@@ -38,6 +38,7 @@ class Table2Result:
     costs: TaskCosts
 
     def rows(self) -> List[Tuple[str, str, float, str, str, str]]:
+        """(task, symbol, cost, participation-flag) rows of Table II."""
         out = []
         for name, symbol, attribute, leader, committee, others in TABLE2_TASKS:
             out.append(
@@ -53,6 +54,7 @@ class Table2Result:
         return out
 
     def aggregates(self) -> List[Tuple[str, float]]:
+        """The derived per-role cost aggregates (c_fix, c_L, c_M, c_so)."""
         return [
             ("c_fix (Eq. 1)", self.costs.fixed / MICRO_ALGO),
             ("c_L = c_fix + c_bl", self.costs.leader / MICRO_ALGO),
@@ -61,6 +63,7 @@ class Table2Result:
         ]
 
     def render(self) -> str:
+        """ASCII rendition of Table II."""
         task_table = format_table(
             ("Task", "Symbol", "µAlgos", "Leader", "Committee", "Others"),
             [
@@ -77,6 +80,7 @@ class Table2Result:
         return task_table + "\n\n" + aggregate_table
 
     def to_csv(self, path: PathLike) -> None:
+        """Write the task rows and aggregates as CSV."""
         write_rows(
             path,
             ("task", "symbol", "micro_algos", "leader", "committee", "others"),
@@ -101,6 +105,7 @@ class Table3Result:
         return out
 
     def render(self) -> str:
+        """ASCII rendition of Table III (the reward schedule)."""
         return format_table(
             ("Period", "Projected reward (M Algos)", "Per-round reward (Algos)"),
             [
@@ -111,6 +116,7 @@ class Table3Result:
         )
 
     def to_csv(self, path: PathLike) -> None:
+        """Write the schedule rows as CSV."""
         write_rows(
             path, ("period", "projected_millions", "per_round_algos"), self.rows()
         )

@@ -151,6 +151,7 @@ class RewardBounds:
 
     @property
     def gamma(self) -> float:
+        """The residual online-pool share ``1 - alpha - beta``."""
         return 1.0 - self.alpha - self.beta
 
     @property

@@ -162,6 +162,7 @@ class RoleCosts:
 
     @staticmethod
     def from_tasks(tasks: TaskCosts) -> "RoleCosts":
+        """Aggregate per-task costs into per-role totals (Eqs. 1-2)."""
         return RoleCosts(
             leader=tasks.leader,
             committee=tasks.committee,

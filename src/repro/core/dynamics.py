@@ -49,6 +49,7 @@ class DynamicsRecord:
 
     @property
     def cooperation_rate(self) -> float:
+        """Fraction of participating players that cooperated this round."""
         total = self.n_cooperating + self.n_defecting + self.n_offline
         return self.n_cooperating / total if total else 0.0
 
@@ -62,12 +63,15 @@ class DynamicsResult:
 
     @property
     def n_rounds(self) -> int:
+        """Number of recorded dynamics rounds."""
         return len(self.records)
 
     def cooperation_series(self) -> List[float]:
+        """Cooperation rate per round, in order."""
         return [record.cooperation_rate for record in self.records]
 
     def converged_to_all_defect(self) -> bool:
+        """Whether the final round has zero cooperating players."""
         return bool(self.records) and self.records[-1].n_cooperating == 0
 
     def reached_fixed_point(self, window: int = 3) -> bool:

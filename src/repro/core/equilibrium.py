@@ -61,6 +61,7 @@ class NashResult:
 
     @property
     def best_deviation(self) -> Optional[Deviation]:
+        """The most profitable deviation found, or None if none exist."""
         if not self.deviations:
             return None
         return max(self.deviations, key=lambda d: d.gain)
@@ -242,6 +243,7 @@ class Theorem3Check:
 
     @property
     def holds(self) -> bool:
+        """Whether the Theorem 3 profile verified as an equilibrium."""
         return self.result.is_equilibrium
 
 

@@ -87,6 +87,7 @@ class RewardRule:
     """Interface: per-node payments for a profile in a successful round."""
 
     def payments(self, game: "AlgorandGame", profile: StrategyProfile) -> Dict[int, float]:
+        """Per-player payments for one strategy profile (the rule's core)."""
         raise NotImplementedError
 
 
@@ -97,6 +98,7 @@ class FoundationRule(RewardRule):
     b_i: float
 
     def payments(self, game: "AlgorandGame", profile: StrategyProfile) -> Dict[int, float]:
+        """Stake-proportional payments to every online player (Eq. 3)."""
         online = {
             pid: player.stake
             for pid, player in game.players.items()
@@ -130,9 +132,11 @@ class RoleBasedRule(RewardRule):
 
     @property
     def gamma(self) -> float:
+        """The residual online-pool share ``1 - alpha - beta``."""
         return 1.0 - self.alpha - self.beta
 
     def payments(self, game: "AlgorandGame", profile: StrategyProfile) -> Dict[int, float]:
+        """Role-split payments: alpha to leaders, beta to committee, gamma to the rest (Eq. 5)."""
         performing_leaders: Dict[int, float] = {}
         performing_committee: Dict[int, float] = {}
         online_pool: Dict[int, float] = {}
@@ -312,20 +316,24 @@ class AlgorandGame:
     # -- convenience ---------------------------------------------------------------
 
     def ids_with_role(self, role: PlayerRole) -> Tuple[int, ...]:
+        """All player ids holding ``role``, sorted."""
         return tuple(
             pid for pid, player in self.players.items() if player.role is role
         )
 
     @property
     def n_leaders(self) -> int:
+        """Number of players with the leader role."""
         return len(self.ids_with_role(PlayerRole.LEADER))
 
     @property
     def n_committee(self) -> int:
+        """Number of players with the committee role."""
         return len(self.ids_with_role(PlayerRole.COMMITTEE))
 
     @property
     def n_online(self) -> int:
+        """Number of players with the plain online role."""
         return len(self.ids_with_role(PlayerRole.ONLINE))
 
 

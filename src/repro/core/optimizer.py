@@ -53,6 +53,7 @@ class OptimalSplit:
 
     @property
     def gamma(self) -> float:
+        """The residual online-pool share ``1 - alpha - beta``."""
         return 1.0 - self.alpha - self.beta
 
 

@@ -54,6 +54,7 @@ class RewardSchedule:
 
     @property
     def n_periods(self) -> int:
+        """Number of reward periods in the projected schedule."""
         return len(self.projected_millions)
 
     def period_of_round(self, round_index: int) -> int:
@@ -213,6 +214,7 @@ class TransactionFeePool:
     balance: float = 0.0
 
     def deposit(self, amount: float) -> None:
+        """Add a (validated, non-negative) transaction fee to the pool."""
         if not math.isfinite(amount):
             raise MechanismError(f"cannot deposit non-finite fee {amount}")
         if amount < 0:

@@ -51,6 +51,7 @@ class RoleBasedSharing:
 
     @property
     def gamma(self) -> float:
+        """The residual online-pool share ``1 - alpha - beta``."""
         return 1.0 - self.alpha - self.beta
 
     def allocate(self, snapshot: RoleSnapshot) -> RewardAllocation:

@@ -87,10 +87,12 @@ class EpochRecord:
 
     @property
     def defection_share(self) -> float:
+        """Fraction of players defecting at this epoch."""
         return self.n_defecting / self.n_players if self.n_players else 0.0
 
     @property
     def cooperation_share(self) -> float:
+        """Fraction of players cooperating at this epoch."""
         return self.n_cooperating / self.n_players if self.n_players else 0.0
 
     def to_row(self) -> Dict[str, object]:
@@ -110,6 +112,7 @@ class EpochRecord:
 
     @staticmethod
     def from_row(row: Mapping[str, object]) -> "EpochRecord":
+        """Rebuild a record from its to_row() mapping (shard payloads)."""
         return EpochRecord(
             epoch=int(row["epoch"]),
             n_players=int(row["n_players"]),
@@ -140,12 +143,15 @@ class ScenarioTrajectory:
     records: List[EpochRecord] = field(default_factory=list)
 
     def defection_series(self) -> List[float]:
+        """Defection share per epoch, in order."""
         return [record.defection_share for record in self.records]
 
     def cooperation_series(self) -> List[float]:
+        """Cooperation share per epoch, in order."""
         return [record.cooperation_share for record in self.records]
 
     def block_series(self) -> List[float]:
+        """Per-epoch block-success indicator series (1.0 = produced)."""
         return [1.0 if record.block_success else 0.0 for record in self.records]
 
     def stabilized(self, window: int = 3, tolerance: float = 0.05) -> bool:
@@ -169,6 +175,7 @@ class ScenarioTrajectory:
 
     @staticmethod
     def from_payload(payload: Mapping[str, object]) -> "ScenarioTrajectory":
+        """Rebuild a trajectory from its to_payload() mapping (shard cache)."""
         return ScenarioTrajectory(
             scenario=str(payload["scenario"]),
             scheme=str(payload["scheme"]),

@@ -35,7 +35,9 @@ from repro.sim.rng import derive_seed
 #: budget efficiency.
 #: 3: specs carry ``sim_backend`` — per-epoch simulations default to the
 #: vectorized fast kernel.
-CAMPAIGN_VERSION = 3
+#: 4: specs carry ``population``/``population_params`` — stake
+#: populations referenced by generator family, resolved at run time.
+CAMPAIGN_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -85,6 +87,7 @@ class ScenarioCampaignConfig:
             raise ConfigurationError("campaign needs at least one scheme")
 
     def scenario_list(self) -> List[str]:
+        """Requested scenario families, defaulting to every registered one."""
         return list(self.scenarios) if self.scenarios else scenario_names()
 
 
@@ -171,9 +174,11 @@ class MergedTrajectory:
 
     @property
     def n_epochs(self) -> int:
+        """Number of epochs beyond the initial state."""
         return len(self.defection_share) - 1
 
     def stabilized(self, window: int = 3, tolerance: float = 0.05) -> bool:
+        """Whether the defection share settled over the last ``window`` epochs."""
         if len(self.defection_share) < window:
             return False
         tail = self.defection_share[-window:]
@@ -224,6 +229,7 @@ class ScenarioCampaignResult:
     trajectories: Dict[Tuple[str, str], MergedTrajectory] = field(default_factory=dict)
 
     def trajectory(self, scenario: str, scheme: str) -> MergedTrajectory:
+        """The merged trajectory of one (scenario, scheme) cell."""
         try:
             return self.trajectories[(scenario, scheme)]
         except KeyError:
@@ -232,6 +238,7 @@ class ScenarioCampaignResult:
             ) from None
 
     def scenarios(self) -> List[str]:
+        """Scenario names present in the campaign, first-seen order."""
         seen: List[str] = []
         for scenario, _scheme in self.trajectories:
             if scenario not in seen:
@@ -259,6 +266,7 @@ class ScenarioCampaignResult:
         return "\n\n".join(panels)
 
     def to_csv(self, path: PathLike) -> None:
+        """Write one row per (scenario, scheme, epoch) as CSV."""
         rows: List[Sequence[object]] = []
         for (scenario, scheme), merged in self.trajectories.items():
             for epoch in range(len(merged.defection_share)):

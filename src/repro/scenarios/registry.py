@@ -1,6 +1,6 @@
 """The scenario registry: named families of participation dynamics.
 
-Six built-in families probe the paper's Section V story from different
+Seven built-in families probe the paper's Section V story from different
 angles; :func:`register_scenario` lets downstream experiments add more.
 Every family is evaluated under both reward schemes by the campaign layer
 (:mod:`repro.scenarios.experiment`), so each scenario is really a *pair*
@@ -20,6 +20,10 @@ of trajectories — naive Foundation sharing versus the role-based split.
 * ``defection-wave`` — a large initial wave of defectors seeded anywhere
   (synchrony set included): probes the cooperative profile's basin of
   attraction, where *both* schemes may collapse.
+* ``heavytail-zipf`` — exchange-scale Zipf stakes referenced from the
+  :mod:`repro.populations` registry (family + params by name, resolved
+  at run time): a whale-dominated heavy tail stressing the minimum-stake
+  bound.
 * ``replicator-mix`` — replicator dynamics instead of best response:
   strategies spread by relative average payoff, with a small trembling
   term keeping extinct strategies reachable.
@@ -121,6 +125,23 @@ register_scenario(
         ),
         initial_cooperation=0.55,
         seed_defection_in=DefectionSeeding.ANYWHERE,
+        expect_separation=False,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="heavytail-zipf",
+        description=(
+            "exchange-scale Zipf stakes referenced from the populations "
+            "registry: a whale-dominated heavy tail with many minimum-stake "
+            "minnows stresses the Theorem 3 minimum-stake bound"
+        ),
+        population="zipf",
+        population_params={"exponent": 1.8, "scale": 4.0},
+        # The heavy tail concentrates sortition on whales and pushes the
+        # calibrated budget far above the uniform case; the paper's clean
+        # separation is not guaranteed here, which is the point.
         expect_separation=False,
     )
 )

@@ -74,6 +74,17 @@ class ScenarioSpec:
         ``uniform`` U(low, high), ``normal`` N(mean, std) truncated at 1,
         or ``whale_mix`` — a U(low, high) crowd with ``whale_fraction`` of
         players drawn from N(whale_mean, whale_std).
+    population / population_params:
+        A stake population *by reference*: the name and parameters of a
+        generator family registered in :mod:`repro.populations.generators`
+        (``zipf``, ``pareto``, ``lognormal``, ``exchange_snapshot``, ...).
+        When set, it overrides ``stake_kind``; only the name and the
+        plain-data parameters travel through sweep shards and cache keys —
+        the population itself is never materialized into the spec.  Note
+        that for ``exchange_snapshot`` the cache key therefore covers the
+        snapshot *path string*, not the file's content: regenerating a
+        snapshot in place can reuse stale cached shards, so version
+        snapshot filenames (or clear the shard cache) when refreshing.
     n_leaders / committee_fraction / synchrony_fraction / committee_quorum:
         Round-game structure: leader count, committee size as a fraction
         of the population, strong-synchrony-set size as a fraction of the
@@ -118,6 +129,8 @@ class ScenarioSpec:
     initial_cooperation: float = 0.9
     seed_defection_in: DefectionSeeding = DefectionSeeding.ONLINE_POOL
     stake_kind: str = "uniform"
+    population: Optional[str] = None
+    population_params: Optional[Dict[str, Any]] = None
     stake_low: float = 1.0
     stake_high: float = 50.0
     stake_mean: float = 100.0
@@ -161,6 +174,17 @@ class ScenarioSpec:
             )
         if self.stake_kind not in ("uniform", "normal", "whale_mix"):
             raise ConfigurationError(f"unknown stake kind {self.stake_kind!r}")
+        if self.population_params is not None and self.population is None:
+            raise ConfigurationError(
+                "population_params requires a population family name"
+            )
+        if self.population is not None:
+            # Eager validation: resolving the family binds and validates
+            # the parameters, so a bad reference fails at spec
+            # construction rather than mid-campaign in a worker process.
+            from repro.populations.generators import resolve_sampler
+
+            resolve_sampler(self.population, self.population_params or {})
         for name in ("whale_fraction", "adversary_fraction"):
             value = getattr(self, name)
             if not 0.0 <= value <= 0.5:
@@ -206,18 +230,37 @@ class ScenarioSpec:
     # -- derived structure ---------------------------------------------------
 
     def committee_size(self) -> int:
+        """Committee size implied by ``committee_fraction`` (minimum 2)."""
         return max(2, round(self.committee_fraction * self.n_players))
 
     def synchrony_size(self, n_online: int) -> int:
+        """Strong-synchrony set size for ``n_online`` online players."""
         return max(1, math.ceil(self.synchrony_fraction * n_online))
 
     def n_adversaries(self) -> int:
+        """Number of adversary-controlled players implied by the fraction."""
         return round(self.adversary_fraction * self.n_players)
 
     # -- stake population ----------------------------------------------------
 
     def stake_distribution(self) -> distributions.StakeDistribution:
-        """The scenario's stake generator, built on the stakes catalog."""
+        """The scenario's stake generator, built on the stakes catalog.
+
+        A ``population`` reference resolves through the
+        :mod:`repro.populations.generators` registry and takes precedence
+        over ``stake_kind``.
+        """
+        if self.population is not None:
+            from repro.populations.generators import get_family
+
+            family = get_family(self.population)
+            params = self.population_params or {}
+            rendered = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+            return distributions.StakeDistribution(
+                name=f"{self.population}({rendered})",
+                sampler=family.sampler(params),
+                description=family.description,
+            )
         if self.stake_kind == "uniform":
             return distributions.uniform(self.stake_low, self.stake_high)
         if self.stake_kind == "normal":
@@ -243,6 +286,7 @@ class ScenarioSpec:
         )
 
     def sample_stakes(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw the scenario's stake vector (clamped strictly positive)."""
         stakes = np.asarray(
             self.stake_distribution().sampler(rng, self.n_players), dtype=float
         )

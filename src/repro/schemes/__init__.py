@@ -12,6 +12,10 @@ into:
   ``axiomatic_tau`` and ``hybrid``.
 * :mod:`repro.schemes.audit` — the vectorized epsilon-IC audit engine
   with its scalar game oracle.
+* :mod:`repro.schemes.population_audit` — the chunked audit path:
+  epsilon-IC verdicts over streamed 10^6–10^7-agent
+  :class:`~repro.populations.spec.PopulationSpec` populations in
+  O(chunk) memory, bit-identical at every chunk size.
 * :mod:`repro.schemes.tournament` — cross-scheme tournaments over the
   scenario families (imported lazily: it depends on
   :mod:`repro.scenarios`, which itself resolves schemes from this
@@ -48,6 +52,12 @@ from repro.schemes.audit import (
     audit_scheme,
     audit_schemes,
 )
+from repro.schemes.population_audit import (
+    PopulationAuditConfig,
+    PopulationAuditReport,
+    audit_population,
+    audit_populations,
+)
 
 __all__ = [
     "AuditConfig",
@@ -60,10 +70,14 @@ __all__ = [
     "IRSScheme",
     "PoolSpec",
     "PooledRule",
+    "PopulationAuditConfig",
+    "PopulationAuditReport",
     "RewardScheme",
     "RoleBasedScheme",
     "SchemeSplit",
     "WeightKind",
+    "audit_population",
+    "audit_populations",
     "audit_scheme",
     "audit_schemes",
     "get_scheme",

@@ -133,9 +133,11 @@ class AuditConfig:
 
     @property
     def n_online(self) -> int:
+        """Players outside the leader and committee sets."""
         return self.n_players - self.n_leaders - self.committee_size
 
     def synchrony_size(self) -> int:
+        """Strong-synchrony set size implied by the fraction (minimum 1)."""
         return max(1, math.ceil(self.synchrony_fraction * self.n_online))
 
 
@@ -218,11 +220,13 @@ class AuditReport:
         return min(cell.shirk_margin for cell in self.cells)
 
     def worst_cell(self) -> CellAudit:
+        """The cell with the smallest incentive-compatibility margin."""
         return min(self.cells, key=lambda cell: cell.ic_margin)
 
     def cell_for(
         self, stake_kind: str, cost_scale: float, budget_multiplier: float
     ) -> CellAudit:
+        """Look up one audited cell by its grid coordinates."""
         for cell in self.cells:
             if (
                 cell.stake_kind == stake_kind
@@ -235,6 +239,7 @@ class AuditReport:
         )
 
     def render(self) -> str:
+        """ASCII table of per-cell verdicts and witnesses."""
         from repro.analysis.plotting import format_table
 
         rows = []
@@ -258,6 +263,7 @@ class AuditReport:
         )
 
     def to_csv(self, path: PathLike) -> None:
+        """Write one row per audited cell as CSV."""
         rows: List[Sequence[object]] = []
         for cell in self.cells:
             witness = cell.witness

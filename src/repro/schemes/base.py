@@ -157,6 +157,7 @@ class SchemeSplit:
 
     @property
     def gamma(self) -> float:
+        """The residual online-pool share ``1 - alpha - beta``."""
         return 1.0 - self.alpha - self.beta
 
 
@@ -178,6 +179,7 @@ class PooledRule(RewardRule):
     def payments(
         self, game: AlgorandGame, profile: StrategyProfile
     ) -> Dict[int, float]:
+        """Interpret the pool declaration for one profile, player by player."""
         payments: Dict[int, float] = {}
         for pool in self.pools:
             weights: Dict[int, float] = {}

@@ -66,12 +66,14 @@ class FoundationScheme(RewardScheme):
     description = "stake-proportional to everyone online, roles ignored (Eq. 3)"
 
     def pools(self, split: SchemeSplit) -> Tuple[PoolSpec, ...]:
+        """One stake-proportional pool paying every online player."""
         return validate_pools(
             (PoolSpec(name="online", fraction=1.0, members=_ALL_ONLINE),)
         )
 
     def make_rule(self, b_i: float, split: SchemeSplit) -> RewardRule:
         # True adapter: the original G_Al rule, not the pool interpreter.
+        """The original G_Al ``FoundationRule`` (true adapter)."""
         return FoundationRule(b_i=b_i)
 
 
@@ -84,6 +86,7 @@ class RoleBasedScheme(RewardScheme):
     uses_split = True
 
     def pools(self, split: SchemeSplit) -> Tuple[PoolSpec, ...]:
+        """The paper's alpha/beta/gamma pools by performed role (Eq. 5)."""
         return validate_pools(
             (
                 PoolSpec(
@@ -102,6 +105,7 @@ class RoleBasedScheme(RewardScheme):
 
     def make_rule(self, b_i: float, split: SchemeSplit) -> RewardRule:
         # True adapter: the original G_Al+ rule, not the pool interpreter.
+        """The original G_Al+ ``RoleBasedRule`` (true adapter)."""
         return RoleBasedRule(alpha=split.alpha, beta=split.beta, b_i=b_i)
 
 
@@ -129,6 +133,7 @@ class IRSScheme(RewardScheme):
         self.refund_fraction = refund_fraction
 
     def pools(self, split: SchemeSplit) -> Tuple[PoolSpec, ...]:
+        """A cost-reimbursement slice plus a cooperator-proportional residual."""
         pools = []
         if self.refund_fraction > 0:
             pools.append(
@@ -151,6 +156,7 @@ class IRSScheme(RewardScheme):
         return validate_pools(tuple(pools))
 
     def param_dict(self) -> Dict[str, Any]:
+        """The reimbursement fraction, for shards and cache keys."""
         return {"refund_fraction": self.refund_fraction}
 
 
@@ -168,6 +174,7 @@ class AxiomaticTauScheme(RewardScheme):
         self.tau = tau
 
     def pools(self, split: SchemeSplit) -> Tuple[PoolSpec, ...]:
+        """One pool: cooperators share the budget by ``stake ** tau``."""
         return validate_pools(
             (
                 PoolSpec(
@@ -181,6 +188,7 @@ class AxiomaticTauScheme(RewardScheme):
         )
 
     def param_dict(self) -> Dict[str, Any]:
+        """The tau exponent, for shards and cache keys."""
         return {"tau": self.tau}
 
 
@@ -218,6 +226,7 @@ class HybridScheme(RewardScheme):
         self.leader_share = leader_share
 
     def pools(self, split: SchemeSplit) -> Tuple[PoolSpec, ...]:
+        """Per-head performer bonuses plus a stake-proportional remainder."""
         pools = []
         if self.bonus_fraction > 0:
             pools.append(
@@ -246,6 +255,7 @@ class HybridScheme(RewardScheme):
         return validate_pools(tuple(pools))
 
     def param_dict(self) -> Dict[str, Any]:
+        """The bonus split parameters, for shards and cache keys."""
         return {
             "bonus_fraction": self.bonus_fraction,
             "leader_share": self.leader_share,

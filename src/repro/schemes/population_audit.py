@@ -1,0 +1,989 @@
+"""Chunked epsilon-IC audits over streamed million-agent populations.
+
+The batch engine in :mod:`repro.schemes.audit` materializes
+``(n_populations, n_players)`` arrays — ideal for paired grids of small
+populations, an OOM at exchange scale.  This module audits **one huge
+population** (10^6–10^7 agents from a
+:class:`~repro.populations.spec.PopulationSpec`) in O(chunk) memory:
+
+1. **Selection pass.**  Leaders and the committee are chosen by
+   stake-weighted sortition without replacement — the same
+   exponential-race draw as the batch engine, streamed: each chunk
+   contributes its local top-k race keys and the global top-k merge keeps
+   ``n_leaders + committee_size`` candidates.  Strong-synchrony
+   membership is per-agent Bernoulli (``synchrony_rate`` of the online
+   crowd), drawn from the population's own seed-block streams, so roles
+   are scheme-independent — every scheme audits identical populations
+   (a paired comparison), and every chunk size sees identical draws.
+   The same pass accumulates the scheme's pool totals with the
+   block-stable reduction and the Theorem 3 calibration aggregates.
+2. **Gain pass.**  With pool totals and the calibrated split in hand, a
+   unilateral deviation has the same closed form as in the batch engine;
+   the second pass re-streams the population and evaluates every agent's
+   deviation to C, D and O chunk by chunk, tracking the running maximum
+   gain and its witness.
+
+Because chunks always span whole seed blocks and all reductions are
+blockwise, the chunked path is **bit-identical to the monolithic path**
+(``chunk_agents=None`` — one chunk covering the population) at any chunk
+size; ``tests/properties/test_chunk_equivalence.py`` asserts it, and
+:func:`oracle_population_gains` cross-checks small populations against
+the scalar :class:`~repro.core.game.AlgorandGame` oracle.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bounds import RoleAggregates
+from repro.core.costs import RoleCosts
+from repro.core.optimizer import minimize_reward_analytic
+from repro.errors import AuditError, ConfigurationError
+from repro.populations.arrays import (
+    BEHAVIOR_COOPERATE,
+    BEHAVIOR_OFFLINE,
+    PopulationArrays,
+    blockwise_row_sums,
+    blockwise_sum,
+)
+from repro.populations.spec import PopulationSpec
+from repro.schemes.audit import _COMMITTEE, _LEADER, _ONLINE, _TARGETS, DeviationWitness
+from repro.schemes.base import RewardScheme, SchemeSplit, WeightKind
+from repro.schemes.registry import SchemeLike, resolve_scheme
+
+#: Target profiles the population audit understands.  ``theorem3`` and
+#: ``all_c`` mirror the batch engine; ``population`` additionally reads
+#: the online crowd's strategy from the population's ``behavior`` column
+#: (selected leaders/committee members always perform their role).
+POPULATION_TARGETS: Tuple[str, ...] = ("theorem3", "all_c", "population")
+
+#: Consumer column labels in the population's seed-block stream tree.
+_RACE_COLUMN = "audit.race"
+_SYNC_COLUMN = "audit.sync"
+
+
+def _chunks(spec: PopulationSpec, config: "PopulationAuditConfig"):
+    """The audit's chunk stream: ``chunk_agents=None`` means monolithic.
+
+    ``PopulationSpec.iter_chunks(None)`` uses the library default chunk;
+    the audit's documented contract is stronger — ``None`` is the
+    monolithic cross-check path, one chunk covering the whole population
+    regardless of its size.
+    """
+    chunk_agents = spec.size if config.chunk_agents is None else config.chunk_agents
+    return spec.iter_chunks(chunk_agents)
+
+
+@dataclass(frozen=True)
+class PopulationAuditConfig:
+    """Shape of one population-scale audit.
+
+    Unlike :class:`~repro.schemes.audit.AuditConfig` (a grid of many
+    small populations), this audits a single large population: fixed
+    leader/committee counts, Bernoulli strong-synchrony membership at
+    ``synchrony_rate`` among the online crowd, and a budget of
+    ``budget_multiplier`` times the population's Theorem 3 bound.
+    ``chunk_agents`` bounds the working set (``None`` = monolithic: one
+    chunk covering the whole population, for cross-checks on sizes that
+    fit).
+    """
+
+    n_leaders: int = 5
+    committee_size: int = 30
+    synchrony_rate: float = 0.5
+    committee_quorum: float = 0.685
+    cost_scale: float = 1.0
+    budget_multiplier: float = 1.5
+    epsilon: float = 1e-9
+    target: str = "theorem3"
+    chunk_agents: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_leaders < 1 or self.committee_size < 2:
+            raise ConfigurationError("need >= 1 leader and >= 2 committee members")
+        if not 0.0 < self.synchrony_rate <= 1.0:
+            raise ConfigurationError(
+                f"synchrony rate must be in (0, 1], got {self.synchrony_rate}"
+            )
+        if not 0.0 < self.committee_quorum < 1.0:
+            raise ConfigurationError("committee quorum must be in (0, 1)")
+        if self.cost_scale <= 0 or self.budget_multiplier <= 0:
+            raise ConfigurationError(
+                "cost scale and budget multiplier must be positive"
+            )
+        if self.epsilon < 0:
+            raise ConfigurationError("epsilon must be >= 0")
+        if self.target not in POPULATION_TARGETS:
+            raise ConfigurationError(
+                f"unknown target profile {self.target!r}; "
+                f"choose from {POPULATION_TARGETS}"
+            )
+        if self.chunk_agents is not None and self.chunk_agents < 1:
+            raise ConfigurationError("chunk_agents must be >= 1 (or None)")
+
+    @property
+    def n_selected(self) -> int:
+        """Leaders plus committee — the agents carried across chunks."""
+        return self.n_leaders + self.committee_size
+
+
+@dataclass(frozen=True)
+class PopulationAuditReport:
+    """The verdict for one scheme over one streamed population."""
+
+    scheme: str
+    population: str
+    n_agents: int
+    dtype: str
+    chunk_agents: Optional[int]
+    target: str
+    certified: bool
+    epsilon: float
+    max_gain: float
+    max_shirk_gain: float
+    n_deviations: int
+    witness: Optional[DeviationWitness]
+    alpha: float
+    beta: float
+    b_i: float
+    total_stake: float
+    #: Integer (floored) stake units — the sortition denominator; lets
+    #: committee sampling reuse the audit's selection pass instead of
+    #: streaming the population again just to re-total it.
+    total_stake_units: int
+    elapsed_s: float
+
+    @property
+    def ic_margin(self) -> float:
+        """How far the best deviation sits below profitability."""
+        return -self.max_gain
+
+    @property
+    def shirk_margin(self) -> float:
+        """Margin over cooperators' work-reducing deviations only."""
+        return -self.max_shirk_gain
+
+    @property
+    def agents_per_second(self) -> float:
+        """Audit throughput (agents per wall-clock second, both passes)."""
+        return self.n_agents / self.elapsed_s if self.elapsed_s > 0 else math.inf
+
+    def verdict_dict(self) -> Dict[str, object]:
+        """The deterministic fields only (timing excluded).
+
+        This is the payload benchmark records and equality tests compare:
+        two runs of the same audit — at *any* chunk size — must produce
+        identical verdict dicts.
+        """
+        witness = self.witness
+        return {
+            "scheme": self.scheme,
+            "population": self.population,
+            "n_agents": self.n_agents,
+            "dtype": self.dtype,
+            "target": self.target,
+            "certified": self.certified,
+            "epsilon": self.epsilon,
+            "max_gain": self.max_gain,
+            "max_shirk_gain": self.max_shirk_gain,
+            "n_deviations": self.n_deviations,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "b_i": self.b_i,
+            "total_stake": self.total_stake,
+            "total_stake_units": self.total_stake_units,
+            "witness": None
+            if witness is None
+            else {
+                "player": witness.player,
+                "role": witness.role,
+                "stake": witness.stake,
+                "from": witness.from_strategy,
+                "to": witness.to_strategy,
+                "gain": witness.gain,
+            },
+        }
+
+
+# -- pass 1: selection, calibration, pool totals ------------------------------
+
+
+@dataclass
+class _PoolTables:
+    """A scheme's pool structure expanded for the streaming kernel."""
+
+    fractions: np.ndarray  # (P,)
+    lookup: np.ndarray  # (P, 3 roles, 2 actions) membership
+    kinds: List[WeightKind]
+    exponents: np.ndarray  # (P,)
+
+
+@dataclass
+class _Structure:
+    """Everything pass 2 needs: selection, calibration, global totals."""
+
+    config: PopulationAuditConfig
+    costs: RoleCosts
+    selected_index: np.ndarray  # (k,) global agent indices, selection order
+    selected_role: np.ndarray  # (k,) role codes
+    selected_stake: np.ndarray  # (k,) float64
+    selected_cost: np.ndarray  # (k,) cost multipliers
+    split: SchemeSplit
+    b_i: float
+    total_stake: float
+    total_stake_units: int  # exact integer sum of floored stakes
+    pool_totals: Dict[str, np.ndarray]  # scheme name -> (P,)
+    tables: Dict[str, _PoolTables]
+    committee_stake_total: float
+    quorum_threshold: float
+    #: Strong-synchrony agents whose target-profile action is defect
+    #: (only possible under the ``population`` target).  One or more
+    #: means the base profile produces **no block**: nobody earns
+    #: rewards, and only the sole defector (when there is exactly one)
+    #: can restore the block by unilaterally switching to C.
+    sync_defectors: int = 0
+    sole_sync_defector: Optional[int] = None
+
+    @property
+    def base_block_fails(self) -> bool:
+        """Whether the target profile itself fails to produce a block."""
+        return self.sync_defectors > 0
+
+
+def _pool_tables(scheme: RewardScheme, split: SchemeSplit) -> _PoolTables:
+    """Expand one scheme's pools at the calibrated split."""
+    pools = scheme.pools(split)
+    P = len(pools)
+    lookup = np.zeros((P, 3, 2), dtype=bool)
+    role_index = {"leader": _LEADER, "committee": _COMMITTEE, "online": _ONLINE}
+    action_index = {"C": 0, "D": 1}
+    for p, pool in enumerate(pools):
+        for role, action in pool.members:
+            lookup[p, role_index[role], action_index[action]] = True
+    return _PoolTables(
+        fractions=np.array([pool.fraction for pool in pools], dtype=np.float64),
+        lookup=lookup,
+        kinds=[pool.weight for pool in pools],
+        exponents=np.array([pool.exponent for pool in pools], dtype=np.float64),
+    )
+
+
+def _pool_weights(
+    tables: _PoolTables,
+    stake: np.ndarray,
+    cost_multiplier: np.ndarray,
+    roles: np.ndarray,
+    cost_vec: np.ndarray,
+) -> np.ndarray:
+    """Within-pool weights ``(P, n)`` for one chunk (float64)."""
+    P = len(tables.kinds)
+    weights = np.empty((P, stake.size), dtype=np.float64)
+    for p, kind in enumerate(tables.kinds):
+        if kind is WeightKind.STAKE:
+            weights[p] = stake
+        elif kind is WeightKind.EQUAL:
+            weights[p] = 1.0
+        elif kind is WeightKind.STAKE_POWER:
+            weights[p] = stake ** tables.exponents[p]
+        else:  # COST — the cooperation cost of the member's role.
+            weights[p] = cost_vec[roles] * cost_multiplier
+    return weights
+
+
+def _online_actions(
+    config: PopulationAuditConfig, chunk: PopulationArrays, sync: np.ndarray
+) -> np.ndarray:
+    """Target-profile action codes (0=C, 1=D) for agents *as online crowd*."""
+    if config.target == "all_c":
+        return np.zeros(chunk.n_agents, dtype=np.int8)
+    if config.target == "theorem3":
+        return np.where(sync, 0, 1).astype(np.int8)
+    if bool(np.any(chunk.behavior == BEHAVIOR_OFFLINE)):
+        raise ConfigurationError(
+            "the 'population' audit target requires behavior codes in {C, D}; "
+            "offline agents are not yet modelled at population scale"
+        )
+    return (chunk.behavior != BEHAVIOR_COOPERATE).astype(np.int8)
+
+
+def _merge_top_k(
+    carry: Optional[Tuple[np.ndarray, ...]],
+    keys: np.ndarray,
+    index: np.ndarray,
+    payload: Tuple[np.ndarray, ...],
+    k: int,
+) -> Tuple[np.ndarray, ...]:
+    """Merge one chunk's candidates into the running k smallest keys.
+
+    Candidates are ordered by ``(key, global index)``, so the merge is
+    deterministic even under exactly tied keys.  Returns
+    ``(keys, index, *payload)`` trimmed to ``k`` entries.
+    """
+    rows = (keys, index) + payload
+    if carry is not None:
+        rows = tuple(np.concatenate([c, r]) for c, r in zip(carry, rows))
+    keys_all, index_all = rows[0], rows[1]
+    if keys_all.size > k:
+        # argpartition narrows to k candidates, lexsort settles exact order.
+        narrowed = np.argpartition(keys_all, k - 1)[:k]
+        rows = tuple(row[narrowed] for row in rows)
+        keys_all, index_all = rows[0], rows[1]
+    order = np.lexsort((index_all, keys_all))
+    return tuple(row[order] for row in rows)
+
+
+def _sync_mask(
+    spec: PopulationSpec, config: PopulationAuditConfig, chunk: PopulationArrays
+) -> np.ndarray:
+    """Strong-synchrony Bernoulli draws for one chunk (chunk-stable)."""
+    if config.synchrony_rate >= 1.0:
+        return np.ones(chunk.n_agents, dtype=bool)
+    draws = spec.chunk_draws(
+        chunk.offset, chunk.n_agents, _SYNC_COLUMN, lambda rng, n: rng.random(n)
+    )
+    return draws < config.synchrony_rate
+
+
+def _build_structure(
+    schemes: Sequence[RewardScheme],
+    spec: PopulationSpec,
+    config: PopulationAuditConfig,
+) -> _Structure:
+    """Pass 1: stream the population once; select, calibrate, total."""
+    if spec.size < config.n_selected + 2:
+        raise ConfigurationError(
+            f"population of {spec.size} agents cannot host {config.n_leaders} "
+            f"leaders and a committee of {config.committee_size}"
+        )
+    k = config.n_selected
+    base = RoleCosts.paper_defaults()
+    costs = RoleCosts(
+        leader=base.leader * config.cost_scale,
+        committee=base.committee * config.cost_scale,
+        online=base.online * config.cost_scale,
+        sortition=base.sortition * config.cost_scale,
+    )
+    cost_vec = np.array([costs.leader, costs.committee, costs.online])
+
+    total_stake = 0.0
+    race_carry: Optional[Tuple[np.ndarray, ...]] = None
+    sync_carry: Optional[Tuple[np.ndarray, ...]] = None
+    defect_carry: Optional[Tuple[np.ndarray, ...]] = None
+    defect_count = 0
+    # Raw per-pool totals treat every agent as online crowd; the k
+    # selected agents are corrected afterwards (k is tiny).
+    raw_totals: Dict[str, np.ndarray] = {}
+
+    # The split is needed for pool *fractions* only; membership and
+    # weights may not depend on it (same contract as the batch engine).
+    # Use a placeholder split to expand structure, then recompute
+    # fractions at the calibrated split below.
+    placeholder = SchemeSplit(1.0 / 3.0, 1.0 / 3.0)
+    tables = {scheme.name: _pool_tables(scheme, placeholder) for scheme in schemes}
+
+    total_stake_units = 0
+    for chunk in _chunks(spec, config):
+        stake = chunk.stake64()
+        cost_multiplier = chunk.cost64()
+        total_stake = blockwise_sum(stake, start=total_stake)
+        # Integer accumulation is exact, hence chunking-independent.
+        total_stake_units += int(stake.astype(np.int64).sum())
+
+        race = (
+            spec.chunk_draws(
+                chunk.offset,
+                chunk.n_agents,
+                _RACE_COLUMN,
+                lambda rng, n: rng.exponential(1.0, n),
+            )
+            / stake
+        )
+        index = chunk.offset + np.arange(chunk.n_agents, dtype=np.int64)
+        sync = _sync_mask(spec, config, chunk)
+        actions = _online_actions(config, chunk, sync)
+
+        # Local pre-trim before the merge keeps the carried state O(k).
+        if race.size > k:
+            local = np.argpartition(race, k - 1)[:k]
+        else:
+            local = np.arange(race.size)
+        race_carry = _merge_top_k(
+            race_carry,
+            race[local],
+            index[local],
+            (
+                stake[local],
+                cost_multiplier[local],
+                sync[local],
+                actions[local],
+            ),
+            k,
+        )
+
+        # Candidate minimum sync stakes: k+1 suffice, because at most k
+        # sync-drawn agents can later turn out to be selected.
+        sync_rows = np.flatnonzero(sync)
+        if sync_rows.size:
+            sync_stakes = stake[sync_rows]
+            if sync_stakes.size > k + 1:
+                keep = np.argpartition(sync_stakes, k)[: k + 1]
+                sync_rows, sync_stakes = sync_rows[keep], sync_stakes[keep]
+            sync_carry = _merge_top_k(
+                sync_carry, sync_stakes, index[sync_rows], (), k + 1
+            )
+
+        # Sync-set defectors break the base block ('population' target
+        # only; the other targets force sync agents to cooperate).  Keep
+        # the exact count plus the k+1 smallest indices so the sole
+        # defector survives the selection correction below.
+        defect_rows = np.flatnonzero(sync & (actions == 1))
+        if defect_rows.size:
+            defect_count += int(defect_rows.size)
+            keep = defect_rows[: k + 1]
+            defect_carry = _merge_top_k(
+                defect_carry,
+                index[keep].astype(np.float64),
+                index[keep],
+                (),
+                k + 1,
+            )
+
+        roles_online = np.full(chunk.n_agents, _ONLINE, dtype=np.int8)
+        for scheme in schemes:
+            table = tables[scheme.name]
+            weights = _pool_weights(
+                table, stake, cost_multiplier, roles_online, cost_vec
+            )
+            member = table.lookup[:, _ONLINE, :][:, actions]  # (P, n)
+            raw_totals[scheme.name] = blockwise_row_sums(
+                weights * member, start=raw_totals.get(scheme.name)
+            )
+
+    assert race_carry is not None
+    _keys, sel_index, sel_stake, sel_cost, sel_sync, sel_action = race_carry
+    selected_role = np.full(k, _COMMITTEE, dtype=np.int8)
+    selected_role[: config.n_leaders] = _LEADER
+
+    # Correct the pool totals: selected agents leave the online crowd
+    # (with the action they would have played there) and join as
+    # cooperating leaders/committee members.
+    for scheme in schemes:
+        table = tables[scheme.name]
+        totals = raw_totals[scheme.name]
+        for j in range(k):
+            for p, kind in enumerate(table.kinds):
+                if kind is WeightKind.STAKE:
+                    old_w = new_w = float(sel_stake[j])
+                elif kind is WeightKind.EQUAL:
+                    old_w = new_w = 1.0
+                elif kind is WeightKind.STAKE_POWER:
+                    old_w = new_w = float(sel_stake[j] ** table.exponents[p])
+                else:
+                    old_w = float(cost_vec[_ONLINE] * sel_cost[j])
+                    new_w = float(cost_vec[int(selected_role[j])] * sel_cost[j])
+                if table.lookup[p, _ONLINE, int(sel_action[j])]:
+                    totals[p] -= old_w
+                if table.lookup[p, int(selected_role[j]), 0]:
+                    totals[p] += new_w
+
+    leader_stakes = sel_stake[: config.n_leaders]
+    committee_stakes = sel_stake[config.n_leaders :]
+    selected_stake_sum = float(np.add.reduce(sel_stake))
+
+    # Minimum strong-synchrony stake among *unselected* agents.
+    min_other = math.inf
+    if sync_carry is not None:
+        selected_set = set(int(i) for i in sel_index)
+        for stake_value, agent in zip(sync_carry[0], sync_carry[1]):
+            if int(agent) not in selected_set:
+                min_other = float(stake_value)
+                break
+    if not math.isfinite(min_other):
+        raise ConfigurationError(
+            "the strong-synchrony set is empty (synchrony_rate too small for "
+            "this population); the Theorem 3 bound is undefined"
+        )
+
+    aggregates = RoleAggregates(
+        stake_leaders=float(np.add.reduce(leader_stakes)),
+        stake_committee=float(np.add.reduce(committee_stakes)),
+        stake_others=total_stake - selected_stake_sum,
+        min_leader=float(leader_stakes.min()),
+        min_committee=float(committee_stakes.min()),
+        min_other=min_other,
+    )
+    optimum = minimize_reward_analytic(costs, aggregates)
+    split = SchemeSplit(optimum.alpha, optimum.beta)
+    b_i = config.budget_multiplier * optimum.b_i
+
+    # Swap in each scheme's fractions at the calibrated split, verifying
+    # the structure did not change shape underneath us.
+    pool_totals: Dict[str, np.ndarray] = {}
+    for scheme in schemes:
+        calibrated = _pool_tables(scheme, split)
+        reference = tables[scheme.name]
+        if (
+            len(calibrated.kinds) != len(reference.kinds)
+            or not np.array_equal(calibrated.lookup, reference.lookup)
+            or calibrated.kinds != reference.kinds
+            or not np.array_equal(calibrated.exponents, reference.exponents)
+        ):
+            raise AuditError(
+                f"scheme {scheme.name!r} changes pool structure with the split; "
+                "only pool fractions may depend on (alpha, beta)"
+            )
+        tables[scheme.name] = calibrated
+        pool_totals[scheme.name] = raw_totals[scheme.name]
+
+    # Correct the sync-defector census: selected agents perform their
+    # role, so a selected agent's as-if-online defection does not break
+    # the block.  With k+1 candidate indices kept and at most k of them
+    # selected, the sole survivor (when the corrected count is 1) is
+    # guaranteed to be among the candidates.
+    selected_set = set(int(i) for i in sel_index)
+    sync_defectors = defect_count - int(
+        np.count_nonzero(sel_sync & (sel_action == 1))
+    )
+    sole_sync_defector: Optional[int] = None
+    if sync_defectors == 1 and defect_carry is not None:
+        for agent in defect_carry[1]:
+            if int(agent) not in selected_set:
+                sole_sync_defector = int(agent)
+                break
+
+    committee_stake_total = float(np.add.reduce(committee_stakes))
+    return _Structure(
+        config=config,
+        costs=costs,
+        selected_index=sel_index.astype(np.int64),
+        selected_role=selected_role,
+        selected_stake=sel_stake,
+        selected_cost=sel_cost,
+        split=split,
+        b_i=b_i,
+        total_stake=total_stake,
+        total_stake_units=total_stake_units,
+        pool_totals=pool_totals,
+        tables=tables,
+        committee_stake_total=committee_stake_total,
+        quorum_threshold=config.committee_quorum * committee_stake_total,
+        sync_defectors=sync_defectors,
+        sole_sync_defector=sole_sync_defector,
+    )
+
+
+# -- pass 2: streamed deviation gains -----------------------------------------
+
+
+@dataclass
+class _ChunkContext:
+    """One chunk's scheme-independent realized state.
+
+    Built once per chunk by :func:`_chunk_context` (RNG draws, role
+    reconstruction and dtype widening are the expensive parts) and
+    shared by every scheme's :func:`_chunk_gains` evaluation in the
+    chunk-major gain pass.
+    """
+
+    offset: int
+    n: int
+    stake: np.ndarray  # float64
+    cost_multiplier: np.ndarray  # float64
+    roles: np.ndarray  # int8 role codes
+    sync: np.ndarray  # bool, online agents only
+    coop: np.ndarray  # bool — target-profile cooperation
+    action: np.ndarray  # int8: 0=C, 1=D
+    coop_cost: np.ndarray  # per-agent cooperation cost of the held role
+    sortition_cost: np.ndarray  # per-agent cost of playing D or O
+
+
+def _chunk_context(
+    structure: _Structure, spec: PopulationSpec, chunk: PopulationArrays
+) -> _ChunkContext:
+    """Realize one chunk's roles, synchrony and target-profile actions."""
+    config = structure.config
+    n = chunk.n_agents
+    stake = chunk.stake64()
+    cost_multiplier = chunk.cost64()
+    cost_vec = np.array(
+        [structure.costs.leader, structure.costs.committee, structure.costs.online]
+    )
+
+    # Roles: online crowd except the selected agents that fall in-chunk.
+    roles = np.full(n, _ONLINE, dtype=np.int8)
+    in_chunk = (structure.selected_index >= chunk.offset) & (
+        structure.selected_index < chunk.offset + n
+    )
+    local_selected = (structure.selected_index[in_chunk] - chunk.offset).astype(
+        np.int64
+    )
+    roles[local_selected] = structure.selected_role[in_chunk]
+
+    sync = _sync_mask(spec, config, chunk)
+    sync[roles != _ONLINE] = False
+    actions = _online_actions(config, chunk, sync)
+    coop = actions == 0
+    coop[roles != _ONLINE] = True  # the selected always perform their role
+    return _ChunkContext(
+        offset=chunk.offset,
+        n=n,
+        stake=stake,
+        cost_multiplier=cost_multiplier,
+        roles=roles,
+        sync=sync,
+        coop=coop,
+        action=(~coop).astype(np.int8),
+        coop_cost=cost_vec[roles] * cost_multiplier,
+        sortition_cost=structure.costs.sortition * cost_multiplier,
+    )
+
+
+def _chunk_gains(
+    scheme_name: str, structure: _Structure, ctx: _ChunkContext
+) -> np.ndarray:
+    """Deviation gains ``(n, 3)`` for one chunk's realized context.
+
+    Row ``j`` holds agent ``ctx.offset + j``'s payoff gain for a
+    unilateral switch to C, D and O (``nan`` marks the agent's current
+    strategy).  The agent-major layout fixes the witness tie-break:
+    smaller global index first, then target order C, D, O — independent
+    of chunking.
+
+    When the base profile fails to produce a block
+    (:attr:`_Structure.base_block_fails` — sync-set defectors under the
+    ``population`` target), nobody earns base or post-deviation rewards;
+    the one exception is the *sole* sync defector, whose unilateral
+    switch to C restores the block.
+    """
+    config = structure.config
+    table = structure.tables[scheme_name]
+    totals = structure.pool_totals[scheme_name]
+    P = len(table.kinds)
+    n = ctx.n
+    cost_vec = np.array(
+        [structure.costs.leader, structure.costs.committee, structure.costs.online]
+    )
+
+    weights = _pool_weights(
+        table, ctx.stake, ctx.cost_multiplier, ctx.roles, cost_vec
+    )
+    member = np.empty((P, n), dtype=bool)
+    member_c = np.empty((P, n), dtype=bool)
+    member_d = np.empty((P, n), dtype=bool)
+    for p in range(P):
+        member[p] = table.lookup[p, ctx.roles, ctx.action]
+        member_c[p] = table.lookup[p, ctx.roles, 0]
+        member_d[p] = table.lookup[p, ctx.roles, 1]
+    contribution = weights * member
+    slice_budget = table.fractions * structure.b_i  # (P,)
+
+    def pool_payments(member_new: np.ndarray) -> np.ndarray:
+        """Per-agent rewards if each agent *alone* played the new action."""
+        rewards = np.zeros(n)
+        for p in range(P):
+            new_contribution = weights[p] * member_new[p]
+            new_totals = totals[p] - contribution[p] + new_contribution
+            payable = (new_contribution > 0) & (new_totals > 0)
+            pool_reward = np.zeros(n)
+            np.divide(
+                slice_budget[p] * new_contribution,
+                new_totals,
+                out=pool_reward,
+                where=payable,
+            )
+            rewards += pool_reward
+        return rewards
+
+    if structure.base_block_fails:
+        # No block, no rewards — in the base profile and after any
+        # unilateral deviation except the sole defector's return to C.
+        base_rewards = np.zeros(n)
+        rewards_c = np.zeros(n)
+        rewards_d = np.zeros(n)
+        sole = structure.sole_sync_defector
+        if sole is not None and ctx.offset <= sole < ctx.offset + n:
+            local = sole - ctx.offset
+            rewards_c[local] = pool_payments(member_c)[local]
+    else:
+        base_rewards = np.zeros(n)
+        for p in range(P):
+            rate = slice_budget[p] / totals[p] if totals[p] > 0 else 0.0
+            base_rewards += rate * contribution[p]
+        rewards_c = pool_payments(member_c)
+        # Withdrawal block-breaks: a sole cooperating leader, a committee
+        # member whose exit drops the tally below quorum, or any
+        # strong-synchrony cooperator (all leaders/committee cooperate
+        # by construction of the target profile).
+        sole_leader = (ctx.roles == _LEADER) & (config.n_leaders == 1)
+        quorum_break = (ctx.roles == _COMMITTEE) & (
+            (structure.committee_stake_total - ctx.stake)
+            <= structure.quorum_threshold
+        )
+        breaks = sole_leader | quorum_break | (ctx.sync & ctx.coop)
+        rewards_d = np.where(breaks, 0.0, pool_payments(member_d))
+
+    coop = ctx.coop
+    current_cost = np.where(coop, ctx.coop_cost, ctx.sortition_cost)
+    base_utility = base_rewards - current_cost
+
+    gains = np.full((n, 3), np.nan)
+
+    utility_c = rewards_c - ctx.coop_cost
+    gains[:, 0] = np.where(~coop, utility_c - base_utility, np.nan)
+
+    utility_d = rewards_d - ctx.sortition_cost
+    gains[:, 1] = np.where(coop, utility_d - base_utility, np.nan)
+
+    gains[:, 2] = -ctx.sortition_cost - base_utility
+    return gains
+
+
+def iter_population_gains(
+    scheme: SchemeLike,
+    spec: PopulationSpec,
+    config: PopulationAuditConfig = PopulationAuditConfig(),
+    structure: Optional[_Structure] = None,
+) -> Iterator[Tuple[PopulationArrays, np.ndarray, np.ndarray]]:
+    """Stream ``(chunk, gains (n, 3), coop mask)`` over the population.
+
+    The raw generator behind :func:`audit_population` — used directly by
+    the differential tests that compare chunked gains against the
+    monolithic path and the scalar game oracle.
+    """
+    resolved = resolve_scheme(scheme)
+    if structure is None:
+        structure = _build_structure([resolved], spec, config)
+    for chunk in _chunks(spec, config):
+        ctx = _chunk_context(structure, spec, chunk)
+        yield chunk, _chunk_gains(resolved.name, structure, ctx), ctx.coop
+
+
+class _GainReducer:
+    """Folds one scheme's streamed gain chunks into the audit verdict.
+
+    Chunks must arrive in population order: the ``>`` max update keeps
+    the *first* maximizing deviation, which together with the agent-major
+    in-chunk argmax fixes the chunking-independent witness tie-break
+    (smaller agent index, then target order C, D, O).
+    """
+
+    _ROLE_NAMES = {_LEADER: "leader", _COMMITTEE: "committee", _ONLINE: "online"}
+
+    def __init__(self, structure: _Structure) -> None:
+        self._structure = structure
+        self.max_gain = -math.inf
+        self.max_shirk = -math.inf
+        self.n_deviations = 0
+        self.witness: Optional[DeviationWitness] = None
+
+    def update(
+        self, chunk: PopulationArrays, gains: np.ndarray, coop: np.ndarray
+    ) -> None:
+        """Fold one chunk's ``(n, 3)`` gain tensor into the running verdict."""
+        structure = self._structure
+        self.n_deviations += int(np.count_nonzero(~np.isnan(gains)))
+        chunk_max = float(np.nanmax(gains))
+        if chunk_max > self.max_gain:
+            self.max_gain = chunk_max
+            # Flat argmax over the agent-major (n, 3) layout: first hit is
+            # the smallest (agent, target) pair — the canonical witness.
+            flat = int(np.nanargmax(gains))
+            j, t = divmod(flat, 3)
+            in_chunk = (structure.selected_index >= chunk.offset) & (
+                structure.selected_index < chunk.offset + chunk.n_agents
+            )
+            local = structure.selected_index[in_chunk] - chunk.offset
+            role = _ONLINE
+            matches = np.flatnonzero(local == j)
+            if matches.size:
+                role = int(structure.selected_role[in_chunk][matches[0]])
+            self.witness = DeviationWitness(
+                population=0,
+                player=int(chunk.offset + j),
+                role=self._ROLE_NAMES[role],
+                stake=float(chunk.stake64()[j]),
+                from_strategy="C" if coop[j] else "D",
+                to_strategy=_TARGETS[t],
+                gain=chunk_max,
+            )
+        shirk = np.where(
+            coop[:, None], gains[:, 1:], np.nan
+        )  # columns D and O, cooperators only
+        if not bool(np.all(np.isnan(shirk))):
+            self.max_shirk = max(self.max_shirk, float(np.nanmax(shirk)))
+
+    def report(
+        self,
+        scheme_name: str,
+        spec: PopulationSpec,
+        config: PopulationAuditConfig,
+        elapsed_s: float,
+    ) -> PopulationAuditReport:
+        """The finished verdict."""
+        structure = self._structure
+        certified = self.max_gain <= config.epsilon
+        return PopulationAuditReport(
+            scheme=scheme_name,
+            population=spec.describe(),
+            n_agents=spec.size,
+            dtype=spec.dtype,
+            chunk_agents=config.chunk_agents,
+            target=config.target,
+            certified=certified,
+            epsilon=config.epsilon,
+            max_gain=self.max_gain,
+            max_shirk_gain=self.max_shirk,
+            n_deviations=self.n_deviations,
+            witness=None if certified else self.witness,
+            alpha=structure.split.alpha,
+            beta=structure.split.beta,
+            b_i=structure.b_i,
+            total_stake=structure.total_stake,
+            total_stake_units=structure.total_stake_units,
+            elapsed_s=elapsed_s,
+        )
+
+
+def audit_populations(
+    schemes: Sequence[SchemeLike],
+    spec: PopulationSpec,
+    config: PopulationAuditConfig = PopulationAuditConfig(),
+) -> Dict[str, PopulationAuditReport]:
+    """Audit several schemes over one *shared* streamed population.
+
+    One selection pass accumulates roles, synchrony, calibration and
+    every scheme's pool totals; one chunk-major gain pass then generates
+    each chunk once and evaluates all schemes on it before moving on —
+    a paired comparison that streams the population exactly twice no
+    matter how many schemes are audited.
+    """
+    resolved = [resolve_scheme(item) for item in schemes]
+    names = [item.name for item in resolved]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate schemes in audit request: {names}")
+    started = time.perf_counter()
+    structure = _build_structure(resolved, spec, config)
+    reducers = {item.name: _GainReducer(structure) for item in resolved}
+    for chunk in _chunks(spec, config):
+        # Realize the chunk (RNG draws, roles, dtype widening) once;
+        # every scheme evaluates its gains on the shared context.
+        ctx = _chunk_context(structure, spec, chunk)
+        for item in resolved:
+            reducers[item.name].update(
+                chunk, _chunk_gains(item.name, structure, ctx), ctx.coop
+            )
+    # Both passes are shared work; per-report throughput is the honest
+    # amortized figure (total wall-clock split evenly across schemes).
+    elapsed_share = (time.perf_counter() - started) / len(resolved)
+    return {
+        item.name: reducers[item.name].report(
+            item.name, spec, config, elapsed_share
+        )
+        for item in resolved
+    }
+
+
+def audit_population(
+    scheme: SchemeLike,
+    spec: PopulationSpec,
+    config: PopulationAuditConfig = PopulationAuditConfig(),
+) -> PopulationAuditReport:
+    """Audit one scheme over one streamed population."""
+    resolved = resolve_scheme(scheme)
+    return audit_populations([resolved], spec, config)[resolved.name]
+
+
+# -- the scalar oracle --------------------------------------------------------
+
+
+def oracle_population_gains(
+    scheme: SchemeLike,
+    spec: PopulationSpec,
+    config: PopulationAuditConfig = PopulationAuditConfig(),
+    max_agents: int = 2000,
+) -> np.ndarray:
+    """Per-agent gains ``(n, 3)`` via the exact game engine (small n only).
+
+    Rebuilds the streamed audit's realized structure (selection,
+    synchrony, calibration) as an
+    :class:`~repro.core.game.AlgorandGame` and measures every unilateral
+    deviation with exact ``payoff`` calls — sharing no arithmetic with
+    the chunked kernel.  Guards: the population must fit (``max_agents``)
+    and carry no per-agent cost jitter (the scalar game models uniform
+    role costs).
+    """
+    from repro.core.game import (
+        AlgorandGame,
+        BlockSuccessModel,
+        Player,
+        PlayerRole,
+        Strategy,
+        with_deviation,
+    )
+
+    if spec.size > max_agents:
+        raise ConfigurationError(
+            f"the scalar oracle is O(n^2); population of {spec.size} exceeds "
+            f"the limit of {max_agents}"
+        )
+    if spec.cost_jitter != 0.0:
+        raise ConfigurationError(
+            "the scalar oracle models uniform role costs; audit populations "
+            "with cost_jitter=0 to cross-check"
+        )
+    resolved = resolve_scheme(scheme)
+    structure = _build_structure([resolved], spec, config)
+    population = spec.materialize()
+    stake = population.stake64()
+    n = population.n_agents
+
+    roles = np.full(n, _ONLINE, dtype=np.int8)
+    roles[structure.selected_index] = structure.selected_role
+    sync = _sync_mask(spec, config, population)
+    sync[roles != _ONLINE] = False
+    actions = _online_actions(config, population, sync)
+    coop = actions == 0
+    coop[roles != _ONLINE] = True
+
+    role_of = {
+        _LEADER: PlayerRole.LEADER,
+        _COMMITTEE: PlayerRole.COMMITTEE,
+        _ONLINE: PlayerRole.ONLINE,
+    }
+    players = {
+        j: Player(node_id=j, stake=float(stake[j]), role=role_of[int(roles[j])])
+        for j in range(n)
+    }
+    game = AlgorandGame(
+        players=players,
+        costs=structure.costs,
+        reward_rule=resolved.make_rule(structure.b_i, structure.split),
+        success_model=BlockSuccessModel(
+            committee_quorum=config.committee_quorum,
+            synchrony_set=frozenset(int(j) for j in np.flatnonzero(sync)),
+        ),
+    )
+    profile = {
+        j: Strategy.COOPERATE if coop[j] else Strategy.DEFECT for j in range(n)
+    }
+    base = game.payoffs(profile)
+    strategy_of = {
+        "C": Strategy.COOPERATE,
+        "D": Strategy.DEFECT,
+        "O": Strategy.OFFLINE,
+    }
+    gains = np.full((n, 3), np.nan)
+    for t, target in enumerate(_TARGETS):
+        alternative = strategy_of[target]
+        for j in range(n):
+            if profile[j] is alternative:
+                continue
+            gains[j, t] = (
+                game.payoff(j, with_deviation(profile, j, alternative)) - base[j]
+            )
+    return gains

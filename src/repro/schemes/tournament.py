@@ -73,12 +73,15 @@ class TournamentConfig:
     audit: AuditConfig = TOURNAMENT_AUDIT
 
     def scheme_list(self) -> List[str]:
+        """Requested schemes, defaulting to every registered one."""
         return list(self.schemes) if self.schemes else scheme_names()
 
     def scenario_list(self) -> List[str]:
+        """Requested scenario families, defaulting to every registered one."""
         return list(self.scenarios) if self.scenarios else scenario_names()
 
     def campaign_config(self) -> ScenarioCampaignConfig:
+        """The scenario-campaign configuration this tournament fans out."""
         return ScenarioCampaignConfig(
             scenarios=tuple(self.scenario_list()),
             schemes=tuple(self.scheme_list()),
@@ -116,6 +119,7 @@ class TournamentResult:
     standings: List[SchemeStanding] = field(default_factory=list)
 
     def standing_for(self, scheme: str) -> SchemeStanding:
+        """Look up one scheme's row in the league table."""
         for standing in self.standings:
             if standing.scheme == scheme:
                 return standing
@@ -139,6 +143,7 @@ class TournamentResult:
         ]
 
     def render(self) -> str:
+        """ASCII league table plus per-scheme legend."""
         from repro.analysis.plotting import format_table
 
         n_families = len(self.campaign.scenarios())
@@ -168,6 +173,7 @@ class TournamentResult:
         return table + "\n\n" + "\n".join(legends)
 
     def to_markdown_text(self) -> str:
+        """The league table as a Markdown document (string form)."""
         lines = [
             "# Reward-scheme tournament",
             "",
@@ -203,12 +209,14 @@ class TournamentResult:
         return "\n".join(lines) + "\n"
 
     def to_markdown(self, path: PathLike) -> Path:
+        """Write the Markdown league table to ``path``."""
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(self.to_markdown_text(), encoding="utf-8")
         return target
 
     def to_csv(self, path: PathLike) -> None:
+        """Write one row per scheme standing as CSV."""
         write_rows(
             path,
             (

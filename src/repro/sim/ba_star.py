@@ -279,10 +279,12 @@ class ConsensusStateMachine:
 
     @property
     def concluded(self) -> bool:
+        """Whether the machine reached a conclusion for this round."""
         return self.phase is Phase.DONE
 
     @property
     def failed(self) -> bool:
+        """Whether the machine exhausted its steps without concluding."""
         return self.phase is Phase.FAILED
 
 

@@ -35,6 +35,7 @@ class Transaction:
     nonce: int
 
     def digest(self) -> int:
+        """Content hash identifying the transaction."""
         return crypto.sha256_int("txn", self.from_account, self.to_account, self.amount, self.nonce)
 
 
@@ -104,6 +105,7 @@ class Ledger:
 
     @property
     def genesis(self) -> Block:
+        """The genesis block."""
         return self._entries[0].block
 
     def tip(self) -> Block:
@@ -111,6 +113,7 @@ class Ledger:
         return self._entries[-1].block
 
     def tip_label(self) -> ConsensusLabel:
+        """Consensus label of the most recently appended block."""
         return self._entries[-1].label
 
     def entries(self) -> List[LedgerEntry]:
@@ -144,15 +147,18 @@ class Ledger:
                 entry.label = ConsensusLabel.FINAL
 
     def contains(self, block_hash: int) -> bool:
+        """Whether a block with this hash is on the chain."""
         return block_hash in self._by_hash
 
     def get(self, block_hash: int) -> Block:
+        """The block with this hash; raises ``LedgerError`` if unknown."""
         index = self._by_hash.get(block_hash)
         if index is None:
             raise LedgerError(f"unknown block hash {block_hash}")
         return self._entries[index].block
 
     def label_of(self, block_hash: int) -> ConsensusLabel:
+        """Consensus label of the block with this hash."""
         index = self._by_hash.get(block_hash)
         if index is None:
             raise LedgerError(f"unknown block hash {block_hash}")

@@ -341,9 +341,11 @@ class FastSimulation:
     # -- public accessors ----------------------------------------------------
 
     def total_stake(self) -> float:
+        """Total stake across all nodes (defectors included)."""
         return sum(self.stakes)
 
     def stake_vector(self) -> Dict[int, float]:
+        """Current stakes keyed by node id."""
         return {node_id: stake for node_id, stake in enumerate(self.stakes)}
 
     # -- round driver --------------------------------------------------------
@@ -920,6 +922,104 @@ class FastSimulation:
             committee=committee,
             others=others,
         )
+
+
+# -- population-scale committee sampling --------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamedCommittee:
+    """A sortition outcome holding *only* the selected participants.
+
+    Produced by :func:`sample_committee_stream`: the non-participants —
+    the overwhelming majority at population scale — are never
+    materialized as per-node objects, so the memory footprint is
+    O(selected), not O(population).
+    """
+
+    expected_size: float
+    probability: float
+    total_stake_units: int
+    indices: np.ndarray  # (s,) int64 global agent indices
+    weights: np.ndarray  # (s,) int64 selected sub-user counts
+    stakes: np.ndarray  # (s,) float64 stakes of the selected agents
+
+    @property
+    def n_selected(self) -> int:
+        """Number of distinct agents holding at least one sub-user slot."""
+        return int(self.indices.size)
+
+    @property
+    def total_weight(self) -> int:
+        """Total selected sub-user weight (expected ~``expected_size``)."""
+        return int(self.weights.sum())
+
+
+def sample_committee_stream(
+    spec,
+    expected_size: float,
+    column: str = "committee.vrf",
+    chunk_agents: Optional[int] = None,
+    total_stake_units: Optional[int] = None,
+) -> StreamedCommittee:
+    """Sample one sortition committee from a streamed stake population.
+
+    Streams a :class:`~repro.populations.spec.PopulationSpec` in O(chunk)
+    memory: each chunk draws idealized-VRF uniforms from the population's
+    own seed-block streams (``column`` names the substream, so several
+    committees per population stay independent), inverts the binomial CDF
+    with the batched :func:`~repro.sim.sortition.binomial_weights`
+    primitive, and keeps only the selected agents.  Per-agent draws and
+    integer stake totals are chunk-independent, so the committee is
+    **bit-identical at every ``chunk_agents``** — the same contract as
+    the population audit.
+
+    ``total_stake_units`` (the integer stake total that fixes the
+    selection probability ``expected_size / W``) is computed with an
+    extra streaming pass when not supplied; callers auditing the same
+    population repeatedly should compute it once and pass it in.
+    """
+    if expected_size <= 0:
+        raise ConfigurationError(
+            f"expected committee size must be positive, got {expected_size}"
+        )
+    if total_stake_units is None:
+        total = 0
+        for chunk in spec.iter_chunks(chunk_agents):
+            # Integer accumulation is exact, hence order-independent.
+            total += int(chunk.stake64().astype(np.int64).sum())
+        total_stake_units = total
+    if total_stake_units <= 0:
+        raise ConfigurationError(
+            "population has zero integer stake units; scale stakes up "
+            "(sub-user sortition floors stakes to whole Algos)"
+        )
+    probability = min(1.0, expected_size / total_stake_units)
+
+    indices: List[np.ndarray] = []
+    weights: List[np.ndarray] = []
+    stakes: List[np.ndarray] = []
+    for chunk in spec.iter_chunks(chunk_agents):
+        stake = chunk.stake64()
+        units = stake.astype(np.int64)
+        values = spec.chunk_draws(
+            chunk.offset, chunk.n_agents, column, lambda rng, n: rng.random(n)
+        )
+        selected_weights = binomial_weights(values, units, probability)
+        rows = np.flatnonzero(selected_weights > 0)
+        if rows.size:
+            indices.append((chunk.offset + rows).astype(np.int64))
+            weights.append(selected_weights[rows])
+            stakes.append(stake[rows])
+    empty_i = np.empty(0, dtype=np.int64)
+    return StreamedCommittee(
+        expected_size=float(expected_size),
+        probability=float(probability),
+        total_stake_units=int(total_stake_units),
+        indices=np.concatenate(indices) if indices else empty_i,
+        weights=np.concatenate(weights) if weights else empty_i,
+        stakes=np.concatenate(stakes) if stakes else np.empty(0, dtype=np.float64),
+    )
 
 
 def make_simulation(

@@ -99,6 +99,7 @@ class CredentialMessage(Message):
 
     @property
     def priority(self) -> float:
+        """Proposal priority (lower is better); infinity if proof missing."""
         if self.proof is None or self.proof.priority is None:
             return float("inf")
         return self.proof.priority

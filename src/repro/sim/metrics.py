@@ -36,14 +36,17 @@ class RoundRecord:
 
     @property
     def fraction_final(self) -> float:
+        """Fraction of online nodes that finalized the round's block."""
         return self.n_final / self.n_online if self.n_online else 0.0
 
     @property
     def fraction_tentative(self) -> float:
+        """Fraction of online nodes that accepted the block tentatively."""
         return self.n_tentative / self.n_online if self.n_online else 0.0
 
     @property
     def fraction_none(self) -> float:
+        """Fraction of online nodes that reached no consensus."""
         return self.n_none / self.n_online if self.n_online else 0.0
 
 
@@ -54,14 +57,17 @@ class SimulationMetrics:
         self._records: List[RoundRecord] = []
 
     def record(self, record: RoundRecord) -> None:
+        """Append one completed round's record."""
         self._records.append(record)
 
     @property
     def records(self) -> List[RoundRecord]:
+        """All round records, in order (returns a copy)."""
         return list(self._records)
 
     @property
     def n_rounds(self) -> int:
+        """Number of recorded rounds."""
         return len(self._records)
 
     def series(self, attribute: str) -> List[float]:
@@ -80,6 +86,7 @@ class SimulationMetrics:
         return final / len(self._records)
 
     def total_rewards(self) -> float:
+        """Sum of distributed rewards over all recorded rounds."""
         return sum(record.reward_total for record in self._records)
 
     def to_rows(self) -> List[Dict[str, object]]:

@@ -61,6 +61,7 @@ class NetworkStats:
     per_kind_deliveries: Dict[str, int] = field(default_factory=dict)
 
     def record_delivery(self, kind: str) -> None:
+        """Count one delivered message of ``kind``."""
         self.deliveries += 1
         self.per_kind_deliveries[kind] = self.per_kind_deliveries.get(kind, 0) + 1
 
@@ -131,18 +132,21 @@ class GossipNetwork:
     # -- registration ------------------------------------------------------
 
     def register(self, participant: GossipParticipant) -> None:
+        """Attach a participant to the overlay (id must be a topology node)."""
         node_id = participant.node_id
         if node_id not in self._neighbors:
             raise NetworkError(f"node {node_id} is not part of the overlay")
         self._participants[node_id] = participant
 
     def neighbors_of(self, node_id: int) -> List[int]:
+        """The overlay neighbors of one node."""
         try:
             return list(self._neighbors[node_id])
         except KeyError:
             raise NetworkError(f"unknown node {node_id}") from None
 
     def participant(self, node_id: int) -> GossipParticipant:
+        """The registered participant behind ``node_id``."""
         try:
             return self._participants[node_id]
         except KeyError:

@@ -73,6 +73,7 @@ class TaskCounters:
     vote_counts: int = 0  # c_vc
 
     def snapshot(self) -> Dict[str, int]:
+        """The counters as a plain dict (for metrics and assertions)."""
         return dict(self.__dict__)
 
 

@@ -157,12 +157,15 @@ class AlgorandSimulation:
 
     @property
     def online_nodes(self) -> List[Node]:
+        """All nodes whose behavior is online."""
         return [node for node in self.nodes if node.behavior.is_online]
 
     def total_stake(self) -> float:
+        """Total stake across all nodes (defectors included)."""
         return sum(node.stake for node in self.nodes)
 
     def stake_vector(self) -> Dict[int, float]:
+        """Current stakes keyed by node id."""
         return {node.node_id: node.stake for node in self.nodes}
 
     # -- round driver -----------------------------------------------------------------

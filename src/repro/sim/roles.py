@@ -78,9 +78,11 @@ class RoleSnapshot:
     # -- minimum stakes (s*_l, s*_m, s*_k of Lemma 2 / Theorem 3) -------------
 
     def min_leader_stake(self) -> Optional[float]:
+        """Smallest leader stake this round, or None without leaders."""
         return min(self.leaders.values(), default=None)
 
     def min_committee_stake(self) -> Optional[float]:
+        """Smallest committee stake this round, or None without a committee."""
         return min(self.committee.values(), default=None)
 
     def min_other_stake(self, floor: float = 0.0) -> Optional[float]:
@@ -103,6 +105,7 @@ class RoleSnapshot:
 
     @property
     def n_nodes(self) -> int:
+        """Total nodes classified into the three role sets."""
         return len(self.leaders) + len(self.committee) + len(self.others)
 
 
@@ -127,4 +130,5 @@ class RewardAllocation:
     params: Mapping[str, float] = field(default_factory=dict)
 
     def paid_to(self, node_id: int) -> float:
+        """The amount allocated to one node (0.0 if unpaid)."""
         return float(self.per_node.get(node_id, 0.0))

@@ -1,6 +1,7 @@
 """Stake populations and the synthetic exchange (paper Section V-B)."""
 
 from repro.stakes.distributions import (
+    MAX_POPULATION,
     StakeDistribution,
     figure7c_distributions,
     paper_distributions,
@@ -14,6 +15,7 @@ from repro.stakes.exchange import ExchangeRound, ExchangeSimulator
 __all__ = [
     "ExchangeRound",
     "ExchangeSimulator",
+    "MAX_POPULATION",
     "StakeDistribution",
     "figure7c_distributions",
     "paper_distributions",

@@ -19,6 +19,7 @@ this detail matters.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -28,6 +29,22 @@ from repro.errors import ConfigurationError
 
 #: Generator signature: (rng, size) -> stake vector.
 StakeSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+#: Largest population a single sample may request: the int32 indexing
+#: range.  Beyond it, downstream per-node index arithmetic (and the
+#: populations layer's global agent indices) would silently overflow, so
+#: the request is rejected here with a configuration error instead of
+#: surfacing as a numpy error (or a >16 GB allocation) later.
+MAX_POPULATION = np.iinfo(np.int32).max
+
+
+def _require_finite(context: str, **values: float) -> None:
+    """Reject non-finite (nan/inf) distribution parameters uniformly."""
+    for key, value in values.items():
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"{context} parameter {key}={value!r} must be finite"
+            )
 
 
 @dataclass(frozen=True)
@@ -40,8 +57,17 @@ class StakeDistribution:
 
     def sample(self, size: int, seed: int = 0) -> np.ndarray:
         """Draw a stake vector of ``size`` nodes."""
+        if not isinstance(size, (int, np.integer)):
+            raise ConfigurationError(
+                f"population size must be an integer, got {size!r}"
+            )
         if size <= 0:
             raise ConfigurationError(f"population size must be positive, got {size}")
+        if size > MAX_POPULATION:
+            raise ConfigurationError(
+                f"population size {size} exceeds the int32 indexing limit "
+                f"({MAX_POPULATION}); stream it through repro.populations instead"
+            )
         rng = np.random.default_rng(seed)
         stakes = np.asarray(self.sampler(rng, size), dtype=float)
         if stakes.shape != (size,):
@@ -59,6 +85,7 @@ class StakeDistribution:
         Matches the paper's "we distribute 50 millions Algos among these
         500K nodes using <distribution>" phrasing.
         """
+        _require_finite("sample_total", total=total)
         if total <= 0:
             raise ConfigurationError(f"total stake must be positive, got {total}")
         stakes = self.sample(size, seed)
@@ -67,6 +94,7 @@ class StakeDistribution:
 
 def uniform(low: float = 1.0, high: float = 200.0) -> StakeDistribution:
     """U(low, high) — the paper's U(1, 200)."""
+    _require_finite("uniform", low=low, high=high)
     if not 0 < low < high:
         raise ConfigurationError(f"need 0 < low < high, got [{low}, {high}]")
     return StakeDistribution(
@@ -84,6 +112,7 @@ def truncated_normal(
     The truncation only matters for wide distributions (N(100, 20) has a
     ~4.5-sigma left tail at 500k draws); narrow ones are untouched.
     """
+    _require_finite("truncated_normal", mean=mean, std=std, minimum=minimum)
     if std <= 0:
         raise ConfigurationError(f"std must be positive, got {std}")
     if minimum <= 0:
@@ -121,6 +150,9 @@ def truncated_uniform(
     rewarded set; the surviving population is uniform on
     (max(low, w), high].
     """
+    _require_finite(
+        "truncated_uniform", removal_threshold=removal_threshold, low=low, high=high
+    )
     if removal_threshold >= high:
         raise ConfigurationError(
             f"removal threshold {removal_threshold} must be below high {high}"

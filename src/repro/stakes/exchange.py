@@ -102,12 +102,15 @@ class ExchangeSimulator:
 
     @property
     def n_nodes(self) -> int:
+        """Number of nodes in the exchange population."""
         return int(self._stakes.size)
 
     def stake_of(self, node_index: int) -> float:
+        """Current stake of one node."""
         return float(self._stakes[node_index])
 
     def total_stake(self) -> float:
+        """Total stake across the population."""
         return float(self._stakes.sum())
 
     # -- churn ---------------------------------------------------------------------

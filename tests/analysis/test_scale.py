@@ -1,0 +1,153 @@
+"""Tests for the population-scale runner experiment (``repro-runner scale``)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.runner import run_experiment
+from repro.analysis.scale import ScaleConfig, peak_rss_mb, run_scale
+from repro.errors import ConfigurationError
+from repro.schemes.registry import scheme_names
+
+SMALL = ScaleConfig(
+    family="zipf",
+    family_params={"exponent": 1.9, "scale": 3.0},
+    n_agents=12_000,
+    chunk_agents=4096,
+)
+
+
+class TestScaleConfig:
+    def test_defaults_cover_all_schemes(self):
+        assert SMALL.scheme_list() == scheme_names()
+
+    def test_population_spec_matches_request(self):
+        spec = SMALL.population_spec()
+        assert spec.family == "zipf" and spec.size == 12_000
+
+    def test_chunk_agents_validated(self):
+        with pytest.raises(ConfigurationError):
+            ScaleConfig(chunk_agents=-1).audit_config()
+
+    def test_audit_config_defaults_to_streaming(self):
+        # The scale experiment must never fall back to monolithic
+        # materialization: chunk_agents is always set.
+        assert ScaleConfig().audit_config().chunk_agents is not None
+
+
+class TestRunScale:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scale(SMALL)
+
+    def test_audits_every_scheme(self, result):
+        assert set(result.reports) == set(scheme_names())
+        assert result.reports["role_based"].certified
+        assert not result.reports["foundation"].certified
+
+    def test_render_contains_verdicts_and_throughput(self, result):
+        rendered = result.render()
+        assert "IC" in rendered and "DEVIATES" in rendered
+        assert "M agents/s" in rendered and "peak RSS" in rendered
+
+    def test_rows_cover_schemes_in_registry_order(self, result):
+        assert [row[0] for row in result.rows()] == scheme_names()
+
+    def test_csv_and_payload(self, result, tmp_path):
+        result.to_csv(tmp_path / "scale.csv")
+        with open(tmp_path / "scale.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(scheme_names())
+        assert rows[0]["n_agents"] == "12000"
+        payload = result.to_payload()
+        json.dumps(payload)  # machine-readable by contract
+        assert payload["n_agents"] == 12_000
+        assert payload["committee"]["members"] > 0
+
+    def test_peak_rss_positive(self, result):
+        assert result.peak_rss_mb > 0
+        assert peak_rss_mb() >= result.peak_rss_mb
+
+
+class TestRunnerIntegration:
+    def test_runner_scale_experiment(self, tmp_path):
+        outcome = run_experiment(
+            "scale",
+            scale="small",
+            out=tmp_path,
+            agents=9_000,
+            chunk_agents=4096,
+            schemes=("role_based", "foundation"),
+        )
+        assert outcome.name == "scale"
+        assert "role_based" in outcome.rendered
+        assert (tmp_path / "scale.csv").is_file()
+        payload = json.loads((tmp_path / "scale.json").read_text())
+        assert payload["n_agents"] == 9_000
+        assert set(payload["schemes"]) == {"role_based", "foundation"}
+
+    def test_runner_scale_uses_scale_preset(self, tmp_path):
+        outcome = run_experiment("scale", scale="small", chunk_agents=8192)
+        assert "n=20000" in outcome.rendered
+
+    def test_float32_mode_accepted(self):
+        outcome = run_experiment(
+            "scale", scale="small", agents=9_000, dtype="float32",
+            schemes=("hybrid",),
+        )
+        assert "float32" in outcome.rendered
+
+    def test_family_params_flow_through_cli(self, tmp_path, capsys):
+        """--family-param makes parameterized families (incl. the
+        empirical exchange_snapshot loader) usable from the CLI."""
+        from repro.analysis.runner import main
+        from repro.populations import snapshot_from_exchange
+
+        snapshot = snapshot_from_exchange(
+            tmp_path / "snap.txt", n_nodes=200, n_rounds=2, seed=1
+        )
+        code = main(
+            [
+                "scale",
+                "--family", "exchange_snapshot",
+                "--family-param", f"path={snapshot}",
+                "--agents", "9000",
+                "--scheme", "role_based",
+                "--no-progress",
+            ]
+        )
+        assert code == 0
+        assert "exchange_snapshot" in capsys.readouterr().out
+
+    def test_family_param_values_parse_as_json(self):
+        outcome = run_experiment(
+            "scale",
+            agents=9_000,
+            family_params=("exponent=1.7", "scale=2.5"),
+            schemes=("role_based",),
+        )
+        assert "exponent=1.7" in outcome.rendered
+
+    def test_malformed_family_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="KEY=VALUE"):
+            run_experiment("scale", agents=9_000, family_params=("exponent",))
+
+    def test_cli_flags_parse(self, capsys):
+        from repro.analysis.runner import main
+
+        code = main(
+            [
+                "scale",
+                "--scale", "small",
+                "--agents", "9000",
+                "--chunk-agents", "4096",
+                "--scheme", "role_based",
+                "--no-progress",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Population-scale epsilon-IC audit" in out

@@ -1,0 +1,126 @@
+"""Unit tests for the columnar population arrays and chunk-stable sums."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.populations import (
+    SEED_BLOCK,
+    PopulationArrays,
+    blockwise_row_sums,
+    blockwise_sum,
+    resolve_dtype,
+)
+
+
+def _population(n: int = 10, dtype=np.float64) -> PopulationArrays:
+    return PopulationArrays(
+        stake=np.linspace(1.0, 5.0, n).astype(dtype),
+        cost=np.ones(n, dtype=dtype),
+        behavior=np.zeros(n, dtype=np.int8),
+    )
+
+
+class TestPopulationArrays:
+    def test_columns_validated(self):
+        with pytest.raises(ConfigurationError):
+            PopulationArrays(
+                stake=np.array([1.0, -2.0]),
+                cost=np.ones(2),
+                behavior=np.zeros(2, dtype=np.int8),
+            )
+        with pytest.raises(ConfigurationError):
+            PopulationArrays(
+                stake=np.array([1.0, np.nan]),
+                cost=np.ones(2),
+                behavior=np.zeros(2, dtype=np.int8),
+            )
+        with pytest.raises(ConfigurationError):
+            PopulationArrays(
+                stake=np.ones(3), cost=np.ones(2), behavior=np.zeros(3, dtype=np.int8)
+            )
+        with pytest.raises(ConfigurationError):
+            PopulationArrays(
+                stake=np.ones(2),
+                cost=np.ones(2),
+                behavior=np.array([0, 7], dtype=np.int8),
+            )
+
+    def test_integer_stakes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PopulationArrays(
+                stake=np.ones(2, dtype=np.int64),
+                cost=np.ones(2),
+                behavior=np.zeros(2, dtype=np.int8),
+            )
+
+    def test_memory_footprint_is_columnar(self):
+        pop = _population(1000)
+        # 8 + 8 + 1 bytes per agent: three columns, no per-agent objects.
+        assert pop.nbytes == 1000 * 17
+
+    def test_float32_halves_stake_memory(self):
+        full = _population(1000)
+        half = _population(1000, dtype=np.float32)
+        assert half.stake.nbytes == full.stake.nbytes // 2
+        assert half.dtype == "float32"
+
+    def test_stake64_is_view_for_float64(self):
+        pop = _population(8)
+        assert pop.stake64() is pop.stake
+        pop32 = _population(8, dtype=np.float32)
+        assert pop32.stake64().dtype == np.float64
+
+    def test_concat_requires_contiguity(self):
+        a = _population(4)
+        b = _population(4)
+        b.offset = 4
+        merged = PopulationArrays.concat([a, b])
+        assert merged.n_agents == 8
+        c = _population(4)
+        c.offset = 9
+        with pytest.raises(ConfigurationError):
+            PopulationArrays.concat([a, c])
+
+    def test_summary_fields(self):
+        pop = _population(10)
+        summary = pop.summary()
+        assert summary["n"] == 10
+        assert summary["min"] == 1.0 and summary["max"] == 5.0
+        assert summary["cooperation"] == 1.0
+
+    def test_resolve_dtype(self):
+        assert resolve_dtype("float32") == np.float32
+        with pytest.raises(ConfigurationError):
+            resolve_dtype("float16")
+
+
+class TestBlockwiseSums:
+    def test_matches_fsum_on_block_boundaries(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(2 * SEED_BLOCK + 17)
+        import math
+
+        assert blockwise_sum(values) == pytest.approx(math.fsum(values), rel=1e-12)
+
+    def test_resumable_across_chunks(self):
+        rng = np.random.default_rng(1)
+        values = rng.random(3 * SEED_BLOCK)
+        whole = blockwise_sum(values)
+        running = 0.0
+        for start in range(0, values.size, SEED_BLOCK):
+            running = blockwise_sum(values[start : start + SEED_BLOCK], start=running)
+        assert running == whole  # bitwise: the same addition sequence
+
+    def test_row_sums_resumable(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.random((3, 2 * SEED_BLOCK))
+        whole = blockwise_row_sums(matrix)
+        running = None
+        for start in range(0, matrix.shape[1], SEED_BLOCK):
+            running = blockwise_row_sums(
+                matrix[:, start : start + SEED_BLOCK], start=running
+            )
+        assert np.array_equal(running, whole)

@@ -1,0 +1,129 @@
+"""Unit tests for the generator family registry and the snapshot loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.populations import (
+    family_names,
+    get_family,
+    load_snapshot,
+    population_family,
+    resolve_sampler,
+    snapshot_from_exchange,
+    write_snapshot,
+)
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        names = family_names()
+        for expected in (
+            "zipf",
+            "pareto",
+            "lognormal",
+            "uniform",
+            "normal",
+            "exchange_snapshot",
+        ):
+            assert expected in names
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_family("no-such-family")
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            resolve_sampler("zipf", {"exponent": 2.0, "bogus": 1})
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ConfigurationError):
+            population_family("zipf", "dup")(lambda: None)
+
+    def test_description_is_set(self):
+        for name in family_names():
+            assert get_family(name).description
+
+
+class TestFamilyValidation:
+    @pytest.mark.parametrize(
+        "family,params",
+        [
+            ("zipf", {"exponent": 1.0}),
+            ("zipf", {"exponent": float("nan")}),
+            ("zipf", {"scale": 0.0}),
+            ("pareto", {"alpha": -1.0}),
+            ("pareto", {"minimum": float("inf")}),
+            ("lognormal", {"median": 0.0}),
+            ("lognormal", {"sigma": -1.0}),
+            ("uniform", {"low": 5.0, "high": 2.0}),
+            ("uniform", {"high": float("nan")}),
+            ("normal", {"std": 0.0}),
+            ("normal", {"mean": float("inf")}),
+            ("exchange_snapshot", {}),
+            ("exchange_snapshot", {"path": "/no/such/file"}),
+        ],
+    )
+    def test_bad_parameters_raise_configuration_error(self, family, params):
+        with pytest.raises(ConfigurationError):
+            resolve_sampler(family, params)
+
+    @pytest.mark.parametrize("family", ["zipf", "pareto", "lognormal", "uniform", "normal"])
+    def test_samplers_produce_positive_finite_stakes(self, family):
+        sampler = resolve_sampler(family, {})
+        stakes = sampler(np.random.default_rng(0), 500)
+        assert stakes.shape == (500,)
+        assert np.all(np.isfinite(stakes)) and stakes.min() > 0
+
+    def test_zipf_is_heavy_tailed(self):
+        sampler = resolve_sampler("zipf", {"exponent": 1.5})
+        stakes = sampler(np.random.default_rng(0), 20_000)
+        # Many minimum-stake minnows, a few enormous whales.
+        assert np.median(stakes) <= 2.0
+        assert stakes.max() > 100 * np.median(stakes)
+
+
+class TestSnapshots:
+    def test_write_load_roundtrip(self, tmp_path):
+        stakes = np.array([1.5, 2.0, 1000.0])
+        path = write_snapshot(tmp_path / "snap.txt", stakes)
+        assert np.array_equal(load_snapshot(path), stakes)
+
+    def test_json_snapshot(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("[1.0, 2.5, 3.25]")
+        assert np.array_equal(load_snapshot(path), [1.0, 2.5, 3.25])
+
+    def test_invalid_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1.0\n-3.0\n")
+        with pytest.raises(ConfigurationError):
+            load_snapshot(path)
+        path.write_text("not a number\n")
+        with pytest.raises(ConfigurationError):
+            load_snapshot(path)
+
+    def test_stale_cache_invalidated_on_rewrite(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        write_snapshot(path, np.array([1.0, 2.0]))
+        assert load_snapshot(path).size == 2
+        import os
+
+        write_snapshot(path, np.array([1.0, 2.0, 3.0]))
+        os.utime(path, ns=(1, 1))  # force a distinct mtime either way
+        assert load_snapshot(path).size == 3
+
+    def test_snapshot_from_exchange_runs_churn(self, tmp_path):
+        path = snapshot_from_exchange(
+            tmp_path / "exchange.txt", n_nodes=50, n_rounds=3, seed=4
+        )
+        values = load_snapshot(path)
+        assert values.size == 50 and values.min() > 0
+
+    def test_bootstrap_sampler_draws_from_snapshot(self, tmp_path):
+        path = write_snapshot(tmp_path / "snap.txt", np.array([2.0, 7.0]))
+        sampler = resolve_sampler("exchange_snapshot", {"path": str(path)})
+        draws = sampler(np.random.default_rng(0), 200)
+        assert set(np.unique(draws)) <= {2.0, 7.0}

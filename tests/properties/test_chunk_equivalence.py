@@ -1,0 +1,140 @@
+"""Property tests: chunked == monolithic, at every chunk size and worker count.
+
+The streaming population engine's core contract is that chunking is an
+execution detail, never a semantic one.  These suites drive it with
+hypothesis-chosen populations and chunk sizes:
+
+* generator output — any chunking concatenates to the materialized
+  population, bitwise,
+* audit verdicts — the chunked audit reproduces the monolithic audit's
+  verdict dict (gains, witnesses, counts) bitwise, and
+* tournament league tables — already covered at the worker-count level by
+  ``tests/schemes/test_tournament.py`` and the CI byte-equality check;
+  here the campaign substrate is exercised through a population-by-
+  reference scenario to pin the new axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.populations import SEED_BLOCK, PopulationArrays, PopulationSpec
+from repro.schemes.population_audit import (
+    PopulationAuditConfig,
+    audit_population,
+    iter_population_gains,
+)
+from repro.sim.fastpath import sample_committee_stream
+
+#: Hypothesis-sized populations: a few seed blocks, so multi-chunk paths
+#: are exercised without slowing the deterministic CI profile.
+_SIZES = st.integers(min_value=50, max_value=2 * SEED_BLOCK + 200)
+_CHUNKS = st.one_of(
+    st.none(), st.integers(min_value=1, max_value=2 * SEED_BLOCK + 300)
+)
+_FAMILIES = st.sampled_from(
+    [
+        ("zipf", {"exponent": 1.8, "scale": 2.0}),
+        ("pareto", {"alpha": 1.4, "minimum": 2.0}),
+        ("lognormal", {"median": 30.0, "sigma": 1.2}),
+        ("uniform", {"low": 2.0, "high": 80.0}),
+    ]
+)
+_DTYPES = st.sampled_from(["float64", "float32"])
+
+
+@given(family=_FAMILIES, size=_SIZES, chunk=_CHUNKS, dtype=_DTYPES,
+       seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40)
+def test_generator_output_identical_at_any_chunk_size(family, size, chunk, dtype, seed):
+    """Streaming a population re-chunks it, never re-draws it."""
+    name, params = family
+    spec = PopulationSpec(
+        family=name, size=size, params=params, cooperation=0.8, dtype=dtype,
+        seed=seed,
+    )
+    full = spec.materialize()
+    stitched = PopulationArrays.concat(list(spec.iter_chunks(chunk)))
+    assert np.array_equal(stitched.stake, full.stake)
+    assert np.array_equal(stitched.cost, full.cost)
+    assert np.array_equal(stitched.behavior, full.behavior)
+
+
+@given(
+    family=_FAMILIES,
+    size=st.integers(min_value=60, max_value=SEED_BLOCK + 500),
+    chunk=st.integers(min_value=1, max_value=SEED_BLOCK + 600),
+    scheme=st.sampled_from(["foundation", "role_based", "irs"]),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=15, deadline=None)
+def test_audit_verdicts_identical_at_any_chunk_size(family, size, chunk, scheme, seed):
+    """The chunked audit is bit-identical to the monolithic audit."""
+    name, params = family
+    spec = PopulationSpec(family=name, size=size, params=params, seed=seed)
+    mono_cfg = PopulationAuditConfig(n_leaders=2, committee_size=6, chunk_agents=None)
+    chunk_cfg = PopulationAuditConfig(n_leaders=2, committee_size=6, chunk_agents=chunk)
+    mono = audit_population(scheme, spec, mono_cfg).verdict_dict()
+    chunked = audit_population(scheme, spec, chunk_cfg).verdict_dict()
+    assert mono == chunked
+
+
+@given(
+    size=st.integers(min_value=60, max_value=SEED_BLOCK + 500),
+    chunk=st.integers(min_value=1, max_value=SEED_BLOCK + 600),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=15, deadline=None)
+def test_gain_tensor_identical_at_any_chunk_size(size, chunk, seed):
+    """Not just the verdict: every per-agent deviation gain is identical."""
+    spec = PopulationSpec(family="zipf", size=size, params={"exponent": 2.0}, seed=seed)
+    mono_cfg = PopulationAuditConfig(n_leaders=2, committee_size=6, chunk_agents=None)
+    chunk_cfg = PopulationAuditConfig(n_leaders=2, committee_size=6, chunk_agents=chunk)
+    mono = np.vstack([g for _, g, _ in iter_population_gains("hybrid", spec, mono_cfg)])
+    chunked = np.vstack(
+        [g for _, g, _ in iter_population_gains("hybrid", spec, chunk_cfg)]
+    )
+    assert np.array_equal(mono, chunked, equal_nan=True)
+
+
+@given(
+    size=st.integers(min_value=50, max_value=2 * SEED_BLOCK),
+    chunk=st.integers(min_value=1, max_value=2 * SEED_BLOCK + 100),
+    tau=st.floats(min_value=10.0, max_value=500.0),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=20, deadline=None)
+def test_committee_identical_at_any_chunk_size(size, chunk, tau, seed):
+    """Streamed sortition selects the same committee at every chunking."""
+    spec = PopulationSpec(
+        family="uniform", size=size, params={"low": 2.0, "high": 50.0}, seed=seed
+    )
+    reference = sample_committee_stream(spec, tau, chunk_agents=None)
+    chunked = sample_committee_stream(spec, tau, chunk_agents=chunk)
+    assert np.array_equal(reference.indices, chunked.indices)
+    assert np.array_equal(reference.weights, chunked.weights)
+
+
+def test_population_scenario_campaign_identical_across_workers(tmp_path):
+    """A population-by-reference scenario merges bit-identically at any
+    worker count — the tournament/campaign axis of the chunk contract."""
+    from repro.scenarios.experiment import (
+        ScenarioCampaignConfig,
+        run_scenarios_campaign,
+    )
+
+    config = ScenarioCampaignConfig(
+        scenarios=("heavytail-zipf",),
+        schemes=("foundation", "role_based"),
+        n_replications=1,
+        n_players=16,
+        n_epochs=3,
+        simulate_rounds=0,
+        seed=77,
+    )
+    serial = run_scenarios_campaign(config, workers=1)
+    parallel = run_scenarios_campaign(config, workers=2)
+    for key, trajectory in serial.trajectories.items():
+        assert parallel.trajectories[key] == trajectory

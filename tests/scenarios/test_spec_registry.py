@@ -128,3 +128,51 @@ class TestRegistry:
         spec = get_scenario("adaptive-adversary")
         assert spec.adversary_policy is AdversaryPolicy.GREEDY_HARM
         assert spec.n_adversaries() > 0
+
+
+class TestPopulationByReference:
+    """Scenario stake populations referenced from the populations registry."""
+
+    def test_population_reference_overrides_stake_kind(self):
+        spec = ScenarioSpec(
+            name="t", description="d",
+            population="zipf", population_params={"exponent": 1.8, "scale": 4.0},
+        )
+        distribution = spec.stake_distribution()
+        assert distribution.name.startswith("zipf(")
+        stakes = spec.sample_stakes(np.random.default_rng(0))
+        assert stakes.shape == (spec.n_players,)
+        assert stakes.min() >= 4.0  # zipf draws are >= 1 x scale
+
+    def test_unknown_family_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", description="d", population="nope")
+
+    def test_bad_family_params_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                name="t", description="d",
+                population="zipf", population_params={"exponent": 0.5},
+            )
+
+    def test_params_without_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                name="t", description="d", population_params={"exponent": 2.0}
+            )
+
+    def test_reference_travels_through_params_roundtrip(self):
+        spec = ScenarioSpec(
+            name="t", description="d",
+            population="lognormal", population_params={"median": 25.0},
+        )
+        rebuilt = ScenarioSpec.from_params(spec.to_params())
+        assert rebuilt == spec
+        assert rebuilt.to_params()["population"] == "lognormal"
+
+    def test_heavytail_family_registered(self):
+        spec = get_scenario("heavytail-zipf")
+        assert spec.population == "zipf"
+        a = spec.sample_stakes(np.random.default_rng(3))
+        b = spec.sample_stakes(np.random.default_rng(3))
+        assert np.array_equal(a, b)

@@ -1,0 +1,221 @@
+"""Tests for the chunked population-scale epsilon-IC audit engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.populations import SEED_BLOCK, PopulationSpec
+from repro.schemes.population_audit import (
+    PopulationAuditConfig,
+    audit_population,
+    audit_populations,
+    iter_population_gains,
+    oracle_population_gains,
+)
+from repro.schemes.registry import scheme_names
+
+SPEC = PopulationSpec(
+    family="zipf", size=2 * SEED_BLOCK + 321, params={"exponent": 1.9, "scale": 3.0},
+    seed=11,
+)
+MONO = PopulationAuditConfig(n_leaders=3, committee_size=8, chunk_agents=None)
+CHUNKED = PopulationAuditConfig(n_leaders=3, committee_size=8, chunk_agents=SEED_BLOCK)
+
+
+class TestConfigValidation:
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ConfigurationError):
+            PopulationAuditConfig(n_leaders=0)
+        with pytest.raises(ConfigurationError):
+            PopulationAuditConfig(committee_size=1)
+        with pytest.raises(ConfigurationError):
+            PopulationAuditConfig(synchrony_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            PopulationAuditConfig(target="bogus")
+        with pytest.raises(ConfigurationError):
+            PopulationAuditConfig(chunk_agents=0)
+
+    def test_population_too_small_raises(self):
+        tiny = PopulationSpec(family="uniform", size=5, seed=0)
+        with pytest.raises(ConfigurationError, match="cannot host"):
+            audit_population("role_based", tiny, MONO)
+
+
+class TestMonolithicContract:
+    def test_none_means_one_chunk_even_above_the_default_chunk(self):
+        """chunk_agents=None must cover populations larger than the
+        library's default chunk in a single chunk (the documented
+        monolithic cross-check path)."""
+        from repro.populations import DEFAULT_CHUNK_AGENTS
+        from repro.schemes.population_audit import _chunks
+
+        spec = PopulationSpec(
+            family="uniform", size=DEFAULT_CHUNK_AGENTS + 100, seed=1
+        )
+        chunks = list(_chunks(spec, PopulationAuditConfig(chunk_agents=None)))
+        assert len(chunks) == 1
+        assert chunks[0].n_agents == spec.size
+
+
+class TestChunkedEqualsMonolithic:
+    def test_verdicts_bit_identical_for_every_scheme(self):
+        for name in scheme_names():
+            mono = audit_population(name, SPEC, MONO).verdict_dict()
+            chunked = audit_population(name, SPEC, CHUNKED).verdict_dict()
+            assert mono == chunked, name
+
+    def test_gain_tensors_bit_identical(self):
+        mono = np.vstack([g for _, g, _ in iter_population_gains("irs", SPEC, MONO)])
+        chunked = np.vstack(
+            [g for _, g, _ in iter_population_gains("irs", SPEC, CHUNKED)]
+        )
+        assert np.array_equal(mono, chunked, equal_nan=True)
+
+    def test_float32_population_audits_identically_at_any_chunk(self):
+        spec32 = SPEC.with_overrides(dtype="float32")
+        mono = audit_population("role_based", spec32, MONO).verdict_dict()
+        chunked = audit_population("role_based", spec32, CHUNKED).verdict_dict()
+        assert mono == chunked
+
+
+class TestOracleAgreement:
+    SMALL = PopulationSpec(family="lognormal", size=120, params={"median": 20.0}, seed=3)
+    SMALL_CFG = PopulationAuditConfig(n_leaders=2, committee_size=5, chunk_agents=None)
+
+    @pytest.mark.parametrize("name", scheme_names())
+    def test_streamed_gains_match_game_oracle(self, name):
+        fast = np.vstack(
+            [g for _, g, _ in iter_population_gains(name, self.SMALL, self.SMALL_CFG)]
+        )
+        oracle = oracle_population_gains(name, self.SMALL, self.SMALL_CFG)
+        assert np.array_equal(np.isnan(fast), np.isnan(oracle))
+        scale = max(1.0, float(np.nanmax(np.abs(oracle))))
+        assert float(np.nanmax(np.abs(fast - oracle))) < 1e-9 + 1e-6 * scale
+
+    POPULATION_CFG = PopulationAuditConfig(
+        target="population", n_leaders=2, committee_size=5, chunk_agents=None
+    )
+
+    @pytest.mark.parametrize("name", scheme_names())
+    def test_population_target_with_failed_base_block_matches_oracle(self, name):
+        """Sync-set defectors under the 'population' target fail the base
+        block: nobody earns rewards, and the kernel must agree with the
+        game oracle's BlockSuccessModel exactly (regression: the kernel
+        once paid pool rewards through a failed block)."""
+        spec = PopulationSpec(family="uniform", size=300, cooperation=0.6, seed=7)
+        fast = np.vstack(
+            [g for _, g, _ in iter_population_gains(name, spec, self.POPULATION_CFG)]
+        )
+        oracle = oracle_population_gains(name, spec, self.POPULATION_CFG)
+        assert np.array_equal(np.isnan(fast), np.isnan(oracle))
+        assert float(np.nanmax(np.abs(fast - oracle))) < 1e-9
+
+    def test_sole_sync_defector_restores_block_like_oracle(self):
+        """With exactly one sync defector, only that agent's switch to C
+        restores the block — the one deviation that earns rewards."""
+        from repro.schemes.population_audit import _build_structure
+        from repro.schemes.registry import resolve_scheme
+
+        spec = PopulationSpec(family="uniform", size=150, cooperation=0.992, seed=0)
+        structure = _build_structure(
+            [resolve_scheme("role_based")], spec, self.POPULATION_CFG
+        )
+        assert structure.sync_defectors == 1
+        assert structure.sole_sync_defector is not None
+        for name in ("role_based", "foundation", "irs"):
+            fast = np.vstack(
+                [
+                    g
+                    for _, g, _ in iter_population_gains(
+                        name, spec, self.POPULATION_CFG
+                    )
+                ]
+            )
+            oracle = oracle_population_gains(name, spec, self.POPULATION_CFG)
+            assert np.array_equal(np.isnan(fast), np.isnan(oracle))
+            assert float(np.nanmax(np.abs(fast - oracle))) < 1e-9
+
+    def test_failed_base_block_still_chunk_invariant(self):
+        spec = PopulationSpec(
+            family="zipf", size=2 * SEED_BLOCK + 300, params={"exponent": 1.9},
+            cooperation=0.7, seed=4,
+        )
+        mono = audit_population("role_based", spec, self.POPULATION_CFG)
+        chunked_cfg = PopulationAuditConfig(
+            target="population", n_leaders=2, committee_size=5,
+            chunk_agents=SEED_BLOCK,
+        )
+        chunked = audit_population("role_based", spec, chunked_cfg)
+        assert mono.verdict_dict() == chunked.verdict_dict()
+
+    def test_oracle_guards(self):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            oracle_population_gains("irs", SPEC, MONO, max_agents=100)
+        jittered = self.SMALL.with_overrides(cost_jitter=0.1)
+        with pytest.raises(ConfigurationError, match="cost_jitter"):
+            oracle_population_gains("irs", jittered, self.SMALL_CFG)
+
+
+class TestVerdicts:
+    def test_role_based_certified_above_bound(self):
+        report = audit_population("role_based", SPEC, CHUNKED)
+        assert report.certified and report.witness is None
+        assert report.ic_margin > 0
+
+    def test_foundation_deviates_via_leader_shirking(self):
+        """Theorem 2 at population scale: a leader profits from C->D."""
+        report = audit_population("foundation", SPEC, CHUNKED)
+        assert not report.certified
+        assert report.witness is not None
+        assert report.witness.role == "leader"
+        assert report.witness.from_strategy == "C"
+        assert report.witness.to_strategy == "D"
+
+    def test_below_bound_role_based_unravels(self):
+        starved = PopulationAuditConfig(
+            n_leaders=3, committee_size=8, budget_multiplier=0.5,
+            chunk_agents=SEED_BLOCK,
+        )
+        report = audit_population("role_based", SPEC, starved)
+        assert not report.certified
+
+    def test_all_c_target_supported(self):
+        config = PopulationAuditConfig(
+            n_leaders=3, committee_size=8, target="all_c", chunk_agents=SEED_BLOCK
+        )
+        report = audit_population("role_based", SPEC, config)
+        assert report.n_deviations == 2 * SPEC.size  # to-D and to-O only
+
+    def test_population_target_reads_behavior_column(self):
+        spec = SPEC.with_overrides(cooperation=0.5)
+        config = PopulationAuditConfig(
+            n_leaders=3, committee_size=8, target="population",
+            chunk_agents=SEED_BLOCK,
+        )
+        mono = audit_population(
+            "foundation", spec, PopulationAuditConfig(
+                n_leaders=3, committee_size=8, target="population",
+                chunk_agents=None,
+            )
+        )
+        chunked = audit_population("foundation", spec, config)
+        assert mono.verdict_dict() == chunked.verdict_dict()
+
+    def test_throughput_metadata_present(self):
+        report = audit_population("hybrid", SPEC, CHUNKED)
+        assert report.agents_per_second > 0
+        assert report.n_agents == SPEC.size
+
+
+class TestPairedAudits:
+    def test_shared_structure_equals_individual_audits(self):
+        shared = audit_populations(scheme_names(), SPEC, CHUNKED)
+        for name in scheme_names():
+            individual = audit_population(name, SPEC, CHUNKED)
+            assert shared[name].verdict_dict() == individual.verdict_dict()
+
+    def test_duplicate_schemes_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            audit_populations(["irs", "irs"], SPEC, CHUNKED)

@@ -1,0 +1,92 @@
+"""Tests for population-scale committee sampling from streamed chunks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.populations import SEED_BLOCK, PopulationSpec
+from repro.sim.fastpath import StreamedCommittee, sample_committee_stream
+from repro.sim.sortition import binomial_weight
+
+SPEC = PopulationSpec(
+    family="uniform",
+    size=2 * SEED_BLOCK + 77,
+    params={"low": 5.0, "high": 60.0},
+    seed=5,
+)
+
+
+class TestStreamedCommittee:
+    def test_chunk_size_does_not_change_the_committee(self):
+        reference = sample_committee_stream(SPEC, 500, chunk_agents=None)
+        for chunk_agents in (1, SEED_BLOCK, SEED_BLOCK + 1):
+            committee = sample_committee_stream(SPEC, 500, chunk_agents=chunk_agents)
+            assert np.array_equal(committee.indices, reference.indices)
+            assert np.array_equal(committee.weights, reference.weights)
+            assert np.array_equal(committee.stakes, reference.stakes)
+
+    def test_matches_scalar_binomial_weight_oracle(self):
+        committee = sample_committee_stream(SPEC, 500, chunk_agents=SEED_BLOCK)
+        full = SPEC.materialize()
+        units = full.stake64().astype(np.int64)
+        values = SPEC.chunk_draws(
+            0, SPEC.size, "committee.vrf", lambda rng, n: rng.random(n)
+        )
+        for index, weight in zip(committee.indices, committee.weights):
+            assert (
+                binomial_weight(
+                    float(values[index]), int(units[index]), committee.probability
+                )
+                == weight
+            )
+        # And non-selected spot checks: the first few absent indices.
+        selected = set(int(i) for i in committee.indices)
+        checked = 0
+        for index in range(SPEC.size):
+            if index in selected:
+                continue
+            assert (
+                binomial_weight(
+                    float(values[index]), int(units[index]), committee.probability
+                )
+                == 0
+            )
+            checked += 1
+            if checked >= 25:
+                break
+
+    def test_total_weight_near_expected_size(self):
+        committee = sample_committee_stream(SPEC, 500, chunk_agents=SEED_BLOCK)
+        assert 400 <= committee.total_weight <= 600
+
+    def test_memory_is_o_selected(self):
+        committee = sample_committee_stream(SPEC, 50, chunk_agents=SEED_BLOCK)
+        assert committee.n_selected < SPEC.size / 10
+        assert committee.indices.size == committee.weights.size == committee.stakes.size
+
+    def test_distinct_columns_give_distinct_committees(self):
+        a = sample_committee_stream(SPEC, 500, column="round.1")
+        b = sample_committee_stream(SPEC, 500, column="round.2")
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_precomputed_total_is_honoured(self):
+        reference = sample_committee_stream(SPEC, 500)
+        again = sample_committee_stream(
+            SPEC, 500, total_stake_units=reference.total_stake_units
+        )
+        assert np.array_equal(again.indices, reference.indices)
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            sample_committee_stream(SPEC, 0)
+        with pytest.raises(ConfigurationError, match="zero integer stake"):
+            sample_committee_stream(SPEC, 10, total_stake_units=0)
+
+    def test_result_type(self):
+        committee = sample_committee_stream(SPEC, 500)
+        assert isinstance(committee, StreamedCommittee)
+        assert committee.probability == pytest.approx(
+            500 / committee.total_stake_units
+        )

@@ -117,3 +117,45 @@ class TestPaperDistributions:
     def test_summarize_empty_rejected(self):
         with pytest.raises(ConfigurationError):
             summarize(np.array([]))
+
+
+class TestValidationHardening:
+    """Regression tests: malformed requests fail as ConfigurationError,
+    never as raw numpy errors or silent int32 overflows (PR 5 fix)."""
+
+    def test_size_above_int32_rejected(self):
+        with pytest.raises(ConfigurationError, match="int32"):
+            uniform(1, 200).sample(2**31)
+
+    def test_non_integer_size_rejected(self):
+        with pytest.raises(ConfigurationError, match="integer"):
+            uniform(1, 200).sample(10.5)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_uniform_bounds_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="finite"):
+            uniform(1.0, bad)
+        with pytest.raises(ConfigurationError, match="finite"):
+            uniform(bad, 200.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_normal_parameters_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="finite"):
+            truncated_normal(bad, 10.0)
+        with pytest.raises(ConfigurationError, match="finite"):
+            truncated_normal(100.0, bad)
+        with pytest.raises(ConfigurationError, match="finite"):
+            truncated_normal(100.0, 10.0, minimum=bad)
+
+    def test_non_finite_truncation_threshold_rejected(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            truncated_uniform(float("nan"))
+
+    def test_non_finite_total_rejected(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            uniform(1, 200).sample_total(10, float("nan"))
+
+    def test_max_population_exported(self):
+        from repro.stakes import MAX_POPULATION
+
+        assert MAX_POPULATION == np.iinfo(np.int32).max

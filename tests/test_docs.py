@@ -1,0 +1,106 @@
+"""The documentation hygiene gate.
+
+Two machine-checked invariants keep the docs layer in step with the code:
+
+* **Docstring coverage** — every public symbol in ``src/repro`` (modules,
+  top-level classes and functions, and public methods of public classes)
+  carries a docstring.  The walker runs on the AST, so it needs no
+  imports and cannot be fooled by runtime registration tricks.
+* **Markdown link integrity** — every intra-repository link in
+  ``README.md`` and ``docs/`` resolves to an existing file (anchors are
+  stripped; external ``http(s)``/``mailto`` links are out of scope).
+
+CI runs this module as a dedicated step (see ``.github/workflows/ci.yml``,
+job ``docs-hygiene``) in addition to the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Markdown files whose intra-repo links must resolve.
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("**/*.md")]
+)
+
+#: ``[text](target)`` — good enough for the plain links this repo uses
+#: (no reference-style links, no angle-bracket destinations).
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _public_symbols(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield (dotted name, node) for every symbol the gate covers."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name.startswith("_"):
+                continue
+            yield node.name, node
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and not child.name.startswith("_"):
+                        yield f"{node.name}.{child.name}", child
+
+
+def _missing_docstrings() -> List[str]:
+    """Every public symbol in ``src/repro`` lacking a docstring."""
+    missing: List[str] = []
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        relative = path.relative_to(REPO_ROOT)
+        if ast.get_docstring(tree) is None:
+            missing.append(f"{relative}: module docstring")
+        for name, node in _public_symbols(tree):
+            if ast.get_docstring(node) is None:
+                missing.append(f"{relative}:{node.lineno}: {name}")
+    return missing
+
+
+def test_every_public_symbol_has_a_docstring():
+    """The package keeps 100% public-docstring coverage."""
+    missing = _missing_docstrings()
+    assert not missing, (
+        f"{len(missing)} public symbols lack docstrings (the docs gate "
+        "requires every module, public class/function and public method of "
+        "a public class to carry one):\n" + "\n".join(missing)
+    )
+
+
+def _intra_repo_links() -> Iterator[Tuple[Path, str]]:
+    """Yield (markdown file, link target) for every intra-repo link."""
+    for doc in DOC_FILES:
+        for match in _LINK.finditer(doc.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            yield doc, target
+
+
+def test_doc_files_exist():
+    """The documentation system's core files are present."""
+    for name in ("README.md", "docs/architecture.md", "docs/reproducing.md",
+                 "docs/api-reference.md", "docs/scaling.md"):
+        assert (REPO_ROOT / name).is_file(), f"missing documentation file {name}"
+
+
+def test_intra_repo_markdown_links_resolve():
+    """Every relative link in README.md and docs/ points at a real file."""
+    broken: List[str] = []
+    checked = 0
+    for doc, target in _intra_repo_links():
+        checked += 1
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            broken.append(f"{doc.relative_to(REPO_ROOT)} -> {target}")
+    assert checked > 0, "no intra-repo links found — the link checker is broken"
+    assert not broken, "broken intra-repo markdown links:\n" + "\n".join(broken)
