@@ -1,0 +1,226 @@
+"""Streamed evolutionary-dynamics throughput, memory and verdicts at scale.
+
+Not a paper figure — the ROADMAP's "million-agent dynamics" scaling
+record.  Evolves streamed Zipf populations through 20 replicator epochs
+under the paper's two Section V schemes, measuring epoch throughput
+(agent-epochs/second) and peak RSS, and re-checks the acceptance
+invariants: the trajectories are byte-identical across chunk sizes, the
+foundation scheme unravels toward All-D, and role-based sharing keeps
+cooperation stable with blocks produced.  Each size runs in a fresh
+subprocess so its peak RSS is honest (``ru_maxrss`` is a process
+lifetime maximum).  Results land in ``BENCH_dynamics.json`` at the repo
+root.
+
+Run via ``pytest benchmarks/bench_population_dynamics.py`` (the full
+sweep, a couple of minutes of which 10^6 is most), or directly::
+
+    PYTHONPATH=src python benchmarks/bench_population_dynamics.py --sizes 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_BENCH_JSON = _REPO_ROOT / "BENCH_dynamics.json"
+
+#: The swept population sizes (agents).  10^6 dominates the runtime.
+DEFAULT_SIZES = (100_000, 1_000_000)
+
+#: The evolved population family — heavy-tailed, exchange-scale.
+FAMILY = "zipf"
+FAMILY_PARAMS = {"exponent": 1.9, "scale": 3.0}
+CHUNK_AGENTS = 131_072
+EPOCHS = 20
+SEED = 2021
+SCHEMES = ("foundation", "role_based")
+
+
+def _dynamics_spec(size: int, chunk_agents, epochs: int = EPOCHS):
+    """The benchmark's dynamics spec at one population size."""
+    from repro.populations import PopulationSpec
+    from repro.scenarios.population_dynamics import PopulationDynamicsSpec
+
+    return PopulationDynamicsSpec(
+        name=f"bench-{size}",
+        population=PopulationSpec(
+            family=FAMILY,
+            size=size,
+            params=dict(FAMILY_PARAMS),
+            cooperation=0.9,
+            seed=SEED,
+        ),
+        n_epochs=epochs,
+        chunk_agents=chunk_agents,
+    )
+
+
+def _child_payload(size: int, chunk_agents: int) -> Dict[str, object]:
+    """Run one size's two-scheme evolution in-process; return its payload."""
+    from repro.scenarios.population_dynamics import run_population_dynamics
+
+    spec = _dynamics_spec(size, chunk_agents)
+    started = time.perf_counter()
+    schemes: Dict[str, Dict[str, object]] = {}
+    for scheme in SCHEMES:
+        trajectory = run_population_dynamics(spec, scheme)
+        final = trajectory.records[-1]
+        blocks = trajectory.block_series()
+        schemes[scheme] = {
+            "final_defection": final.defection_share,
+            "block_rate": sum(blocks) / len(blocks),
+            "final_block": final.block_success,
+            "budget_efficiency": final.budget_efficiency,
+        }
+    elapsed = time.perf_counter() - started
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return {
+        "n_agents": size,
+        "n_epochs": EPOCHS,
+        "elapsed_s": elapsed,
+        "peak_rss_mb": peak_rss_mb,
+        "agent_epochs_per_second": size * EPOCHS * len(SCHEMES) / elapsed,
+        "schemes": schemes,
+    }
+
+
+def _run_child(size: int, chunk_agents: int) -> Dict[str, object]:
+    """Measure one size in a fresh subprocess (honest per-size peak RSS)."""
+    env = dict(os.environ)
+    src = str(_REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--child", str(size),
+         "--chunk-agents", str(chunk_agents)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(completed.stdout)
+
+
+def _chunk_invariance(size: int = 20_000) -> bool:
+    """The acceptance invariant: byte-identical records at any chunk size."""
+    from repro.scenarios.population_dynamics import run_population_dynamics
+
+    def payload(chunk_agents) -> str:
+        spec = _dynamics_spec(size, chunk_agents, epochs=6)
+        return json.dumps(
+            run_population_dynamics(spec, "role_based").to_payload(),
+            sort_keys=True,
+        )
+
+    reference = payload(None)
+    return all(payload(chunk) == reference for chunk in (4096, 16384, 65536))
+
+
+def run_benchmark(sizes=DEFAULT_SIZES, chunk_agents: int = CHUNK_AGENTS) -> Dict[str, object]:
+    """Sweep the sizes, verify the invariants, write ``BENCH_dynamics.json``."""
+    import numpy
+
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        rows.append(_run_child(size, chunk_agents))
+    payload = {
+        "benchmark": "population-dynamics-streamed-epochs",
+        "date": datetime.date.today().isoformat(),
+        "machine": (
+            f"{os.cpu_count()}-core {platform.system()} container, "
+            f"Python {platform.python_version()}, numpy {numpy.__version__}"
+        ),
+        "note": (
+            "Streamed Section V replicator dynamics (counterfactual crowd "
+            f"fitness + selected best response) over {FAMILY} populations "
+            f"({FAMILY_PARAMS}), {EPOCHS} epochs, chunk_agents="
+            f"{chunk_agents}, cooperation seeded at 0.9.  Peak RSS is "
+            "per-size (fresh subprocess per size) and stays O(chunk) while "
+            "population size grows.  chunk_invariance_at_20k asserts the "
+            "trajectories are byte-identical at four chunk sizes."
+        ),
+        "family": FAMILY,
+        "family_params": FAMILY_PARAMS,
+        "chunk_agents": chunk_agents,
+        "schemes": list(SCHEMES),
+        "chunk_invariance_at_20k": _chunk_invariance(),
+        "sizes": rows,
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _format_report(payload: Dict[str, object]) -> str:
+    """Human-readable summary of the benchmark payload."""
+    lines = [
+        "Streamed dynamics benchmark (foundation vs role_based, "
+        f"family {payload['family']}, {EPOCHS} epochs, "
+        f"chunk {payload['chunk_agents']}):",
+        f"{'agents':>12}  {'M agent-epochs/s':>16}  {'peak RSS MB':>11}  "
+        f"{'elapsed s':>9}  {'foundation d∞':>13}  {'role_based d∞':>13}",
+    ]
+    for row in payload["sizes"]:
+        schemes = row["schemes"]
+        lines.append(
+            f"{row['n_agents']:>12,}  "
+            f"{row['agent_epochs_per_second'] / 1e6:>16.2f}  "
+            f"{row['peak_rss_mb']:>11.0f}  {row['elapsed_s']:>9.2f}  "
+            f"{schemes['foundation']['final_defection']:>13.3f}  "
+            f"{schemes['role_based']['final_defection']:>13.3f}"
+        )
+    lines.append(
+        f"byte-identical across chunk sizes at 2*10^4: "
+        f"{payload['chunk_invariance_at_20k']}"
+    )
+    lines.append(f"[written to {_BENCH_JSON}]")
+    return "\n".join(lines)
+
+
+def test_bench_population_dynamics(report):
+    """Pytest entry point: run the sweep and check the Section V verdicts."""
+    payload = run_benchmark()
+    assert payload["chunk_invariance_at_20k"] is True
+    largest = payload["sizes"][-1]
+    schemes = largest["schemes"]
+    # Section V at scale: naive sharing unravels, role-based stabilizes.
+    assert schemes["foundation"]["final_defection"] > 0.9
+    assert schemes["role_based"]["final_defection"] < 0.1
+    assert schemes["role_based"]["final_block"] is True
+    # O(chunk) memory: within 2x of the PR 5 audit's ~124 MB envelope.
+    assert largest["peak_rss_mb"] < 248, (
+        "peak RSS left the O(chunk) envelope — the streaming contract broke"
+    )
+    report(_format_report(payload))
+
+
+def main(argv=None) -> int:
+    """Command-line driver (also the per-size ``--child`` entry)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--child", type=int, default=None,
+                        help="internal: run one size in-process, print JSON")
+    parser.add_argument("--sizes", default=",".join(str(s) for s in DEFAULT_SIZES),
+                        help="comma-separated population sizes to sweep")
+    parser.add_argument("--chunk-agents", type=int, default=CHUNK_AGENTS)
+    args = parser.parse_args(argv)
+    if args.child is not None:
+        json.dump(_child_payload(args.child, args.chunk_agents), sys.stdout)
+        return 0
+    sizes = tuple(int(token) for token in args.sizes.split(","))
+    payload = run_benchmark(sizes, args.chunk_agents)
+    print(_format_report(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""CI guard: the streamed dynamics trajectories must match the goldens.
+
+The golden JSON fixtures under ``tests/scenarios/golden/`` pin the full
+epoch trajectories (every record field, bit-exact floats) of the paper's
+two Section V schemes on a small fixed-seed Zipf population — foundation
+unravels, role-based sharing stabilizes.  This script re-runs the
+streamed driver and fails if any byte of the payload diverges, so a
+refactor of the chunked kernels can't silently change the paper's
+conclusions.  Exits non-zero on divergence (fails the CI job).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/check_dynamics_drift.py
+    PYTHONPATH=src python benchmarks/check_dynamics_drift.py --write  # regen
+
+``--write`` regenerates the fixtures — only for intentional semantic
+changes, with the diff reviewed and the campaign version bumped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_GOLDEN_DIR = _REPO_ROOT / "tests" / "scenarios" / "golden"
+SCHEMES = ("foundation", "role_based")
+
+
+def golden_path(scheme: str) -> Path:
+    """Fixture location for one scheme's pinned trajectory."""
+    return _GOLDEN_DIR / f"population_dynamics_{scheme}.json"
+
+
+def golden_spec():
+    """The pinned dynamics run: small, fixed-seed, chunked."""
+    from repro.populations import PopulationSpec
+    from repro.scenarios.population_dynamics import PopulationDynamicsSpec
+
+    return PopulationDynamicsSpec(
+        name="golden",
+        population=PopulationSpec(
+            family="zipf",
+            size=16_384,
+            params={"exponent": 1.9, "scale": 3.0},
+            cooperation=0.9,
+            seed=2021,
+        ),
+        n_epochs=8,
+        chunk_agents=8_192,
+    )
+
+
+def compute_payload(scheme: str) -> str:
+    """The scheme's trajectory payload, serialized canonically."""
+    from repro.scenarios.population_dynamics import run_population_dynamics
+
+    payload = run_population_dynamics(golden_spec(), scheme).to_payload()
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv=None) -> int:
+    """Compare (or with ``--write`` regenerate) the golden trajectories."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the golden fixtures instead of checking them",
+    )
+    args = parser.parse_args(argv)
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+    failed = False
+    for scheme in SCHEMES:
+        path = golden_path(scheme)
+        current = compute_payload(scheme)
+        if args.write:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(current)
+            print(f"wrote {path}")
+            continue
+        if not path.exists():
+            print(f"FAIL: missing golden fixture {path} (run with --write)")
+            failed = True
+            continue
+        if path.read_text() != current:
+            print(
+                f"FAIL: {scheme} trajectory diverged from {path.name} — the "
+                "streamed dynamics semantics changed; if intentional, bump "
+                "CAMPAIGN_VERSION and regenerate with --write"
+            )
+            failed = True
+        else:
+            print(f"OK: {scheme} trajectory matches {path.name}")
+    if failed:
+        return 1
+    if not args.write:
+        print("dynamics goldens: no drift")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

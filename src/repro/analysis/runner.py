@@ -9,6 +9,7 @@ Regenerate any of the paper's artifacts from the command line::
     python -m repro.analysis.runner fig6 --workers 4 --cache-dir .sweep-cache
     python -m repro.analysis.runner scenarios --scale small --workers 2
     python -m repro.analysis.runner tournament --scale small --workers 2
+    python -m repro.analysis.runner dynamics --scale small --epochs 8
     python -m repro.analysis.runner fig3 --backend des
     python -m repro.analysis.runner all --scale small --timings-json timings.json
     python -m repro.analysis.runner profile fig3 --scale small
@@ -25,7 +26,11 @@ widens that to *every registered reward scheme* — the built-in five plus
 anything user-registered — and emits a ranked league table of equilibrium
 cooperation share, budget efficiency and epsilon-IC margin (with
 ``--out``, both ``tournament.csv`` and ``tournament.md``; see
-:mod:`repro.schemes.tournament`).
+:mod:`repro.schemes.tournament`).  ``dynamics`` streams Section V's
+evolutionary epochs over a million-agent population in O(chunk) memory —
+foundation unravels, role-based sharing stabilizes — with
+``--family/--agents/--chunk-agents/--epochs/--scheme`` knobs (see
+:mod:`repro.scenarios.population_dynamics`).
 
 The simulation-heavy experiments (fig3, fig5, fig6, fig7c, scenarios,
 tournament) shard through the sweep orchestrator: ``--workers N`` fans
@@ -76,6 +81,7 @@ _SCALES = {
         "scenarios": (28, 10, 2, 2),
         "tournament": (24, 8, 1, 1),
         "scale_agents": 20_000,
+        "dynamics": (24_576, 6),
     },
     "bench": {
         "fig3": (3, 12, 60),
@@ -84,6 +90,7 @@ _SCALES = {
         "scenarios": (48, 16, 4, 2),
         "tournament": (32, 12, 2, 2),
         "scale_agents": 1_000_000,
+        "dynamics": (1_000_000, 20),
     },
     "paper": {
         "fig3": (100, 60, 100),
@@ -92,6 +99,7 @@ _SCALES = {
         "scenarios": (80, 30, 10, 4),
         "tournament": (64, 24, 6, 2),
         "scale_agents": 10_000_000,
+        "dynamics": (10_000_000, 30),
     },
 }
 
@@ -124,6 +132,8 @@ class RunOptions:
     chunk_agents: Optional[int] = None
     dtype: str = "float64"
     schemes: tuple = ()
+    #: Epoch count for the ``dynamics`` experiment (``None`` = preset).
+    epochs: Optional[int] = None
 
 
 @dataclass
@@ -341,6 +351,74 @@ def _run_scale(options: RunOptions) -> ExperimentOutcome:
     return ExperimentOutcome("scale", result.render(), csv_path)
 
 
+def _run_dynamics(options: RunOptions) -> ExperimentOutcome:
+    """The ``dynamics`` experiment: streamed Section V epochs at scale.
+
+    Evolves one ``--agents``-sized population (default: the ``--scale``
+    preset — 24576 small, 10^6 bench, 10^7 paper) through ``--epochs``
+    streamed replicator epochs under each requested scheme (default:
+    foundation vs role_based), in O(chunk) memory, and renders the
+    defection-share trajectories plus a stability verdict table.  With
+    ``--out``, writes ``dynamics.csv`` and the machine-readable
+    ``dynamics.json`` (the trajectory payloads, byte-identical at any
+    ``--chunk-agents`` value).
+    """
+    from repro.populations.arrays import DEFAULT_CHUNK_AGENTS
+    from repro.populations.spec import PopulationSpec
+    from repro.scenarios.population_dynamics import (
+        PopulationDynamicsSpec,
+        dynamics_to_csv,
+        render_dynamics_trajectories,
+        run_population_dynamics_campaign,
+    )
+
+    agents, epochs = _SCALES[options.scale]["dynamics"]
+    seed = options.seed if options.seed is not None else 2021
+    population = PopulationSpec(
+        family=options.family,
+        size=options.agents if options.agents is not None else agents,
+        params=_parse_family_params(options.family_params),
+        cooperation=0.9,
+        dtype=options.dtype,
+        seed=seed,
+    )
+    spec = PopulationDynamicsSpec(
+        name=f"dynamics-{options.scale}",
+        population=population,
+        n_epochs=options.epochs if options.epochs is not None else epochs,
+        chunk_agents=(
+            options.chunk_agents
+            if options.chunk_agents is not None
+            else DEFAULT_CHUNK_AGENTS
+        ),
+    )
+    schemes = tuple(options.schemes) or ("foundation", "role_based")
+    trajectories = run_population_dynamics_campaign(
+        [spec],
+        schemes,
+        seed=seed,
+        workers=options.workers,
+        cache_dir=options.cache_dir,
+        progress=options.progress,
+    )
+    csv_path = _csv_path(options, "dynamics.csv")
+    if csv_path is not None:
+        dynamics_to_csv(trajectories, csv_path)
+        csv_path.with_suffix(".json").write_text(
+            json.dumps(
+                {
+                    f"{name}/{scheme}": trajectory.to_payload()
+                    for (name, scheme), trajectory in trajectories.items()
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    return ExperimentOutcome(
+        "dynamics", render_dynamics_trajectories(trajectories), csv_path
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[RunOptions], ExperimentOutcome]] = {
     "table2": _run_table2,
     "table3": _run_table3,
@@ -351,6 +429,7 @@ EXPERIMENTS: Dict[str, Callable[[RunOptions], ExperimentOutcome]] = {
     "scenarios": _run_scenarios,
     "tournament": _run_tournament,
     "scale": _run_scale,
+    "dynamics": _run_dynamics,
 }
 
 
@@ -369,6 +448,7 @@ def run_experiment(
     chunk_agents: Optional[int] = None,
     dtype: str = "float64",
     schemes: tuple = (),
+    epochs: Optional[int] = None,
 ) -> ExperimentOutcome:
     """Run one registered experiment by name."""
     if name not in EXPERIMENTS:
@@ -399,6 +479,7 @@ def run_experiment(
         chunk_agents=chunk_agents,
         dtype=dtype,
         schemes=schemes,
+        epochs=epochs,
     )
     return EXPERIMENTS[name](options)
 
@@ -511,9 +592,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--family",
         default="zipf",
-        help="population generator family for the 'scale' experiment "
-        "(zipf, pareto, lognormal, uniform, normal, exchange_snapshot); "
-        "other experiments ignore it",
+        help="population generator family for the 'scale' and 'dynamics' "
+        "experiments (zipf, pareto, lognormal, uniform, normal, "
+        "exchange_snapshot); other experiments ignore it",
     )
     parser.add_argument(
         "--family-param",
@@ -521,8 +602,8 @@ def main(argv=None) -> int:
         default=None,
         dest="family_params",
         metavar="KEY=VALUE",
-        help="generator-family parameter for the 'scale' experiment "
-        "(repeatable), e.g. --family-param exponent=1.8 or "
+        help="generator-family parameter for the 'scale' and 'dynamics' "
+        "experiments (repeatable), e.g. --family-param exponent=1.8 or "
         "--family-param path=snapshot.txt for exchange_snapshot; values "
         "parse as JSON where possible, else strings",
     )
@@ -530,16 +611,23 @@ def main(argv=None) -> int:
         "--agents",
         type=int,
         default=None,
-        help="population size for the 'scale' experiment (default: the "
-        "--scale preset — 20k small, 1M bench, 10M paper)",
+        help="population size for the 'scale' and 'dynamics' experiments "
+        "(default: the --scale preset)",
     )
     parser.add_argument(
         "--chunk-agents",
         type=int,
         default=None,
-        help="streaming window of the 'scale' experiment: agents held in "
-        "memory at once (rounded up to whole seed blocks; default 131072); "
-        "results are identical at any value",
+        help="streaming window of the 'scale' and 'dynamics' experiments: "
+        "agents held in memory at once (rounded up to whole seed blocks; "
+        "default 131072); results are identical at any value",
+    )
+    parser.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        help="epoch count for the 'dynamics' experiment (default: the "
+        "--scale preset — 6 small, 20 bench, 30 paper)",
     )
     parser.add_argument(
         "--dtype",
@@ -553,8 +641,9 @@ def main(argv=None) -> int:
         action="append",
         default=None,
         dest="schemes",
-        help="restrict the 'scale' experiment to one scheme (repeatable; "
-        "default: every registered scheme)",
+        help="restrict the 'scale' or 'dynamics' experiment to one scheme "
+        "(repeatable; defaults: every registered scheme for 'scale', "
+        "foundation + role_based for 'dynamics')",
     )
     parser.add_argument(
         "--timings-json",
@@ -638,6 +727,7 @@ def main(argv=None) -> int:
             chunk_agents=args.chunk_agents,
             dtype=args.dtype,
             schemes=tuple(args.schemes) if args.schemes else (),
+            epochs=args.epochs,
         )
         timings[name] = time.perf_counter() - started
         print(f"=== {outcome.name} ===")

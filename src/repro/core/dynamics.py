@@ -25,11 +25,14 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.equilibrium import synchronous_best_responses
 from repro.core.game import AlgorandGame, Strategy, StrategyProfile
 from repro.errors import GameError
+from repro.populations.arrays import blockwise_sum
 
 #: A rule producing the game for round ``t`` (roles may churn between
 #: rounds); receives the round index and returns the game to be played.
@@ -181,6 +184,21 @@ def replicator_step(
     ``mutation`` mixes a uniform trembling term back in, keeping the
     boundary states reachable-from rather than absorbing when positive.
 
+    Three edge cases short-circuit the weight arithmetic:
+
+    * **boundary shares** (0.0 or 1.0) — an extinct strategy's payoff is
+      undefined (callers may pass ``nan``); selection cannot re-invade it,
+      so only the trembling term moves the share;
+    * **equal payoffs** (including the all-zero epoch of a failed block
+      round) — a zero selection gradient returns the share exactly,
+      instead of round-tripping it through ``x*w / (x*w + (1-x))``;
+    * **both payoffs strictly negative** — the exponential-transform
+      fitness is not shift-invariant, and scaling by the larger *loss*
+      would make the selection gradient vanish as uniform costs grow
+      (``-1000.001`` vs ``-1000.0`` is the same choice as ``-0.001`` vs
+      ``0.0``).  Losses are first shifted so the better strategy sits at
+      zero, which makes negative-payoff pairs shift-invariant.
+
     Returns the next cooperating share in [0, 1].
     """
     if not 0.0 <= cooperate_share <= 1.0:
@@ -189,12 +207,121 @@ def replicator_step(
         raise GameError(f"selection intensity must be positive, got {intensity}")
     if not 0.0 <= mutation < 1.0:
         raise GameError(f"mutation rate must be in [0, 1), got {mutation}")
+    if (
+        cooperate_share == 0.0
+        or cooperate_share == 1.0
+        or payoff_cooperate == payoff_defect
+    ):
+        return (1.0 - mutation) * cooperate_share + mutation * 0.5
+    if payoff_cooperate < 0.0 and payoff_defect < 0.0:
+        shift = max(payoff_cooperate, payoff_defect)
+        payoff_cooperate -= shift
+        payoff_defect -= shift
     scale = max(abs(payoff_cooperate), abs(payoff_defect), 1e-300)
     advantage = (payoff_cooperate - payoff_defect) / scale
     weight = math.exp(max(-60.0, min(60.0, intensity * advantage)))
     numerator = cooperate_share * weight
     share = numerator / (numerator + (1.0 - cooperate_share))
     return (1.0 - mutation) * share + mutation * 0.5
+
+
+class ReplicatorAccumulator:
+    """Streaming accumulator form of the replicator update.
+
+    The in-memory pipeline computes :func:`mean_payoff_by_strategy` over a
+    whole profile and feeds the two means to :func:`replicator_step`.  At
+    population scale the per-agent payoffs arrive chunk by chunk; this
+    accumulator folds each chunk's counterfactual cooperate/defect payoff
+    sums with the block-stable reduction
+    (:func:`repro.populations.arrays.blockwise_sum`) and normalizes **once
+    per epoch**, so the resulting step is bit-identical at every
+    ``chunk_agents`` — the same contract as the population audit.
+
+    Masks passed via ``include`` are applied position-preservingly
+    (``np.where``), never by fancy indexing, which would re-pack values
+    across block boundaries and break chunk invariance.
+    """
+
+    def __init__(self, intensity: float = 4.0, mutation: float = 0.0) -> None:
+        if intensity <= 0:
+            raise GameError(f"selection intensity must be positive, got {intensity}")
+        if not 0.0 <= mutation < 1.0:
+            raise GameError(f"mutation rate must be in [0, 1), got {mutation}")
+        self.intensity = intensity
+        self.mutation = mutation
+        self._sum_cooperate = 0.0
+        self._sum_defect = 0.0
+        self._count = 0
+
+    def reset(self) -> None:
+        """Clear the folded sums for the next epoch."""
+        self._sum_cooperate = 0.0
+        self._sum_defect = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of agents folded so far this epoch."""
+        return self._count
+
+    def fold(
+        self,
+        payoff_cooperate: np.ndarray,
+        payoff_defect: np.ndarray,
+        include: Optional[np.ndarray] = None,
+    ) -> None:
+        """Fold one chunk's per-agent counterfactual payoffs.
+
+        ``payoff_cooperate[j]`` / ``payoff_defect[j]`` are agent ``j``'s
+        payoffs if it alone played C (resp. D) against the realized
+        profile; ``include`` restricts the fold to a boolean subset (the
+        revising crowd) without disturbing block alignment.
+        """
+        payoff_cooperate = np.asarray(payoff_cooperate, dtype=np.float64)
+        payoff_defect = np.asarray(payoff_defect, dtype=np.float64)
+        if payoff_cooperate.shape != payoff_defect.shape:
+            raise GameError(
+                f"payoff arrays disagree in shape: {payoff_cooperate.shape} "
+                f"vs {payoff_defect.shape}"
+            )
+        if include is None:
+            self._count += int(payoff_cooperate.size)
+        else:
+            include = np.asarray(include, dtype=bool)
+            if include.shape != payoff_cooperate.shape:
+                raise GameError(
+                    f"include mask shape {include.shape} does not match "
+                    f"payoff shape {payoff_cooperate.shape}"
+                )
+            payoff_cooperate = np.where(include, payoff_cooperate, 0.0)
+            payoff_defect = np.where(include, payoff_defect, 0.0)
+            self._count += int(np.count_nonzero(include))
+        self._sum_cooperate = blockwise_sum(
+            payoff_cooperate, start=self._sum_cooperate
+        )
+        self._sum_defect = blockwise_sum(payoff_defect, start=self._sum_defect)
+
+    def mean_payoffs(self) -> Tuple[float, float]:
+        """The epoch's (mean cooperate, mean defect) counterfactual payoffs.
+
+        An empty fold returns ``(0.0, 0.0)`` — the
+        :func:`mean_payoff_by_strategy` convention for strategies nobody
+        evaluates, which makes :meth:`step` a pure mutation mix.
+        """
+        if self._count == 0:
+            return 0.0, 0.0
+        return self._sum_cooperate / self._count, self._sum_defect / self._count
+
+    def step(self, cooperate_share: float) -> float:
+        """Apply :func:`replicator_step` to the folded means."""
+        mean_cooperate, mean_defect = self.mean_payoffs()
+        return replicator_step(
+            cooperate_share,
+            mean_cooperate,
+            mean_defect,
+            intensity=self.intensity,
+            mutation=self.mutation,
+        )
 
 
 def mean_payoff_by_strategy(

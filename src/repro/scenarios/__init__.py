@@ -22,6 +22,16 @@ from repro.scenarios.experiment import (
     run_scenarios_campaign,
     scenarios_sweep_spec,
 )
+from repro.scenarios.population_dynamics import (
+    UPDATE_RULES,
+    PopulationDynamicsSpec,
+    dynamics_sweep_spec,
+    dynamics_to_csv,
+    oracle_population_dynamics,
+    render_dynamics_trajectories,
+    run_population_dynamics,
+    run_population_dynamics_campaign,
+)
 from repro.scenarios.registry import (
     get_scenario,
     register_scenario,
@@ -36,18 +46,26 @@ from repro.scenarios.spec import (
 
 __all__ = [
     "SCHEMES",
+    "UPDATE_RULES",
     "AdversaryPolicy",
     "DefectionSeeding",
     "EpochRecord",
     "MergedTrajectory",
+    "PopulationDynamicsSpec",
     "ScenarioCampaignConfig",
     "ScenarioCampaignResult",
     "ScenarioSpec",
     "ScenarioTrajectory",
     "UpdateRule",
     "convergence_checks",
+    "dynamics_sweep_spec",
+    "dynamics_to_csv",
     "get_scenario",
+    "oracle_population_dynamics",
     "register_scenario",
+    "render_dynamics_trajectories",
+    "run_population_dynamics",
+    "run_population_dynamics_campaign",
     "run_scenario",
     "run_scenarios_campaign",
     "scenario_names",

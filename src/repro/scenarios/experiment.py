@@ -37,7 +37,10 @@ from repro.sim.rng import derive_seed
 #: vectorized fast kernel.
 #: 4: specs carry ``population``/``population_params`` — stake
 #: populations referenced by generator family, resolved at run time.
-CAMPAIGN_VERSION = 4
+#: 5: streamed population-dynamics campaigns share the substrate, and
+#: ``replicator_step`` gained boundary/equal-payoff/negative-shift edge
+#: policies that change trajectory arithmetic.
+CAMPAIGN_VERSION = 5
 
 
 @dataclass(frozen=True)

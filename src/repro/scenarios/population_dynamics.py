@@ -1,0 +1,1147 @@
+"""Streamed Section V dynamics over million-agent populations.
+
+The in-memory scenario driver (:mod:`repro.scenarios.dynamics`) holds a
+whole :class:`~repro.core.game.AlgorandGame` per epoch — ideal at 10^2
+players, an OOM at exchange scale.  This module evolves one huge
+population (a :class:`~repro.populations.spec.PopulationSpec`) through
+replicator or synchronous best-response epochs **blockwise**, in O(chunk)
+memory, reusing the population audit's selection/chunk-context pass
+(:mod:`repro.schemes.population_audit`) so dynamics and audits share one
+streaming substrate:
+
+1. **Structure pass** — stake-weighted sortition selects the leaders and
+   committee, Algorithm 1 calibrates ``(b_i, alpha, beta)`` at the
+   all-cooperate profile, and pool tables are expanded — exactly
+   :func:`~repro.schemes.population_audit._build_structure`.
+2. **Per epoch, two streamed passes.**  The *measure* pass realizes the
+   epoch's strategy profile (crowd thresholds + selected best responses),
+   folds per-pool class weights, costs and the strong-synchrony defector
+   census with the block-stable reductions, and emits an
+   :class:`~repro.scenarios.dynamics.EpochRecord`.  The *update* pass
+   replays the profile and evaluates each crowd agent's **counterfactual**
+   payoffs — what it would earn if it alone played C (resp. D) — with the
+   audit's closed-form pool algebra; a
+   :class:`~repro.core.dynamics.ReplicatorAccumulator` folds the sums and
+   steps the crowd share once per epoch, while the selected agents revise
+   by exact synchronous best response in both update modes (they are the
+   mechanism's performers; their incentives, not the crowd means, are what
+   separates the schemes).
+3. **Stake churn** (optional) replays per-epoch resampling draws from the
+   population's seed-block tree (any generator family, including the
+   ``exchange_snapshot`` bootstrap), with the selected agents' stakes
+   pinned so the epoch-0 calibration and quorum threshold stay exact.
+
+Counterfactual (unilateral-deviation) crowd fitness is the load-bearing
+choice: both schemes pay crowd *defectors* from stake-proportional pools,
+so realized class means cannot distinguish foundation from role-based
+sharing at scale — but the deviation payoffs can, and they are exactly
+what the audit layer already certifies.  Because every reduction is
+blockwise and every mask position-preserving, trajectories are
+**bit-identical at any** ``chunk_agents``; the differential suite pins
+small populations to the in-memory game oracle
+(:func:`oracle_population_dynamics`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.analysis import plotting
+from repro.analysis.csvio import PathLike, write_rows
+from repro.analysis.orchestrator import run_sweep
+from repro.analysis.sweep import SweepSpec
+from repro.core.dynamics import ReplicatorAccumulator
+from repro.errors import ConfigurationError
+from repro.populations.arrays import (
+    PopulationArrays,
+    blockwise_row_sums,
+    blockwise_sum,
+)
+from repro.populations.generators import resolve_sampler
+from repro.populations.spec import PopulationSpec
+from repro.scenarios.dynamics import EpochRecord, ScenarioTrajectory
+from repro.schemes.audit import _COMMITTEE, _LEADER, _ONLINE
+from repro.schemes.population_audit import (
+    PopulationAuditConfig,
+    _build_structure,
+    _chunk_context,
+    _chunks,
+    _ChunkContext,
+    _pool_weights,
+    _Structure,
+)
+from repro.schemes.registry import SchemeLike, resolve_scheme
+
+#: Crowd/selected update rules the streamed driver understands.
+UPDATE_RULES: Tuple[str, ...] = ("replicator", "best_response")
+
+#: Strict-improvement threshold of a best-response switch — the same
+#: tolerance as :func:`repro.core.equilibrium.best_response`, whose ties
+#: break toward the current strategy (and C > D > O, so O never wins:
+#: a defector's payoff ``rewards - c_so`` dominates offline's ``-c_so``).
+_BR_TOLERANCE = 1e-15
+
+#: Consumer columns in the population's seed-block stream tree.  The
+#: realize column carries the epoch's crowd uniforms; the churn columns
+#: carry the per-epoch resampling selector and replacement stakes.
+_REALIZE_COLUMN = "dynamics.realize"
+_CHURN_SELECT_COLUMN = "dynamics.churn.select"
+_CHURN_STAKE_COLUMN = "dynamics.churn.stake"
+
+
+@dataclass(frozen=True)
+class PopulationDynamicsSpec:
+    """One streamed dynamics run: population + epochs + mechanism shape.
+
+    Parameters
+    ----------
+    name:
+        Label carried into trajectories, sweep grids and cache keys.
+    population:
+        The streamed population (its ``cooperation`` field seeds the
+        initial defectors — placed in the non-synchrony crowd first, the
+        ``ONLINE_POOL`` seeding convention of the in-memory scenarios).
+    n_epochs / update_rule:
+        Epochs beyond the initial state, evolved by ``"replicator"``
+        (crowd share dynamics + selected best response) or
+        ``"best_response"`` (everyone revises synchronously; keeps one
+        behavior byte per agent — the documented O(n) concession).
+    replicator_intensity / replicator_mutation:
+        Selection intensity and trembling term of
+        :func:`repro.core.dynamics.replicator_step`.
+    churn_rate / churn_family / churn_params:
+        Per-epoch probability that an agent's stake is resampled from the
+        churn family (default: the population's own family/params; use
+        ``exchange_snapshot`` for the bootstrap-from-snapshot model).
+        Selected agents' stakes are pinned.
+    n_leaders / committee_size / synchrony_rate / committee_quorum /
+    cost_scale / budget_multiplier:
+        The mechanism shape — identical semantics to
+        :class:`~repro.schemes.population_audit.PopulationAuditConfig`.
+    chunk_agents:
+        Streaming window (``None`` = monolithic, the cross-check path).
+        Trajectories are bit-identical at every value.
+    """
+
+    name: str
+    population: PopulationSpec
+    n_epochs: int = 20
+    update_rule: str = "replicator"
+    replicator_intensity: float = 4.0
+    replicator_mutation: float = 0.0
+    churn_rate: float = 0.0
+    churn_family: Optional[str] = None
+    churn_params: Mapping[str, Any] = field(default_factory=dict)
+    n_leaders: int = 5
+    committee_size: int = 30
+    synchrony_rate: float = 0.5
+    committee_quorum: float = 0.685
+    cost_scale: float = 1.0
+    budget_multiplier: float = 1.5
+    chunk_agents: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.population, Mapping):
+            object.__setattr__(
+                self, "population", PopulationSpec.from_params(self.population)
+            )
+        object.__setattr__(self, "churn_params", dict(self.churn_params))
+        if not self.name:
+            raise ConfigurationError("dynamics spec needs a non-empty name")
+        if self.n_epochs < 1:
+            raise ConfigurationError(
+                f"n_epochs must be >= 1, got {self.n_epochs}"
+            )
+        if self.update_rule not in UPDATE_RULES:
+            raise ConfigurationError(
+                f"unknown update rule {self.update_rule!r}; "
+                f"choose from {UPDATE_RULES}"
+            )
+        if self.replicator_intensity <= 0:
+            raise ConfigurationError(
+                f"replicator intensity must be positive, "
+                f"got {self.replicator_intensity}"
+            )
+        if not 0.0 <= self.replicator_mutation < 1.0:
+            raise ConfigurationError(
+                f"replicator mutation must be in [0, 1), "
+                f"got {self.replicator_mutation}"
+            )
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ConfigurationError(
+                f"churn rate must be in [0, 1], got {self.churn_rate}"
+            )
+        if self.churn_rate > 0.0:
+            # Eager validation, like PopulationSpec's own family check.
+            resolve_sampler(
+                self.churn_family or self.population.family,
+                self.churn_params or self.population.params,
+            )
+        elif self.churn_family is not None or self.churn_params:
+            raise ConfigurationError(
+                "churn_family/churn_params require churn_rate > 0"
+            )
+        self.audit_config()  # validates the mechanism-shape fields
+
+    def audit_config(self) -> PopulationAuditConfig:
+        """The audit configuration sharing this spec's mechanism shape.
+
+        ``target="all_c"`` calibrates the budget at the all-cooperate
+        profile, exactly like the in-memory scenarios' epoch-0
+        calibration — the *same* budget for every scheme, so the
+        comparison is at equal cost to the foundation.
+        """
+        return PopulationAuditConfig(
+            n_leaders=self.n_leaders,
+            committee_size=self.committee_size,
+            synchrony_rate=self.synchrony_rate,
+            committee_quorum=self.committee_quorum,
+            cost_scale=self.cost_scale,
+            budget_multiplier=self.budget_multiplier,
+            target="all_c",
+            chunk_agents=self.chunk_agents,
+        )
+
+    def to_params(self) -> Dict[str, Any]:
+        """The spec as plain JSON data — the form sweep shards carry."""
+        return {
+            "name": self.name,
+            "population": self.population.to_params(),
+            "n_epochs": self.n_epochs,
+            "update_rule": self.update_rule,
+            "replicator_intensity": self.replicator_intensity,
+            "replicator_mutation": self.replicator_mutation,
+            "churn_rate": self.churn_rate,
+            "churn_family": self.churn_family,
+            "churn_params": dict(self.churn_params),
+            "n_leaders": self.n_leaders,
+            "committee_size": self.committee_size,
+            "synchrony_rate": self.synchrony_rate,
+            "committee_quorum": self.committee_quorum,
+            "cost_scale": self.cost_scale,
+            "budget_multiplier": self.budget_multiplier,
+            "chunk_agents": self.chunk_agents,
+        }
+
+    @staticmethod
+    def from_params(params: Mapping[str, Any]) -> "PopulationDynamicsSpec":
+        """Rebuild a spec from :meth:`to_params` output (re-validated)."""
+        return PopulationDynamicsSpec(**dict(params))
+
+    def with_overrides(self, **overrides: object) -> "PopulationDynamicsSpec":
+        """Copy of this spec with fields replaced (re-validated)."""
+        return replace(self, **overrides)
+
+    def cache_key(self) -> str:
+        """Content hash of the full parameter mapping (cache identity)."""
+        payload = json.dumps(
+            self.to_params(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Compact human-readable rendering for tables and logs."""
+        return (
+            f"{self.name}[{self.population.describe()},"
+            f"{self.update_rule},E={self.n_epochs}]"
+        )
+
+
+# -- the streamed engine ------------------------------------------------------
+
+
+@dataclass
+class _Engine:
+    """Per-run constants shared by every pass of one dynamics run."""
+
+    spec: PopulationDynamicsSpec
+    config: PopulationAuditConfig
+    scheme_name: str
+    structure: _Structure
+    slice_budget: np.ndarray  # (P,) pool budgets at the calibrated split
+    cost_vec: np.ndarray  # (3,) role cooperation costs
+    selected_weights: np.ndarray  # (P, k) pinned selected pool weights
+    n_crowd: int
+    n_sync: int  # strong-synchrony crowd agents
+    n_nonsync: int
+    churn_sampler: Optional[Callable[[np.random.Generator, int], np.ndarray]]
+
+    @property
+    def table(self):
+        """The scheme's expanded pool tables."""
+        return self.structure.tables[self.scheme_name]
+
+
+@dataclass
+class _EpochAggregates:
+    """One measured epoch: realized pool totals, census and record."""
+
+    totals: np.ndarray  # (P,) realized pool weight totals
+    rates: np.ndarray  # (P,) pool payout per unit weight (0 if no block)
+    block_success: bool
+    leader_coop: int
+    committee_tally: float
+    sync_defectors: int
+    sole_sync_defector: Optional[int]
+    record: EpochRecord
+
+    @property
+    def restorable(self) -> bool:
+        """Whether the sole sync defector's switch to C restores the block."""
+        return (
+            self.sync_defectors == 1
+            and self.sole_sync_defector is not None
+            and self.leader_coop >= 1
+        )
+
+
+def _build_engine(
+    spec: PopulationDynamicsSpec, scheme_name: str, structure: _Structure
+) -> _Engine:
+    """Census pass: count the synchrony split of the online crowd."""
+    config = structure.config
+    pop = spec.population
+    n_sync = 0
+    for chunk in _chunks(pop, config):
+        ctx = _chunk_context(structure, pop, chunk)
+        n_sync += int(np.count_nonzero(ctx.sync))
+    n_crowd = pop.size - config.n_selected
+    table = structure.tables[scheme_name]
+    cost_vec = np.array(
+        [structure.costs.leader, structure.costs.committee, structure.costs.online]
+    )
+    churn_sampler = None
+    if spec.churn_rate > 0.0:
+        churn_sampler = resolve_sampler(
+            spec.churn_family or pop.family,
+            spec.churn_params or pop.params,
+        )
+    return _Engine(
+        spec=spec,
+        config=config,
+        scheme_name=scheme_name,
+        structure=structure,
+        slice_budget=table.fractions * structure.b_i,
+        cost_vec=cost_vec,
+        selected_weights=_pool_weights(
+            table,
+            structure.selected_stake,
+            structure.selected_cost,
+            structure.selected_role,
+            cost_vec,
+        ),
+        n_crowd=n_crowd,
+        n_sync=n_sync,
+        n_nonsync=n_crowd - n_sync,
+        churn_sampler=churn_sampler,
+    )
+
+
+def _initial_share(spec: PopulationDynamicsSpec, engine: _Engine) -> float:
+    """Epoch-0 crowd cooperating share from the population's seeding.
+
+    All ``round((1 - cooperation) * size)`` seeded defectors are crowd
+    agents (the selected start cooperating), filling the non-synchrony
+    crowd first — the in-memory scenarios' ``ONLINE_POOL`` convention.
+    """
+    defectors = round((1.0 - spec.population.cooperation) * spec.population.size)
+    if engine.n_crowd == 0:
+        return 1.0
+    return min(1.0, max(0.0, 1.0 - defectors / engine.n_crowd))
+
+
+def _thresholds(engine: _Engine, share: float) -> Tuple[float, float]:
+    """Defection thresholds ``(non-sync, sync)`` realizing a crowd share.
+
+    The crowd's defection mass fills the non-synchrony crowd first and
+    spills into the synchrony set only once it is saturated — defection
+    starts as free-riding and breaks blocks only under deep unraveling.
+    """
+    defect_mass = (1.0 - share) * engine.n_crowd
+    p_nonsync = (
+        min(1.0, defect_mass / engine.n_nonsync) if engine.n_nonsync else 0.0
+    )
+    spill = max(0.0, defect_mass - engine.n_nonsync)
+    p_sync = min(1.0, spill / engine.n_sync) if engine.n_sync else 0.0
+    return p_nonsync, p_sync
+
+
+def _churned_stake(engine: _Engine, chunk: PopulationArrays, epoch: int) -> np.ndarray:
+    """The chunk's stakes after replaying ``epoch`` churn rounds.
+
+    Each round resamples every agent independently with probability
+    ``churn_rate`` from the churn family, with position-preserving
+    ``np.where`` updates (chunk-stable).  Selected agents' stakes are
+    pinned to their epoch-0 values so the calibration, pool structure
+    and quorum threshold stay exact.  The cumulative replay is O(epoch)
+    draws per chunk — fine for the tens of epochs dynamics runs use.
+    """
+    stake = chunk.stake64()
+    if engine.spec.churn_rate <= 0.0 or epoch == 0:
+        return stake
+    pop = engine.spec.population
+    sampler = engine.churn_sampler
+    assert sampler is not None
+    for round_index in range(1, epoch + 1):
+        selector = pop.chunk_draws(
+            chunk.offset,
+            chunk.n_agents,
+            f"{_CHURN_SELECT_COLUMN}.{round_index}",
+            lambda rng, n: rng.random(n),
+        )
+        fresh = pop.chunk_draws(
+            chunk.offset,
+            chunk.n_agents,
+            f"{_CHURN_STAKE_COLUMN}.{round_index}",
+            sampler,
+        ).astype(np.float64, copy=False)
+        stake = np.where(selector < engine.spec.churn_rate, fresh, stake)
+    if not np.all(np.isfinite(stake)) or float(stake.min()) <= 0.0:
+        raise ConfigurationError(
+            "churn family produced non-positive or non-finite stakes"
+        )
+    structure = engine.structure
+    in_chunk = (structure.selected_index >= chunk.offset) & (
+        structure.selected_index < chunk.offset + chunk.n_agents
+    )
+    local = structure.selected_index[in_chunk] - chunk.offset
+    stake[local] = structure.selected_stake[in_chunk]
+    return stake
+
+
+def _epoch_context(
+    engine: _Engine,
+    chunk: PopulationArrays,
+    epoch: int,
+    thresholds: Optional[Tuple[float, float]],
+    sel_action: np.ndarray,
+    crowd_behavior: Optional[np.ndarray],
+) -> _ChunkContext:
+    """One chunk's realized context at a given epoch.
+
+    Crowd actions come from the epoch's uniform draws against
+    ``thresholds`` (replicator realization — deterministic replay: the
+    update pass rebuilds the previous epoch's profile from the same
+    draws), or from the persistent ``crowd_behavior`` array when
+    ``thresholds`` is None (best-response mode).  Selected agents play
+    their current best-response actions.
+    """
+    structure = engine.structure
+    pop = engine.spec.population
+    ctx = _chunk_context(
+        structure, pop, chunk, stake=_churned_stake(engine, chunk, epoch)
+    )
+    if thresholds is not None:
+        uniforms = pop.chunk_draws(
+            chunk.offset,
+            chunk.n_agents,
+            f"{_REALIZE_COLUMN}.{epoch}",
+            lambda rng, n: rng.random(n),
+        )
+        level = np.where(ctx.sync, thresholds[1], thresholds[0])
+        actions = (uniforms < level).astype(np.int8)
+    else:
+        assert crowd_behavior is not None
+        actions = crowd_behavior[
+            chunk.offset : chunk.offset + chunk.n_agents
+        ].copy()
+    in_chunk = (structure.selected_index >= chunk.offset) & (
+        structure.selected_index < chunk.offset + chunk.n_agents
+    )
+    local = structure.selected_index[in_chunk] - chunk.offset
+    actions[local] = sel_action[in_chunk]
+    ctx.action = actions
+    ctx.coop = actions == 0
+    return ctx
+
+
+def _measure_pass(
+    engine: _Engine,
+    epoch: int,
+    thresholds: Optional[Tuple[float, float]],
+    sel_action: np.ndarray,
+    crowd_behavior: Optional[np.ndarray],
+    store_behavior: Optional[np.ndarray] = None,
+) -> _EpochAggregates:
+    """Stream the epoch's realized profile and fold its aggregates."""
+    spec = engine.spec
+    structure = engine.structure
+    table = engine.table
+    P = len(table.kinds)
+    weight_coop: Optional[np.ndarray] = None
+    weight_defect: Optional[np.ndarray] = None
+    n_coop = 0
+    coop_cost_sum = 0.0
+    defect_cost_sum = 0.0
+    sync_defectors = 0
+    sole_candidates: List[int] = []
+
+    for chunk in _chunks(spec.population, engine.config):
+        ctx = _epoch_context(
+            engine, chunk, epoch, thresholds, sel_action, crowd_behavior
+        )
+        if store_behavior is not None:
+            store_behavior[chunk.offset : chunk.offset + ctx.n] = ctx.action
+        weights = _pool_weights(
+            table, ctx.stake, ctx.cost_multiplier, ctx.roles, engine.cost_vec
+        )
+        member = np.empty((P, ctx.n), dtype=bool)
+        for p in range(P):
+            member[p] = table.lookup[p, ctx.roles, ctx.action]
+        contribution = weights * member
+        weight_coop = blockwise_row_sums(
+            np.where(ctx.coop, contribution, 0.0), start=weight_coop
+        )
+        weight_defect = blockwise_row_sums(
+            np.where(~ctx.coop, contribution, 0.0), start=weight_defect
+        )
+        n_coop += int(np.count_nonzero(ctx.coop))
+        coop_cost_sum = blockwise_sum(
+            np.where(ctx.coop, ctx.coop_cost, 0.0), start=coop_cost_sum
+        )
+        defect_cost_sum = blockwise_sum(
+            np.where(~ctx.coop, ctx.sortition_cost, 0.0), start=defect_cost_sum
+        )
+        sync_defect = ctx.sync & (ctx.action == 1)
+        count = int(np.count_nonzero(sync_defect))
+        if count and len(sole_candidates) < 2:
+            rows = np.flatnonzero(sync_defect)[:2]
+            sole_candidates.extend(chunk.offset + int(row) for row in rows)
+        sync_defectors += count
+
+    assert weight_coop is not None and weight_defect is not None
+    leader_coop = int(
+        np.count_nonzero(
+            (structure.selected_role == _LEADER) & (sel_action == 0)
+        )
+    )
+    committee_tally = float(
+        np.add.reduce(
+            np.where(
+                (structure.selected_role == _COMMITTEE) & (sel_action == 0),
+                structure.selected_stake,
+                0.0,
+            )
+        )
+    )
+    block_success = (
+        leader_coop >= 1
+        and committee_tally > structure.quorum_threshold
+        and sync_defectors == 0
+    )
+    totals = weight_coop + weight_defect
+    rates = np.zeros(P, dtype=np.float64)
+    if block_success:
+        for p in range(P):
+            if totals[p] > 0:
+                rates[p] = engine.slice_budget[p] / totals[p]
+    reward_coop = float(np.dot(rates, weight_coop))
+    reward_defect = float(np.dot(rates, weight_defect))
+
+    size = spec.population.size
+    n_defect = size - n_coop
+    mean_coop = (reward_coop - coop_cost_sum) / n_coop if n_coop else 0.0
+    mean_defect = (
+        (reward_defect - defect_cost_sum) / n_defect if n_defect else 0.0
+    )
+    paid = reward_coop + reward_defect
+    efficiency = reward_coop / paid if block_success and paid > 0 else 0.0
+    record = EpochRecord(
+        epoch=epoch,
+        n_players=size,
+        n_cooperating=n_coop,
+        n_defecting=n_defect,
+        n_offline=0,
+        block_success=block_success,
+        mean_payoff_cooperate=mean_coop,
+        mean_payoff_defect=mean_defect,
+        realized_final_fraction=None,
+        budget_efficiency=efficiency,
+    )
+    sole = sole_candidates[0] if sync_defectors == 1 else None
+    return _EpochAggregates(
+        totals=totals,
+        rates=rates,
+        block_success=block_success,
+        leader_coop=leader_coop,
+        committee_tally=committee_tally,
+        sync_defectors=sync_defectors,
+        sole_sync_defector=sole,
+        record=record,
+    )
+
+
+def _chunk_counterfactuals(
+    engine: _Engine, ctx: _ChunkContext, aggregates: _EpochAggregates
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-agent counterfactual payoffs ``(u_C, u_D)`` for one chunk.
+
+    ``u_C[j]`` / ``u_D[j]`` are agent ``offset + j``'s payoffs if it
+    *alone* played C (resp. D) against the realized profile — the same
+    closed form as the audit's
+    :func:`~repro.schemes.population_audit._chunk_gains`, generalized
+    from the fixed target profile to an arbitrary realized one:
+
+    * **block produced** — a crowd cooperator's exit breaks the block
+      only when it sits in the strong-synchrony set; everyone else's
+      deviation just moves pool weight;
+    * **block failed** — nobody earns rewards, in the profile or after
+      any unilateral deviation, except the *sole* sync defector (when
+      leaders and quorum are otherwise fine), whose return to C restores
+      the block.
+
+    Valid for online-crowd rows; selected rows are handled scalar-side
+    by :func:`_selected_best_responses` and masked out by the caller.
+    """
+    table = engine.table
+    totals = aggregates.totals
+    P = len(table.kinds)
+    n = ctx.n
+    weights = _pool_weights(
+        table, ctx.stake, ctx.cost_multiplier, ctx.roles, engine.cost_vec
+    )
+    member = np.empty((P, n), dtype=bool)
+    member_c = np.empty((P, n), dtype=bool)
+    member_d = np.empty((P, n), dtype=bool)
+    for p in range(P):
+        member[p] = table.lookup[p, ctx.roles, ctx.action]
+        member_c[p] = table.lookup[p, ctx.roles, 0]
+        member_d[p] = table.lookup[p, ctx.roles, 1]
+    contribution = weights * member
+    slice_budget = engine.slice_budget
+
+    def pool_payments(member_new: np.ndarray) -> np.ndarray:
+        """Per-agent rewards if each agent *alone* held the new membership."""
+        rewards = np.zeros(n)
+        for p in range(P):
+            new_contribution = weights[p] * member_new[p]
+            new_totals = totals[p] - contribution[p] + new_contribution
+            payable = (new_contribution > 0) & (new_totals > 0)
+            pool_reward = np.zeros(n)
+            np.divide(
+                slice_budget[p] * new_contribution,
+                new_totals,
+                out=pool_reward,
+                where=payable,
+            )
+            rewards += pool_reward
+        return rewards
+
+    if aggregates.block_success:
+        utility_c = pool_payments(member_c) - ctx.coop_cost
+        utility_d = (
+            np.where(ctx.sync, 0.0, pool_payments(member_d)) - ctx.sortition_cost
+        )
+    else:
+        utility_c = -ctx.coop_cost.copy()
+        utility_d = -ctx.sortition_cost.copy()
+        sole = aggregates.sole_sync_defector
+        if (
+            aggregates.restorable
+            and sole is not None
+            and ctx.offset <= sole < ctx.offset + n
+        ):
+            local = sole - ctx.offset
+            utility_c[local] = (
+                pool_payments(member_c)[local] - ctx.coop_cost[local]
+            )
+    return utility_c, utility_d
+
+
+def _selected_best_responses(
+    engine: _Engine, aggregates: _EpochAggregates, sel_action: np.ndarray
+) -> np.ndarray:
+    """Exact synchronous best responses of the selected agents.
+
+    Scalar-side pool algebra: each leader/committee member's deviation
+    moves its own pinned pool weight and recomputes the block transition
+    (leader count / quorum tally) exactly, matching
+    :func:`repro.core.equilibrium.synchronous_best_responses` — strict
+    ``> 1e-15`` improvement to switch, ties keep the current action, and
+    O is dominated by D (``rewards - c_so >= -c_so``), so only {C, D}
+    are compared.
+    """
+    structure = engine.structure
+    table = engine.table
+    P = len(table.kinds)
+    k = sel_action.size
+    new_actions = sel_action.copy()
+    for j in range(k):
+        role = int(structure.selected_role[j])
+        current = int(sel_action[j])
+        stake = float(structure.selected_stake[j])
+        multiplier = float(structure.selected_cost[j])
+        coop_now = 1 if current == 0 else 0
+        utilities = []
+        for target in (0, 1):
+            coop_new = 1 if target == 0 else 0
+            leaders_after = aggregates.leader_coop
+            tally_after = aggregates.committee_tally
+            if role == _LEADER:
+                leaders_after += coop_new - coop_now
+            else:
+                tally_after += (coop_new - coop_now) * stake
+            block_after = (
+                leaders_after >= 1
+                and tally_after > structure.quorum_threshold
+                and aggregates.sync_defectors == 0
+            )
+            reward = 0.0
+            if block_after:
+                for p in range(P):
+                    weight = float(engine.selected_weights[p, j])
+                    now = weight if table.lookup[p, role, current] else 0.0
+                    new = weight if table.lookup[p, role, target] else 0.0
+                    new_total = aggregates.totals[p] - now + new
+                    if new > 0 and new_total > 0:
+                        reward += engine.slice_budget[p] * new / new_total
+            cost = (
+                engine.cost_vec[role]
+                if target == 0
+                else structure.costs.sortition
+            ) * multiplier
+            utilities.append(reward - cost)
+        utility_c, utility_d = utilities
+        if current == 0:
+            new_actions[j] = 1 if utility_d > utility_c + _BR_TOLERANCE else 0
+        else:
+            new_actions[j] = 0 if utility_c > utility_d + _BR_TOLERANCE else 1
+    return new_actions
+
+
+def _update_pass(
+    engine: _Engine,
+    aggregates: _EpochAggregates,
+    prev_epoch: int,
+    thresholds: Optional[Tuple[float, float]],
+    sel_action: np.ndarray,
+    crowd_behavior: Optional[np.ndarray],
+    share: float,
+) -> Tuple[float, np.ndarray]:
+    """Replay the previous epoch's profile and compute the revisions.
+
+    Returns ``(next crowd share, next selected actions)``; in
+    best-response mode the crowd's new actions are written back into
+    ``crowd_behavior`` in place (each chunk replays from its pre-update
+    slice, so the synchronous semantics hold).
+    """
+    spec = engine.spec
+    accumulator = ReplicatorAccumulator(
+        intensity=spec.replicator_intensity, mutation=spec.replicator_mutation
+    )
+    for chunk in _chunks(spec.population, engine.config):
+        ctx = _epoch_context(
+            engine, chunk, prev_epoch, thresholds, sel_action, crowd_behavior
+        )
+        utility_c, utility_d = _chunk_counterfactuals(engine, ctx, aggregates)
+        crowd = ctx.roles == _ONLINE
+        if spec.update_rule == "replicator":
+            accumulator.fold(utility_c, utility_d, include=crowd)
+        else:
+            assert crowd_behavior is not None
+            switched = np.where(
+                ctx.coop,
+                np.where(utility_d > utility_c + _BR_TOLERANCE, 1, 0),
+                np.where(utility_c > utility_d + _BR_TOLERANCE, 0, 1),
+            ).astype(np.int8)
+            crowd_behavior[chunk.offset : chunk.offset + ctx.n] = np.where(
+                crowd, switched, ctx.action
+            )
+    next_selected = _selected_best_responses(engine, aggregates, sel_action)
+    next_share = (
+        accumulator.step(share) if spec.update_rule == "replicator" else share
+    )
+    return next_share, next_selected
+
+
+def run_population_dynamics(
+    spec: PopulationDynamicsSpec, scheme: SchemeLike
+) -> ScenarioTrajectory:
+    """Evolve one streamed population under one scheme; pure in the spec.
+
+    Every random stream (sortition race, synchrony, realization uniforms,
+    churn) comes from the population's seed-block tree, so the trajectory
+    is a pure function of ``(spec, scheme)`` — and bit-identical at every
+    ``chunk_agents`` value.  Returns a
+    :class:`~repro.scenarios.dynamics.ScenarioTrajectory` whose scenario
+    field carries ``spec.name`` (epoch 0 is the seeded initial state).
+    """
+    resolved = resolve_scheme(scheme)
+    structure = _build_structure([resolved], spec.population, spec.audit_config())
+    engine = _build_engine(spec, resolved.name, structure)
+    sel_action = np.zeros(engine.config.n_selected, dtype=np.int8)
+    crowd_behavior = (
+        np.zeros(spec.population.size, dtype=np.int8)
+        if spec.update_rule == "best_response"
+        else None
+    )
+    share = _initial_share(spec, engine)
+    trajectory = ScenarioTrajectory(
+        scenario=spec.name,
+        scheme=resolved.name,
+        b_i=structure.b_i,
+        alpha=structure.split.alpha,
+        beta=structure.split.beta,
+    )
+    thresholds: Optional[Tuple[float, float]] = _thresholds(engine, share)
+    aggregates = _measure_pass(
+        engine, 0, thresholds, sel_action, None, store_behavior=crowd_behavior
+    )
+    trajectory.records.append(aggregates.record)
+    for epoch in range(1, spec.n_epochs + 1):
+        share, sel_action = _update_pass(
+            engine,
+            aggregates,
+            epoch - 1,
+            thresholds,
+            sel_action,
+            crowd_behavior,
+            share,
+        )
+        if spec.update_rule == "replicator":
+            thresholds = _thresholds(engine, share)
+        else:
+            thresholds = None
+        aggregates = _measure_pass(
+            engine, epoch, thresholds, sel_action, crowd_behavior
+        )
+        trajectory.records.append(aggregates.record)
+    return trajectory
+
+
+# -- the in-memory oracle -----------------------------------------------------
+
+
+def oracle_population_dynamics(
+    spec: PopulationDynamicsSpec,
+    scheme: SchemeLike,
+    max_agents: int = 2000,
+) -> ScenarioTrajectory:
+    """The streamed driver's semantics on the exact game engine (small n).
+
+    Rebuilds the same realized structure (selection, synchrony,
+    calibration, realization draws) as an in-memory
+    :class:`~repro.core.game.AlgorandGame` and evolves it with the
+    existing scalar pipeline — per-agent ``game.payoff`` deviations,
+    :func:`~repro.core.equilibrium.synchronous_best_responses` and
+    :func:`~repro.core.dynamics.replicator_step` — sharing no pool
+    algebra with the chunked kernel.  The differential suite asserts the
+    two trajectories agree epoch by epoch.  Guards: the population must
+    fit (``max_agents``; every pass is O(n^2)) and carry no per-agent
+    cost jitter (the scalar game models uniform role costs).
+    """
+    from repro.core.dynamics import (
+        mean_payoff_by_strategy,
+        replicator_step,
+    )
+    from repro.core.equilibrium import synchronous_best_responses
+    from repro.core.game import (
+        AlgorandGame,
+        BlockSuccessModel,
+        Player,
+        PlayerRole,
+        Strategy,
+        with_deviation,
+    )
+    from repro.scenarios.dynamics import _measure
+
+    pop = spec.population
+    if pop.size > max_agents:
+        raise ConfigurationError(
+            f"the dynamics oracle is O(n^2) per epoch; population of "
+            f"{pop.size} exceeds the limit of {max_agents}"
+        )
+    if pop.cost_jitter != 0.0:
+        raise ConfigurationError(
+            "the dynamics oracle models uniform role costs; use "
+            "cost_jitter=0 populations to cross-check"
+        )
+    resolved = resolve_scheme(scheme)
+    config = spec.audit_config()
+    structure = _build_structure([resolved], pop, config)
+    engine = _build_engine(spec, resolved.name, structure)
+    population = pop.materialize()
+    n = population.n_agents
+    base_ctx = _chunk_context(structure, pop, population)
+    roles, sync = base_ctx.roles, base_ctx.sync
+    crowd = np.flatnonzero(roles == _ONLINE)
+    selected = [int(j) for j in structure.selected_index]
+
+    role_of = {
+        _LEADER: PlayerRole.LEADER,
+        _COMMITTEE: PlayerRole.COMMITTEE,
+        _ONLINE: PlayerRole.ONLINE,
+    }
+
+    def build_game(stake: np.ndarray) -> AlgorandGame:
+        players = {
+            j: Player(
+                node_id=j, stake=float(stake[j]), role=role_of[int(roles[j])]
+            )
+            for j in range(n)
+        }
+        return AlgorandGame(
+            players=players,
+            costs=structure.costs,
+            reward_rule=resolved.make_rule(structure.b_i, structure.split),
+            success_model=BlockSuccessModel(
+                committee_quorum=config.committee_quorum,
+                synchrony_set=frozenset(int(j) for j in np.flatnonzero(sync)),
+            ),
+        )
+
+    def realize(epoch: int, share: float, sel_actions: Dict[int, Strategy]):
+        p_nonsync, p_sync = _thresholds(engine, share)
+        uniforms = pop.chunk_draws(
+            0, n, f"{_REALIZE_COLUMN}.{epoch}", lambda rng, count: rng.random(count)
+        )
+        profile: Dict[int, Strategy] = {}
+        for j in range(n):
+            if roles[j] != _ONLINE:
+                profile[j] = sel_actions[j]
+            else:
+                level = p_sync if sync[j] else p_nonsync
+                profile[j] = (
+                    Strategy.DEFECT if uniforms[j] < level else Strategy.COOPERATE
+                )
+        return profile
+
+    share = _initial_share(spec, engine)
+    sel_actions = {j: Strategy.COOPERATE for j in selected}
+    game = build_game(_churned_stake(engine, population, 0))
+    profile = realize(0, share, sel_actions)
+    trajectory = ScenarioTrajectory(
+        scenario=spec.name,
+        scheme=resolved.name,
+        b_i=structure.b_i,
+        alpha=structure.split.alpha,
+        beta=structure.split.beta,
+    )
+    trajectory.records.append(_measure(0, game, profile, None))
+    for epoch in range(1, spec.n_epochs + 1):
+        responses = synchronous_best_responses(game, profile, selected)
+        if spec.update_rule == "replicator":
+            total_c = total_d = 0.0
+            for j in crowd:
+                total_c += game.payoff(
+                    j, with_deviation(profile, int(j), Strategy.COOPERATE)
+                )
+                total_d += game.payoff(
+                    j, with_deviation(profile, int(j), Strategy.DEFECT)
+                )
+            share = replicator_step(
+                share,
+                total_c / crowd.size,
+                total_d / crowd.size,
+                intensity=spec.replicator_intensity,
+                mutation=spec.replicator_mutation,
+            )
+            sel_actions = dict(responses)
+            game = build_game(_churned_stake(engine, population, epoch))
+            profile = realize(epoch, share, sel_actions)
+        else:
+            revised = dict(
+                synchronous_best_responses(game, profile, list(range(n)))
+            )
+            revised.update(responses)
+            game = build_game(_churned_stake(engine, population, epoch))
+            profile = revised
+        trajectory.records.append(_measure(epoch, game, profile, None))
+    return trajectory
+
+
+# -- campaign integration -----------------------------------------------------
+
+
+def dynamics_sweep_spec(
+    specs: Sequence[PopulationDynamicsSpec],
+    schemes: Sequence[SchemeLike] = ("foundation", "role_based"),
+    seed: int = 2021,
+) -> SweepSpec:
+    """One shard per (dynamics spec, scheme) grid point.
+
+    Both axes carry full parameter mappings (the spec's
+    :meth:`~PopulationDynamicsSpec.to_params` and the scheme's
+    ``to_params``), so the orchestrator's content-addressed cache key
+    covers every field and workers never need a registry.  The driver is
+    a pure function of the spec (all randomness lives in the
+    population's seed tree), so the shard ignores its sweep seed;
+    ``seed`` still participates in the cache key via ``root_seed``.
+    """
+    from repro.scenarios.experiment import CAMPAIGN_VERSION
+
+    if not specs:
+        raise ConfigurationError("dynamics campaign needs at least one spec")
+    if not schemes:
+        raise ConfigurationError("dynamics campaign needs at least one scheme")
+    return SweepSpec(
+        name="population-dynamics",
+        grid={
+            "dynamics": [spec.to_params() for spec in specs],
+            "scheme": [resolve_scheme(scheme).to_params() for scheme in schemes],
+        },
+        base={},
+        root_seed=seed,
+        version=CAMPAIGN_VERSION,
+    )
+
+
+def _dynamics_shard(params: Mapping[str, Any], _seed: int) -> Dict[str, object]:
+    """One campaign shard: a full streamed trajectory payload."""
+    spec = PopulationDynamicsSpec.from_params(params["dynamics"])
+    return run_population_dynamics(spec, params["scheme"]).to_payload()
+
+
+def run_population_dynamics_campaign(
+    specs: Sequence[PopulationDynamicsSpec],
+    schemes: Sequence[SchemeLike] = ("foundation", "role_based"),
+    seed: int = 2021,
+    workers: Union[int, str, None] = 1,
+    cache_dir: Union[str, Path, None] = None,
+    progress: bool = False,
+) -> Dict[Tuple[str, str], ScenarioTrajectory]:
+    """Run a grid of streamed dynamics through the sweep orchestrator.
+
+    Shards cache, resume and merge exactly like the scenario campaigns;
+    returns ``{(spec name, scheme name): trajectory}`` in grid order.
+    """
+    sweep_spec = dynamics_sweep_spec(specs, schemes, seed)
+    sweep = run_sweep(
+        sweep_spec,
+        _dynamics_shard,
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
+    payloads = sweep.results()
+    scheme_names = [resolve_scheme(scheme).name for scheme in schemes]
+    results: Dict[Tuple[str, str], ScenarioTrajectory] = {}
+    index = 0
+    for spec in specs:
+        for scheme_name in scheme_names:
+            results[(spec.name, scheme_name)] = ScenarioTrajectory.from_payload(
+                payloads[index]
+            )
+            index += 1
+    return results
+
+
+# -- rendering and export -----------------------------------------------------
+
+
+def render_dynamics_trajectories(
+    trajectories: Mapping[Tuple[str, str], ScenarioTrajectory]
+) -> str:
+    """ASCII panels: defection share vs epoch plus a verdict table."""
+    panels: List[str] = []
+    names: List[str] = []
+    for name, _scheme in trajectories:
+        if name not in names:
+            names.append(name)
+    for name in names:
+        series = {
+            scheme: trajectory.defection_series()
+            for (spec_name, scheme), trajectory in trajectories.items()
+            if spec_name == name
+        }
+        panels.append(
+            plotting.line_chart(
+                series,
+                title=f"Dynamics {name} — defection share vs epoch",
+                y_min=0.0,
+                y_max=1.0,
+                height=10,
+            )
+        )
+    rows = []
+    for (name, scheme), trajectory in trajectories.items():
+        final = trajectory.records[-1]
+        blocks = trajectory.block_series()
+        verdict = "stabilized" if trajectory.stabilized() else "moving"
+        if final.defection_share >= 0.9:
+            verdict = "unraveled"
+        rows.append(
+            (
+                name,
+                scheme,
+                f"{final.defection_share:.3f}",
+                f"{sum(blocks) / len(blocks):.2f}",
+                f"{final.budget_efficiency:.2f}",
+                verdict,
+            )
+        )
+    panels.append(
+        plotting.format_table(
+            (
+                "dynamics",
+                "scheme",
+                "final defection",
+                "block rate",
+                "efficiency",
+                "verdict",
+            ),
+            rows,
+            title="Streamed dynamics verdicts",
+        )
+    )
+    return "\n\n".join(panels)
+
+
+def dynamics_to_csv(
+    trajectories: Mapping[Tuple[str, str], ScenarioTrajectory], path: PathLike
+) -> None:
+    """Write one row per (dynamics, scheme, epoch) as CSV."""
+    rows: List[Sequence[object]] = []
+    for (name, scheme), trajectory in trajectories.items():
+        for record in trajectory.records:
+            rows.append(
+                (
+                    name,
+                    scheme,
+                    record.epoch,
+                    record.defection_share,
+                    record.cooperation_share,
+                    1.0 if record.block_success else 0.0,
+                    record.mean_payoff_cooperate,
+                    record.mean_payoff_defect,
+                    record.budget_efficiency,
+                    trajectory.b_i,
+                    trajectory.alpha,
+                    trajectory.beta,
+                )
+            )
+    write_rows(
+        path,
+        (
+            "dynamics",
+            "scheme",
+            "epoch",
+            "defection_share",
+            "cooperation_share",
+            "block_success",
+            "mean_payoff_cooperate",
+            "mean_payoff_defect",
+            "budget_efficiency",
+            "b_i",
+            "alpha",
+            "beta",
+        ),
+        rows,
+    )

@@ -603,12 +603,25 @@ class _ChunkContext:
 
 
 def _chunk_context(
-    structure: _Structure, spec: PopulationSpec, chunk: PopulationArrays
+    structure: _Structure,
+    spec: PopulationSpec,
+    chunk: PopulationArrays,
+    stake: Optional[np.ndarray] = None,
+    actions: Optional[np.ndarray] = None,
 ) -> _ChunkContext:
-    """Realize one chunk's roles, synchrony and target-profile actions."""
+    """Realize one chunk's roles, synchrony and target-profile actions.
+
+    The audit calls this with defaults: stakes come from the chunk and
+    actions from the configured target profile (selected agents forced to
+    cooperate).  The streamed dynamics driver shares the same pass but
+    overrides ``stake`` (churned stakes) and ``actions`` (the epoch's
+    realized strategy profile, 0=C / 1=D for *every* position including
+    the selected agents, which revise by best response there instead of
+    performing unconditionally).
+    """
     config = structure.config
     n = chunk.n_agents
-    stake = chunk.stake64()
+    stake = chunk.stake64() if stake is None else np.asarray(stake, dtype=np.float64)
     cost_multiplier = chunk.cost64()
     cost_vec = np.array(
         [structure.costs.leader, structure.costs.committee, structure.costs.online]
@@ -626,9 +639,13 @@ def _chunk_context(
 
     sync = _sync_mask(spec, config, chunk)
     sync[roles != _ONLINE] = False
-    actions = _online_actions(config, chunk, sync)
-    coop = actions == 0
-    coop[roles != _ONLINE] = True  # the selected always perform their role
+    if actions is None:
+        actions = _online_actions(config, chunk, sync)
+        coop = actions == 0
+        coop[roles != _ONLINE] = True  # the selected always perform their role
+    else:
+        actions = np.asarray(actions, dtype=np.int8)
+        coop = actions == 0
     return _ChunkContext(
         offset=chunk.offset,
         n=n,

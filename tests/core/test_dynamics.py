@@ -9,6 +9,7 @@ from repro.core.costs import RoleCosts
 from repro.core.dynamics import (
     BestResponseDynamics,
     DynamicsResult,
+    ReplicatorAccumulator,
     mean_payoff_by_strategy,
     random_profile,
     replicator_step,
@@ -265,3 +266,107 @@ class TestReplicatorStep:
         assert means[Strategy.DEFECT] == pytest.approx(-_COSTS.sortition)
         assert means[Strategy.COOPERATE] == 0.0
         assert means[Strategy.OFFLINE] == 0.0
+
+
+class TestReplicatorStepEdgeCases:
+    """Regression tests for the edge cases surfaced by streaming epochs."""
+
+    def test_boundary_share_tolerates_extinct_payoff_nan(self):
+        """At x=0/x=1 one class is extinct; its (undefined) mean is ignored."""
+        assert replicator_step(0.0, float("nan"), 5.0) == 0.0
+        assert replicator_step(1.0, 5.0, float("nan")) == 1.0
+
+    def test_zero_total_payoff_epoch_has_no_division_blowup(self):
+        """An all-zero-payoff epoch is a fixed point, not a 0/0 NaN."""
+        result = replicator_step(0.4, 0.0, 0.0)
+        assert result == pytest.approx(0.4)
+
+    def test_single_surviving_strategy_normalizes_exactly(self):
+        """With one strategy extinct the share renormalizes to the boundary
+        exactly (no drift from the exponential weighting)."""
+        assert replicator_step(0.0, -3.0, 1.0) == 0.0
+        assert replicator_step(1.0, 1.0, -3.0) == 1.0
+        # ... and mutation still pulls off the boundary.
+        assert replicator_step(0.0, -3.0, 1.0, mutation=0.2) == pytest.approx(0.1)
+
+    def test_negative_payoff_pairs_are_shift_invariant(self):
+        """Both-negative epochs (block failed: everyone pays costs) compare
+        payoff *differences*, not magnitudes — a deep common loss must not
+        wash out the per-strategy gap through the scale normalization."""
+        close = replicator_step(0.5, -1000.001, -1000.0)
+        small = replicator_step(0.5, -0.001, 0.0)
+        assert close == pytest.approx(small)
+        assert close < 0.5  # cooperation still loses ground
+
+    def test_mixed_sign_pairs_keep_the_advantage_direction(self):
+        assert replicator_step(0.5, 1.0, -1.0) > 0.5
+        assert replicator_step(0.5, -1.0, 1.0) < 0.5
+
+
+class TestReplicatorAccumulator:
+    """The streaming (chunk-folding) form of the replicator mean payoffs."""
+
+    def test_matches_the_scalar_step_on_one_fold(self):
+        import numpy as np
+
+        acc = ReplicatorAccumulator()
+        u_c = np.array([1.0, 2.0, 3.0])
+        u_d = np.array([0.5, 0.5, 0.5])
+        acc.fold(u_c, u_d)
+        assert acc.count == 3
+        mean_c, mean_d = acc.mean_payoffs()
+        assert mean_c == pytest.approx(2.0)
+        assert mean_d == pytest.approx(0.5)
+        assert acc.step(0.5) == replicator_step(0.5, mean_c, mean_d)
+
+    def test_chunked_folds_are_bit_identical_to_one_fold(self):
+        """Folding block-aligned chunks reproduces the monolithic sums
+        bitwise — the chunk-invariance contract of streamed dynamics."""
+        import numpy as np
+
+        from repro.populations import SEED_BLOCK
+
+        rng = np.random.default_rng(5)
+        n = 2 * SEED_BLOCK + 700
+        u_c, u_d = rng.normal(size=n), rng.normal(size=n)
+        whole = ReplicatorAccumulator()
+        whole.fold(u_c, u_d)
+        chunked = ReplicatorAccumulator()
+        for start in range(0, n, SEED_BLOCK):
+            chunked.fold(u_c[start:start + SEED_BLOCK],
+                         u_d[start:start + SEED_BLOCK])
+        assert chunked.count == whole.count
+        assert chunked.mean_payoffs() == whole.mean_payoffs()
+        assert chunked.step(0.37) == whole.step(0.37)
+
+    def test_include_mask_restricts_the_population(self):
+        import numpy as np
+
+        acc = ReplicatorAccumulator()
+        acc.fold(
+            np.array([1.0, 100.0]),
+            np.array([0.0, 100.0]),
+            include=np.array([True, False]),
+        )
+        assert acc.count == 1
+        assert acc.mean_payoffs() == (1.0, 0.0)
+
+    def test_empty_accumulator_is_a_fixed_point(self):
+        acc = ReplicatorAccumulator()
+        assert acc.mean_payoffs() == (0.0, 0.0)
+        assert acc.step(0.7) == pytest.approx(0.7)
+        acc.reset()
+        assert acc.count == 0
+
+    def test_validation(self):
+        import numpy as np
+
+        with pytest.raises(GameError):
+            ReplicatorAccumulator(intensity=0.0)
+        with pytest.raises(GameError):
+            ReplicatorAccumulator(mutation=1.0)
+        acc = ReplicatorAccumulator()
+        with pytest.raises(GameError):
+            acc.fold(np.zeros(3), np.zeros(4))
+        with pytest.raises(GameError):
+            acc.fold(np.zeros(3), np.zeros(3), include=np.zeros(2, dtype=bool))
