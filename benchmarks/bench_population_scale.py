@@ -10,8 +10,15 @@ fresh subprocess so its peak RSS is honest (``ru_maxrss`` is a process
 lifetime maximum).  Results land in ``BENCH_scale.json`` at the repo
 root.
 
+Also records the fused verdict-tensor audit: the full (scheme x budget
+x cost-scale) grid over the 10^7 population in **one** streamed pass
+(:func:`repro.schemes.population_audit.audit_population_grid`) versus
+the per-cell baseline that re-streams the population for every
+(budget, cost-scale) cell — same verdicts, one pass, flat RSS.
+
 Run via ``pytest benchmarks/bench_population_scale.py`` (the full
-sweep, ~1 minute of which 10^7 is most), or directly::
+sweep plus the grid comparison, a few minutes of which the per-cell
+baseline is most), or directly::
 
     PYTHONPATH=src python benchmarks/bench_population_scale.py --sizes 10000,1000000
 """
@@ -40,6 +47,14 @@ FAMILY_PARAMS = {"exponent": 1.9, "scale": 3.0}
 CHUNK_AGENTS = 131_072
 SEED = 2021
 
+#: The fused verdict-tensor comparison: every registered scheme audited
+#: at each (budget, cost-scale) cell over the largest swept population,
+#: once fused (one streamed pass) and once per cell (a fresh streamed
+#: audit per cell — the pre-fusion baseline).
+GRID_AGENTS = 10_000_000
+GRID_BUDGETS = (1.0, 1.5, 2.0)
+GRID_COST_SCALES = (0.5, 1.0, 2.0)
+
 
 def _child_payload(size: int, chunk_agents: int) -> Dict[str, object]:
     """Run one size's audit in-process and return its payload."""
@@ -57,16 +72,68 @@ def _child_payload(size: int, chunk_agents: int) -> Dict[str, object]:
     return result.to_payload()
 
 
-def _run_child(size: int, chunk_agents: int) -> Dict[str, object]:
+def _grid_child_payload(size: int, chunk_agents: int, mode: str) -> Dict[str, object]:
+    """Run the grid audit in-process, fused or per cell, and report timing."""
+    import time
+    from dataclasses import replace
+
+    from repro.analysis.scale import peak_rss_mb
+    from repro.populations import PopulationSpec
+    from repro.schemes.population_audit import (
+        PopulationAuditConfig,
+        audit_population_grid,
+        audit_populations,
+    )
+    from repro.schemes.registry import scheme_names
+
+    spec = PopulationSpec(
+        family=FAMILY, size=size, params=dict(FAMILY_PARAMS), seed=SEED
+    )
+    config = PopulationAuditConfig(chunk_agents=chunk_agents)
+    verdicts: Dict[str, bool] = {}
+    started = time.perf_counter()
+    if mode == "fused":
+        grid = audit_population_grid(
+            scheme_names(),
+            spec,
+            config,
+            budget_multipliers=GRID_BUDGETS,
+            cost_scales=GRID_COST_SCALES,
+        )
+        for (name, b, c), report in grid.reports.items():
+            verdicts[f"{name}@b{b:g}c{c:g}"] = report.certified
+    else:
+        for b in GRID_BUDGETS:
+            for c in GRID_COST_SCALES:
+                reports = audit_populations(
+                    scheme_names(),
+                    spec,
+                    replace(config, budget_multiplier=b, cost_scale=c),
+                )
+                for name, report in reports.items():
+                    verdicts[f"{name}@b{b:g}c{c:g}"] = report.certified
+    return {
+        "elapsed_s": time.perf_counter() - started,
+        "peak_rss_mb": peak_rss_mb(),
+        "verdicts": dict(sorted(verdicts.items())),
+    }
+
+
+def _run_child(
+    size: int, chunk_agents: int, grid_mode: str = ""
+) -> Dict[str, object]:
     """Measure one size in a fresh subprocess (honest per-size peak RSS)."""
     env = dict(os.environ)
     src = str(_REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    argv = [sys.executable, str(Path(__file__).resolve()), "--child", str(size),
+            "--chunk-agents", str(chunk_agents)]
+    if grid_mode:
+        argv += ["--grid-mode", grid_mode]
     completed = subprocess.run(
-        [sys.executable, str(Path(__file__).resolve()), "--child", str(size),
-         "--chunk-agents", str(chunk_agents)],
+        argv,
         capture_output=True,
         text=True,
         env=env,
@@ -99,7 +166,11 @@ def _monolithic_match(size: int = 10_000) -> bool:
     )
 
 
-def run_benchmark(sizes=DEFAULT_SIZES, chunk_agents: int = CHUNK_AGENTS) -> Dict[str, object]:
+def run_benchmark(
+    sizes=DEFAULT_SIZES,
+    chunk_agents: int = CHUNK_AGENTS,
+    grid_agents: int = GRID_AGENTS,
+) -> Dict[str, object]:
     """Sweep the sizes, verify the invariant, and write ``BENCH_scale.json``."""
     import numpy
 
@@ -122,6 +193,8 @@ def run_benchmark(sizes=DEFAULT_SIZES, chunk_agents: int = CHUNK_AGENTS) -> Dict
                 },
             }
         )
+    fused = _run_child(grid_agents, chunk_agents, grid_mode="fused")
+    per_cell = _run_child(grid_agents, chunk_agents, grid_mode="percell")
     payload = {
         "benchmark": "population-scale-chunked-audit",
         "date": datetime.date.today().isoformat(),
@@ -136,7 +209,9 @@ def run_benchmark(sizes=DEFAULT_SIZES, chunk_agents: int = CHUNK_AGENTS) -> Dict
             "per-size (fresh subprocess per size) and stays O(chunk) while "
             "population size grows 1000x.  monolithic_match asserts the "
             "chunked path reproduces the monolithic path's verdicts "
-            "bit-identically at 10^4 agents."
+            "bit-identically at 10^4 agents.  fused_grid times the one-pass "
+            "(scheme x budget x cost-scale) verdict tensor against the "
+            "per-cell baseline that re-streams the population per cell."
         ),
         "family": FAMILY,
         "family_params": FAMILY_PARAMS,
@@ -144,6 +219,18 @@ def run_benchmark(sizes=DEFAULT_SIZES, chunk_agents: int = CHUNK_AGENTS) -> Dict
         "schemes": sorted(rows[0]["certified"]) if rows else [],
         "monolithic_match_at_10k": _monolithic_match(),
         "sizes": rows,
+        "fused_grid": {
+            "n_agents": grid_agents,
+            "budget_multipliers": list(GRID_BUDGETS),
+            "cost_scales": list(GRID_COST_SCALES),
+            "cells_per_scheme": len(GRID_BUDGETS) * len(GRID_COST_SCALES),
+            "fused_elapsed_s": fused["elapsed_s"],
+            "fused_peak_rss_mb": fused["peak_rss_mb"],
+            "per_cell_elapsed_s": per_cell["elapsed_s"],
+            "per_cell_peak_rss_mb": per_cell["peak_rss_mb"],
+            "speedup": per_cell["elapsed_s"] / fused["elapsed_s"],
+            "verdicts_match": fused["verdicts"] == per_cell["verdicts"],
+        },
     }
     _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -165,6 +252,16 @@ def _format_report(payload: Dict[str, object]) -> str:
     lines.append(
         f"chunked == monolithic at 10^4: {payload['monolithic_match_at_10k']}"
     )
+    grid = payload["fused_grid"]
+    lines.append(
+        f"fused verdict tensor at {grid['n_agents']:,} agents x "
+        f"{grid['cells_per_scheme']} cells: "
+        f"{grid['fused_elapsed_s']:.1f}s fused vs "
+        f"{grid['per_cell_elapsed_s']:.1f}s per-cell "
+        f"({grid['speedup']:.2f}x, verdicts "
+        f"{'match' if grid['verdicts_match'] else 'DIVERGED'}, "
+        f"RSS {grid['fused_peak_rss_mb']:.0f} MiB)"
+    )
     lines.append(f"[written to {_BENCH_JSON}]")
     return "\n".join(lines)
 
@@ -178,6 +275,19 @@ def test_bench_population_scale(report):
     assert last["peak_rss_mb"] < 6 * first["peak_rss_mb"], (
         "peak RSS scaled with population size — the streaming contract broke"
     )
+    grid = payload["fused_grid"]
+    assert grid["verdicts_match"], (
+        "fused grid verdicts diverged from the per-cell baseline"
+    )
+    assert grid["speedup"] > 1.0, (
+        f"fused grid audit ({grid['fused_elapsed_s']:.1f}s) is not faster "
+        f"than the per-cell baseline ({grid['per_cell_elapsed_s']:.1f}s)"
+    )
+    # The fused pass shares the streamed chunks across cells, so its RSS
+    # stays in the same O(chunk) band as a single-cell audit.
+    assert grid["fused_peak_rss_mb"] < 6 * first["peak_rss_mb"], (
+        "fused grid audit RSS scaled with the number of cells"
+    )
     report(_format_report(payload))
 
 
@@ -186,15 +296,23 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--child", type=int, default=None,
                         help="internal: run one size in-process, print JSON")
+    parser.add_argument("--grid-mode", choices=("fused", "percell"), default="",
+                        help="internal: with --child, run the grid comparison")
     parser.add_argument("--sizes", default=",".join(str(s) for s in DEFAULT_SIZES),
                         help="comma-separated population sizes to sweep")
     parser.add_argument("--chunk-agents", type=int, default=CHUNK_AGENTS)
+    parser.add_argument("--grid-agents", type=int, default=GRID_AGENTS,
+                        help="population size of the fused-vs-per-cell grid run")
     args = parser.parse_args(argv)
     if args.child is not None:
-        json.dump(_child_payload(args.child, args.chunk_agents), sys.stdout)
+        if args.grid_mode:
+            payload = _grid_child_payload(args.child, args.chunk_agents, args.grid_mode)
+        else:
+            payload = _child_payload(args.child, args.chunk_agents)
+        json.dump(payload, sys.stdout)
         return 0
     sizes = tuple(int(token) for token in args.sizes.split(","))
-    payload = run_benchmark(sizes, args.chunk_agents)
+    payload = run_benchmark(sizes, args.chunk_agents, args.grid_agents)
     print(_format_report(payload))
     return 0
 

@@ -4,10 +4,13 @@ Re-measures the paired Figure 3 subset from ``bench_fastpath`` (both
 backends, identical seeds, on *this* machine — absolute wall-clock from
 another box would be meaningless) and fails when
 
-* the fast kernel no longer agrees with the DES record for record, or
+* the fast kernel no longer agrees with the DES record for record,
 * the measured fast-vs-DES speedup regresses more than the recorded
   tolerance below the ``ci_guard.min_speedup`` floor committed in
-  ``BENCH_des.json`` (default: fail below 8.0 * (1 - 0.25) = 6x).
+  ``BENCH_des.json`` (default: fail below 8.0 * (1 - 0.25) = 6x), or
+* the batched counter-mode VRF hot loop stops being bit-identical to
+  ``crypto.vrf_evaluate`` or its speedup over the per-key hashing loop
+  falls below the ``ci_guard.min_vrf_speedup`` floor (same tolerance).
 
 Usage::
 
@@ -23,7 +26,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from bench_fastpath import run_paired_subset  # noqa: E402
+from bench_fastpath import run_paired_subset, run_vrf_microbench  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -58,6 +61,22 @@ def main(argv=None) -> int:
         print(
             f"FAIL: fast-kernel speedup {speedup:.2f}x regressed below the "
             f"{floor:.2f}x drift floor"
+        )
+        return 1
+
+    vrf_exact, vrf_speedup = run_vrf_microbench()
+    vrf_floor = guard["min_vrf_speedup"] * (1.0 - guard["tolerance"])
+    print(
+        f"batched VRF: {'bit-identical' if vrf_exact else 'DIVERGED'}, "
+        f"{vrf_speedup:.2f}x vs per-key loop (floor {vrf_floor:.2f}x)"
+    )
+    if not vrf_exact:
+        print("FAIL: batched VRF diverged from crypto.vrf_evaluate")
+        return 1
+    if vrf_speedup < vrf_floor:
+        print(
+            f"FAIL: batched-VRF speedup {vrf_speedup:.2f}x regressed below "
+            f"the {vrf_floor:.2f}x drift floor"
         )
         return 1
     print("OK: no drift")

@@ -134,6 +134,12 @@ class RunOptions:
     schemes: tuple = ()
     #: Epoch count for the ``dynamics`` experiment (``None`` = preset).
     epochs: Optional[int] = None
+    #: Audit grid axes for the ``scale`` (fused verdict tensor) and
+    #: ``tournament`` (league audit operating points) experiments,
+    #: from repeatable ``--budget-multiplier`` / ``--cost-scale`` flags;
+    #: empty means each experiment's single default cell.
+    budget_multipliers: tuple = ()
+    cost_scales: tuple = ()
 
 
 @dataclass
@@ -267,17 +273,30 @@ def _run_scenarios(options: RunOptions) -> ExperimentOutcome:
 
 
 def _run_tournament(options: RunOptions) -> ExperimentOutcome:
-    from repro.schemes.tournament import TournamentConfig, run_tournament
+    from repro.schemes.tournament import (
+        TOURNAMENT_AUDIT,
+        TournamentConfig,
+        run_tournament,
+    )
 
     n_players, n_epochs, n_replications, simulate_rounds = _SCALES[options.scale][
         "tournament"
     ]
+    # Grid flags widen the league's audit operating points: every scheme
+    # must stay epsilon-IC at *all* requested (budget, cost-scale) cells
+    # to keep its IC margin.
+    audit = TOURNAMENT_AUDIT
+    if options.budget_multipliers:
+        audit = replace(audit, budget_multipliers=tuple(options.budget_multipliers))
+    if options.cost_scales:
+        audit = replace(audit, cost_scales=tuple(options.cost_scales))
     config = TournamentConfig(
         n_replications=n_replications,
         n_players=n_players,
         n_epochs=n_epochs,
         simulate_rounds=simulate_rounds,
         backend=options.backend,
+        audit=audit,
     )
     if options.seed is not None:
         config = replace(config, seed=options.seed)
@@ -322,8 +341,11 @@ def _run_scale(options: RunOptions) -> ExperimentOutcome:
     preset — 20k small, 10^6 bench, 10^7 paper) from the ``--family``
     generator, audits each requested scheme chunk by chunk in O(chunk)
     memory, samples a sortition committee from the same stream, and
-    renders the BENCH_scale-style table.  With ``--out``, writes
-    ``scale.csv`` and the machine-readable ``scale.json``.
+    renders the BENCH_scale-style table.  Repeatable
+    ``--budget-multiplier`` / ``--cost-scale`` flags widen the audit
+    into a fused grid: one streamed pass emits the whole
+    (scheme x budget x cost-scale) verdict tensor.  With ``--out``,
+    writes ``scale.csv`` and the machine-readable ``scale.json``.
     """
     from repro.analysis.scale import ScaleConfig, run_scale
 
@@ -338,6 +360,8 @@ def _run_scale(options: RunOptions) -> ExperimentOutcome:
         schemes=tuple(options.schemes),
         chunk_agents=options.chunk_agents,
         dtype=options.dtype,
+        budget_multipliers=tuple(options.budget_multipliers),
+        cost_scales=tuple(options.cost_scales),
     )
     if options.seed is not None:
         config = replace(config, seed=options.seed)
@@ -449,6 +473,8 @@ def run_experiment(
     dtype: str = "float64",
     schemes: tuple = (),
     epochs: Optional[int] = None,
+    budget_multipliers: tuple = (),
+    cost_scales: tuple = (),
 ) -> ExperimentOutcome:
     """Run one registered experiment by name."""
     if name not in EXPERIMENTS:
@@ -480,6 +506,8 @@ def run_experiment(
         dtype=dtype,
         schemes=schemes,
         epochs=epochs,
+        budget_multipliers=budget_multipliers,
+        cost_scales=cost_scales,
     )
     return EXPERIMENTS[name](options)
 
@@ -646,6 +674,29 @@ def main(argv=None) -> int:
         "foundation + role_based for 'dynamics')",
     )
     parser.add_argument(
+        "--budget-multiplier",
+        action="append",
+        type=float,
+        default=None,
+        dest="budget_multipliers",
+        metavar="X",
+        help="audit-grid budget axis for the 'scale' and 'tournament' "
+        "experiments (repeatable): multiples of the Theorem 3 bound to "
+        "audit at; 'scale' fuses all cells into one streamed verdict "
+        "tensor (default: 1.5)",
+    )
+    parser.add_argument(
+        "--cost-scale",
+        action="append",
+        type=float,
+        default=None,
+        dest="cost_scales",
+        metavar="X",
+        help="audit-grid cost axis for the 'scale' and 'tournament' "
+        "experiments (repeatable): role-cost scale factors to audit at "
+        "(default: 1.0)",
+    )
+    parser.add_argument(
         "--timings-json",
         type=Path,
         default=None,
@@ -728,6 +779,10 @@ def main(argv=None) -> int:
             dtype=args.dtype,
             schemes=tuple(args.schemes) if args.schemes else (),
             epochs=args.epochs,
+            budget_multipliers=(
+                tuple(args.budget_multipliers) if args.budget_multipliers else ()
+            ),
+            cost_scales=tuple(args.cost_scales) if args.cost_scales else (),
         )
         timings[name] = time.perf_counter() - started
         print(f"=== {outcome.name} ===")

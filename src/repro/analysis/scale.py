@@ -11,8 +11,14 @@ throughput (agents/second) and peak RSS versus population size —
     repro-runner scale --scale small                 # 20k agents, CI smoke
     repro-runner scale --agents 1000000 --chunk-agents 131072
     repro-runner scale --family lognormal --dtype float32 --out results/
+    repro-runner scale --budget-multiplier 1.0 --budget-multiplier 1.5 \
+        --cost-scale 1.0 --cost-scale 2.0           # fused verdict tensor
 
-The underlying engine guarantees verdicts are bit-identical at every
+Repeatable ``--budget-multiplier`` / ``--cost-scale`` flags widen the
+run into a fused grid audit: one streamed pass emits the whole
+(scheme x budget x cost-scale) verdict tensor
+(:func:`repro.schemes.population_audit.audit_population_grid`).  The
+underlying engine guarantees verdicts are bit-identical at every
 ``--chunk-agents`` (and to the monolithic path on sizes that fit); this
 module only arranges, times and renders.
 """
@@ -31,8 +37,9 @@ from repro.populations.arrays import DEFAULT_CHUNK_AGENTS
 from repro.populations.spec import PopulationSpec
 from repro.schemes.population_audit import (
     PopulationAuditConfig,
+    PopulationAuditGridResult,
     PopulationAuditReport,
-    audit_populations,
+    audit_population_grid,
 )
 from repro.schemes.registry import scheme_names
 
@@ -56,7 +63,11 @@ class ScaleConfig:
     ``schemes`` empty means "every registered scheme".  ``chunk_agents``
     is the streaming window (``None`` = the default chunk, *not*
     monolithic — use :class:`PopulationAuditConfig` directly for
-    monolithic cross-checks).
+    monolithic cross-checks).  ``budget_multipliers`` / ``cost_scales``
+    widen the run into a fused grid audit (one streamed pass emits the
+    whole scheme x budget x cost-scale verdict tensor); empty means the
+    single cell the ``audit`` config describes, and the first value of
+    each axis is the cell the legacy per-scheme table reports.
     """
 
     family: str = "zipf"
@@ -68,6 +79,8 @@ class ScaleConfig:
     seed: int = 2021
     committee_expected_size: float = 2000.0
     audit: PopulationAuditConfig = PopulationAuditConfig()
+    budget_multipliers: Tuple[float, ...] = ()
+    cost_scales: Tuple[float, ...] = ()
 
     def population_spec(self) -> PopulationSpec:
         """The population under audit, by reference."""
@@ -92,13 +105,30 @@ class ScaleConfig:
             raise ConfigurationError(f"chunk_agents must be >= 1, got {chunk}")
         return replace(self.audit, chunk_agents=chunk)
 
+    def grid_axes(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """The (budget multipliers, cost scales) axes actually audited."""
+        budgets = self.budget_multipliers or (self.audit.budget_multiplier,)
+        scales = self.cost_scales or (self.audit.cost_scale,)
+        return tuple(budgets), tuple(scales)
+
+    def is_grid(self) -> bool:
+        """Whether the run audits more than the single legacy cell."""
+        budgets, scales = self.grid_axes()
+        return len(budgets) > 1 or len(scales) > 1
+
 
 @dataclass
 class ScaleResult:
-    """Audit reports plus run-level throughput for one population."""
+    """Audit reports plus run-level throughput for one population.
+
+    ``reports`` holds the legacy per-scheme view — the grid's first
+    (budget, cost-scale) cell — while ``grid`` carries the full fused
+    verdict tensor for every cell the config requested.
+    """
 
     config: ScaleConfig
     reports: Dict[str, PopulationAuditReport]
+    grid: PopulationAuditGridResult
     committee_members: int
     committee_weight: int
     committee_agents_per_s: float
@@ -150,17 +180,47 @@ class ScaleResult:
             f"peak RSS {self.peak_rss_mb:.0f} MiB; "
             f"total {self.elapsed_s:.2f}s"
         )
+        if self.config.is_grid():
+            budgets, scales = self.config.grid_axes()
+            header = ["scheme"] + [
+                f"b={b:g} c={c:g}" for b in budgets for c in scales
+            ]
+            grid_rows = []
+            for name in self.grid.schemes:
+                cells = []
+                for b in budgets:
+                    for c in scales:
+                        report = self.grid.reports[(name, b, c)]
+                        verdict = "IC" if report.certified else "DEV"
+                        cells.append(f"{verdict} {report.ic_margin:+.2g}")
+                grid_rows.append((name, *cells))
+            table += "\n" + format_table(
+                header,
+                grid_rows,
+                title=(
+                    "Fused verdict tensor (IC margin per budget x cost-scale "
+                    "cell, one streamed pass)"
+                ),
+            )
         return table + "\n" + footer
 
     def to_csv(self, path: PathLike) -> None:
-        """Write the per-scheme verdict rows as CSV."""
+        """Write the verdict rows as CSV, one row per grid cell.
+
+        Single-cell runs produce the legacy one-row-per-scheme file plus
+        the two grid-axis columns; grid runs enumerate every cell in
+        canonical (scheme, budget, cost-scale) order.
+        """
         rows: List[Sequence[object]] = []
-        for name in self.config.scheme_list():
-            report = self.reports[name]
+        for cell in self.grid.cells():
+            name, budget, cost_scale = cell
+            report = self.grid.reports[cell]
             witness = report.witness
             rows.append(
                 (
                     name,
+                    budget,
+                    cost_scale,
                     self.config.family,
                     report.n_agents,
                     report.dtype,
@@ -178,6 +238,8 @@ class ScaleResult:
             path,
             (
                 "scheme",
+                "budget_multiplier",
+                "cost_scale",
                 "family",
                 "n_agents",
                 "dtype",
@@ -216,17 +278,39 @@ class ScaleResult:
                 }
                 for name, report in self.reports.items()
             },
+            **(
+                {"grid": self.grid.to_payload()} if self.config.is_grid() else {}
+            ),
         }
 
 
 def run_scale(config: ScaleConfig = ScaleConfig()) -> ScaleResult:
-    """Audit every requested scheme over one streamed population."""
+    """Audit every requested scheme (and grid cell) over one population.
+
+    Grid axes or not, the population is streamed exactly twice: the
+    fused engine broadcasts selection and synchrony across every
+    (budget, cost-scale) cell.  The legacy per-scheme ``reports`` view
+    is the grid's first cell, so single-cell payloads are unchanged.
+    """
     from repro.sim.fastpath import sample_committee_stream
 
     spec = config.population_spec()
     audit_config = config.audit_config()
+    budgets, scales = config.grid_axes()
     started = time.perf_counter()
-    reports = audit_populations(config.scheme_list(), spec, audit_config)
+    grid = audit_population_grid(
+        config.scheme_list(),
+        spec,
+        audit_config,
+        budget_multipliers=budgets,
+        cost_scales=scales,
+    )
+    reports = {
+        name: grid.reports[
+            (name, grid.budget_multipliers[0], grid.cost_scales[0])
+        ]
+        for name in grid.schemes
+    }
 
     committee_started = time.perf_counter()
     # The audit's selection pass already totalled the integer stake
@@ -242,6 +326,7 @@ def run_scale(config: ScaleConfig = ScaleConfig()) -> ScaleResult:
     return ScaleResult(
         config=config,
         reports=reports,
+        grid=grid,
         committee_members=committee.n_selected,
         committee_weight=committee.total_weight,
         committee_agents_per_s=(

@@ -54,8 +54,10 @@ from repro.schemes.audit import (
 )
 from repro.schemes.population_audit import (
     PopulationAuditConfig,
+    PopulationAuditGridResult,
     PopulationAuditReport,
     audit_population,
+    audit_population_grid,
     audit_populations,
 )
 
@@ -71,12 +73,14 @@ __all__ = [
     "PoolSpec",
     "PooledRule",
     "PopulationAuditConfig",
+    "PopulationAuditGridResult",
     "PopulationAuditReport",
     "RewardScheme",
     "RoleBasedScheme",
     "SchemeSplit",
     "WeightKind",
     "audit_population",
+    "audit_population_grid",
     "audit_populations",
     "audit_scheme",
     "audit_schemes",

@@ -29,13 +29,23 @@ blockwise, the chunked path is **bit-identical to the monolithic path**
 size; ``tests/properties/test_chunk_equivalence.py`` asserts it, and
 :func:`oracle_population_gains` cross-checks small populations against
 the scalar :class:`~repro.core.game.AlgorandGame` oracle.
+
+**Grid audits are fused.**  :func:`audit_population_grid` evaluates the
+whole (scheme x budget-multiplier x cost-scale) verdict tensor in the
+same two streamed passes: selection, synchrony draws and the top-k merge
+run once and are broadcast across every grid cell, pool totals and
+calibration are shared per cost scale, and the gain pass realizes each
+chunk once per cost scale before folding every cell's gains.  Each cell
+of the tensor is bit-identical to the single-cell audit of the same
+``(budget_multiplier, cost_scale)`` configuration —
+:func:`audit_populations` is now a one-cell view of the grid engine.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -322,11 +332,16 @@ def _merge_top_k(
 
     Candidates are ordered by ``(key, global index)``, so the merge is
     deterministic even under exactly tied keys.  Returns
-    ``(keys, index, *payload)`` trimmed to ``k`` entries.
+    ``(keys, index, *payload)`` trimmed to ``k`` entries.  Degenerate
+    ``k`` values are well defined: ``k <= 0`` selects nothing (an empty
+    row tuple, never a partition on index ``k - 1``), and ``k`` at or
+    above the candidate count passes every candidate through untrimmed.
     """
     rows = (keys, index) + payload
     if carry is not None:
         rows = tuple(np.concatenate([c, r]) for c, r in zip(carry, rows))
+    if k <= 0:
+        return tuple(row[:0] for row in rows)
     keys_all, index_all = rows[0], rows[1]
     if keys_all.size > k:
         # argpartition narrows to k candidates, lexsort settles exact order.
@@ -349,26 +364,62 @@ def _sync_mask(
     return draws < config.synchrony_rate
 
 
-def _build_structure(
+def _scaled_costs(config: PopulationAuditConfig, cost_scale: float) -> RoleCosts:
+    """Paper-default role costs scaled by one grid cell's ``cost_scale``."""
+    base = RoleCosts.paper_defaults()
+    return RoleCosts(
+        leader=base.leader * cost_scale,
+        committee=base.committee * cost_scale,
+        online=base.online * cost_scale,
+        sortition=base.sortition * cost_scale,
+    )
+
+
+def _cell_config(
+    config: PopulationAuditConfig, budget_multiplier: float, cost_scale: float
+) -> PopulationAuditConfig:
+    """The base config re-pinned to one (budget, cost-scale) grid cell."""
+    if (
+        budget_multiplier == config.budget_multiplier
+        and cost_scale == config.cost_scale
+    ):
+        return config
+    return replace(
+        config, budget_multiplier=budget_multiplier, cost_scale=cost_scale
+    )
+
+
+def _build_structure_grid(
     schemes: Sequence[RewardScheme],
     spec: PopulationSpec,
     config: PopulationAuditConfig,
-) -> _Structure:
-    """Pass 1: stream the population once; select, calibrate, total."""
+    budget_multipliers: Tuple[float, ...],
+    cost_scales: Tuple[float, ...],
+) -> Dict[Tuple[float, float], _Structure]:
+    """Pass 1, fused: one stream selects, calibrates and totals every cell.
+
+    Selection (the exponential race and its top-k merge), synchrony
+    draws, the defect census and the stake totals are cell-independent
+    and computed once.  Pool totals and the Theorem 3 calibration depend
+    on ``cost_scale`` only — they are accumulated per cost scale (and,
+    for schemes with no COST-kind pool, shared) — while
+    ``budget_multiplier`` enters only through the final
+    ``b_i = multiplier x optimum`` scalar.  Each returned
+    ``(budget_multiplier, cost_scale)`` cell is therefore bit-identical
+    to the structure :func:`_build_structure` builds for that cell's
+    single-cell config, at every chunk size.
+    """
     if spec.size < config.n_selected + 2:
         raise ConfigurationError(
             f"population of {spec.size} agents cannot host {config.n_leaders} "
             f"leaders and a committee of {config.committee_size}"
         )
     k = config.n_selected
-    base = RoleCosts.paper_defaults()
-    costs = RoleCosts(
-        leader=base.leader * config.cost_scale,
-        committee=base.committee * config.cost_scale,
-        online=base.online * config.cost_scale,
-        sortition=base.sortition * config.cost_scale,
-    )
-    cost_vec = np.array([costs.leader, costs.committee, costs.online])
+    costs_by = {cs: _scaled_costs(config, cs) for cs in cost_scales}
+    cost_vec_by = {
+        cs: np.array([costs.leader, costs.committee, costs.online])
+        for cs, costs in costs_by.items()
+    }
 
     total_stake = 0.0
     race_carry: Optional[Tuple[np.ndarray, ...]] = None
@@ -376,15 +427,26 @@ def _build_structure(
     defect_carry: Optional[Tuple[np.ndarray, ...]] = None
     defect_count = 0
     # Raw per-pool totals treat every agent as online crowd; the k
-    # selected agents are corrected afterwards (k is tiny).
-    raw_totals: Dict[str, np.ndarray] = {}
+    # selected agents are corrected afterwards (k is tiny).  Totals are
+    # keyed (scheme, cost_scale): COST-kind pool weights scale with the
+    # cell's role costs, and float multiplication does not distribute
+    # over the blockwise sums, so sharing raw totals across scales would
+    # break per-cell bit-identity.  Schemes with no COST pool accumulate
+    # once and fan out below.
+    raw_totals: Dict[Tuple[str, float], np.ndarray] = {}
 
     # The split is needed for pool *fractions* only; membership and
     # weights may not depend on it (same contract as the batch engine).
     # Use a placeholder split to expand structure, then recompute
     # fractions at the calibrated split below.
     placeholder = SchemeSplit(1.0 / 3.0, 1.0 / 3.0)
-    tables = {scheme.name: _pool_tables(scheme, placeholder) for scheme in schemes}
+    reference_tables = {
+        scheme.name: _pool_tables(scheme, placeholder) for scheme in schemes
+    }
+    cost_scaled = {
+        name: any(kind is WeightKind.COST for kind in table.kinds)
+        for name, table in reference_tables.items()
+    }
 
     total_stake_units = 0
     for chunk in _chunks(spec, config):
@@ -455,14 +517,26 @@ def _build_structure(
 
         roles_online = np.full(chunk.n_agents, _ONLINE, dtype=np.int8)
         for scheme in schemes:
-            table = tables[scheme.name]
-            weights = _pool_weights(
-                table, stake, cost_multiplier, roles_online, cost_vec
-            )
+            table = reference_tables[scheme.name]
             member = table.lookup[:, _ONLINE, :][:, actions]  # (P, n)
-            raw_totals[scheme.name] = blockwise_row_sums(
-                weights * member, start=raw_totals.get(scheme.name)
-            )
+            # Cost-independent schemes total once (first scale's slot).
+            scales = cost_scales if cost_scaled[scheme.name] else cost_scales[:1]
+            for cs in scales:
+                weights = _pool_weights(
+                    table, stake, cost_multiplier, roles_online, cost_vec_by[cs]
+                )
+                raw_totals[(scheme.name, cs)] = blockwise_row_sums(
+                    weights * member, start=raw_totals.get((scheme.name, cs))
+                )
+
+    # Fan cost-independent schemes' totals out to every scale's slot
+    # (fresh copies: the correction below mutates them in place).
+    for scheme in schemes:
+        if not cost_scaled[scheme.name]:
+            for cs in cost_scales[1:]:
+                raw_totals[(scheme.name, cs)] = raw_totals[
+                    (scheme.name, cost_scales[0])
+                ].copy()
 
     assert race_carry is not None
     _keys, sel_index, sel_stake, sel_cost, sel_sync, sel_action = race_carry
@@ -473,23 +547,27 @@ def _build_structure(
     # (with the action they would have played there) and join as
     # cooperating leaders/committee members.
     for scheme in schemes:
-        table = tables[scheme.name]
-        totals = raw_totals[scheme.name]
-        for j in range(k):
-            for p, kind in enumerate(table.kinds):
-                if kind is WeightKind.STAKE:
-                    old_w = new_w = float(sel_stake[j])
-                elif kind is WeightKind.EQUAL:
-                    old_w = new_w = 1.0
-                elif kind is WeightKind.STAKE_POWER:
-                    old_w = new_w = float(sel_stake[j] ** table.exponents[p])
-                else:
-                    old_w = float(cost_vec[_ONLINE] * sel_cost[j])
-                    new_w = float(cost_vec[int(selected_role[j])] * sel_cost[j])
-                if table.lookup[p, _ONLINE, int(sel_action[j])]:
-                    totals[p] -= old_w
-                if table.lookup[p, int(selected_role[j]), 0]:
-                    totals[p] += new_w
+        table = reference_tables[scheme.name]
+        for cs in cost_scales:
+            cost_vec = cost_vec_by[cs]
+            totals = raw_totals[(scheme.name, cs)]
+            for j in range(k):
+                for p, kind in enumerate(table.kinds):
+                    if kind is WeightKind.STAKE:
+                        old_w = new_w = float(sel_stake[j])
+                    elif kind is WeightKind.EQUAL:
+                        old_w = new_w = 1.0
+                    elif kind is WeightKind.STAKE_POWER:
+                        old_w = new_w = float(sel_stake[j] ** table.exponents[p])
+                    else:
+                        old_w = float(cost_vec[_ONLINE] * sel_cost[j])
+                        new_w = float(
+                            cost_vec[int(selected_role[j])] * sel_cost[j]
+                        )
+                    if table.lookup[p, _ONLINE, int(sel_action[j])]:
+                        totals[p] -= old_w
+                    if table.lookup[p, int(selected_role[j]), 0]:
+                        totals[p] += new_w
 
     leader_stakes = sel_stake[: config.n_leaders]
     committee_stakes = sel_stake[config.n_leaders :]
@@ -517,28 +595,6 @@ def _build_structure(
         min_committee=float(committee_stakes.min()),
         min_other=min_other,
     )
-    optimum = minimize_reward_analytic(costs, aggregates)
-    split = SchemeSplit(optimum.alpha, optimum.beta)
-    b_i = config.budget_multiplier * optimum.b_i
-
-    # Swap in each scheme's fractions at the calibrated split, verifying
-    # the structure did not change shape underneath us.
-    pool_totals: Dict[str, np.ndarray] = {}
-    for scheme in schemes:
-        calibrated = _pool_tables(scheme, split)
-        reference = tables[scheme.name]
-        if (
-            len(calibrated.kinds) != len(reference.kinds)
-            or not np.array_equal(calibrated.lookup, reference.lookup)
-            or calibrated.kinds != reference.kinds
-            or not np.array_equal(calibrated.exponents, reference.exponents)
-        ):
-            raise AuditError(
-                f"scheme {scheme.name!r} changes pool structure with the split; "
-                "only pool fractions may depend on (alpha, beta)"
-            )
-        tables[scheme.name] = calibrated
-        pool_totals[scheme.name] = raw_totals[scheme.name]
 
     # Correct the sync-defector census: selected agents perform their
     # role, so a selected agent's as-if-online defection does not break
@@ -557,24 +613,78 @@ def _build_structure(
                 break
 
     committee_stake_total = float(np.add.reduce(committee_stakes))
-    return _Structure(
-        config=config,
-        costs=costs,
-        selected_index=sel_index.astype(np.int64),
-        selected_role=selected_role,
-        selected_stake=sel_stake,
-        selected_cost=sel_cost,
-        split=split,
-        b_i=b_i,
-        total_stake=total_stake,
-        total_stake_units=total_stake_units,
-        pool_totals=pool_totals,
-        tables=tables,
-        committee_stake_total=committee_stake_total,
-        quorum_threshold=config.committee_quorum * committee_stake_total,
-        sync_defectors=sync_defectors,
-        sole_sync_defector=sole_sync_defector,
+    quorum_threshold = config.committee_quorum * committee_stake_total
+    selected_index = sel_index.astype(np.int64)
+
+    structures: Dict[Tuple[float, float], _Structure] = {}
+    for cs in cost_scales:
+        # Calibration (Algorithm 1's analytic optimizer) sees the scaled
+        # costs, so the split and the Theorem 3 bound are per cost scale.
+        optimum = minimize_reward_analytic(costs_by[cs], aggregates)
+        split = SchemeSplit(optimum.alpha, optimum.beta)
+
+        # Swap in each scheme's fractions at the calibrated split,
+        # verifying the structure did not change shape underneath us.
+        pool_totals: Dict[str, np.ndarray] = {}
+        tables: Dict[str, _PoolTables] = {}
+        for scheme in schemes:
+            calibrated = _pool_tables(scheme, split)
+            reference = reference_tables[scheme.name]
+            if (
+                len(calibrated.kinds) != len(reference.kinds)
+                or not np.array_equal(calibrated.lookup, reference.lookup)
+                or calibrated.kinds != reference.kinds
+                or not np.array_equal(calibrated.exponents, reference.exponents)
+            ):
+                raise AuditError(
+                    f"scheme {scheme.name!r} changes pool structure with the "
+                    "split; only pool fractions may depend on (alpha, beta)"
+                )
+            tables[scheme.name] = calibrated
+            pool_totals[scheme.name] = raw_totals[(scheme.name, cs)]
+
+        # Budget cells share everything but the b_i scalar: the selection
+        # arrays, totals and tables are referenced, not copied.
+        for b in budget_multipliers:
+            structures[(b, cs)] = _Structure(
+                config=_cell_config(config, b, cs),
+                costs=costs_by[cs],
+                selected_index=selected_index,
+                selected_role=selected_role,
+                selected_stake=sel_stake,
+                selected_cost=sel_cost,
+                split=split,
+                b_i=b * optimum.b_i,
+                total_stake=total_stake,
+                total_stake_units=total_stake_units,
+                pool_totals=pool_totals,
+                tables=tables,
+                committee_stake_total=committee_stake_total,
+                quorum_threshold=quorum_threshold,
+                sync_defectors=sync_defectors,
+                sole_sync_defector=sole_sync_defector,
+            )
+    return structures
+
+
+def _build_structure(
+    schemes: Sequence[RewardScheme],
+    spec: PopulationSpec,
+    config: PopulationAuditConfig,
+) -> _Structure:
+    """Pass 1: stream the population once; select, calibrate, total.
+
+    The single-cell view of :func:`_build_structure_grid` — one budget
+    multiplier, one cost scale, both taken from ``config``.
+    """
+    grid = _build_structure_grid(
+        schemes,
+        spec,
+        config,
+        (config.budget_multiplier,),
+        (config.cost_scale,),
     )
+    return grid[(config.budget_multiplier, config.cost_scale)]
 
 
 # -- pass 2: streamed deviation gains -----------------------------------------
@@ -608,6 +718,7 @@ def _chunk_context(
     chunk: PopulationArrays,
     stake: Optional[np.ndarray] = None,
     actions: Optional[np.ndarray] = None,
+    sync: Optional[np.ndarray] = None,
 ) -> _ChunkContext:
     """Realize one chunk's roles, synchrony and target-profile actions.
 
@@ -617,7 +728,11 @@ def _chunk_context(
     overrides ``stake`` (churned stakes) and ``actions`` (the epoch's
     realized strategy profile, 0=C / 1=D for *every* position including
     the selected agents, which revise by best response there instead of
-    performing unconditionally).
+    performing unconditionally).  The fused grid pass overrides ``sync``
+    with the chunk's pre-selection Bernoulli draws so one
+    :func:`_sync_mask` evaluation serves every grid cell; the draws are
+    copied before the selection mask is applied, so a shared array is
+    never mutated.
     """
     config = structure.config
     n = chunk.n_agents
@@ -637,7 +752,10 @@ def _chunk_context(
     )
     roles[local_selected] = structure.selected_role[in_chunk]
 
-    sync = _sync_mask(spec, config, chunk)
+    if sync is None:
+        sync = _sync_mask(spec, config, chunk)
+    else:
+        sync = np.array(sync, dtype=bool, copy=True)
     sync[roles != _ONLINE] = False
     if actions is None:
         actions = _online_actions(config, chunk, sync)
@@ -866,6 +984,243 @@ class _GainReducer:
         )
 
 
+@dataclass(frozen=True)
+class PopulationAuditGridResult:
+    """The fused verdict tensor over a (scheme x budget x cost-scale) grid.
+
+    One :func:`audit_population_grid` call streams the population exactly
+    twice — no matter how many grid cells it evaluates — and every cell's
+    :class:`PopulationAuditReport` is bit-identical to the single-cell
+    audit of the same configuration.  Axis order everywhere is
+    ``(scheme, budget_multiplier, cost_scale)``, in the (deduplicated)
+    order the caller supplied.
+    """
+
+    population: str
+    n_agents: int
+    dtype: str
+    target: str
+    schemes: Tuple[str, ...]
+    budget_multipliers: Tuple[float, ...]
+    cost_scales: Tuple[float, ...]
+    #: Per-cell verdicts keyed ``(scheme, budget_multiplier, cost_scale)``.
+    reports: Dict[Tuple[str, float, float], PopulationAuditReport]
+    elapsed_s: float
+
+    def report(
+        self, scheme: str, budget_multiplier: float, cost_scale: float
+    ) -> PopulationAuditReport:
+        """One cell's verdict, with a helpful error off the grid."""
+        key = (scheme, float(budget_multiplier), float(cost_scale))
+        try:
+            return self.reports[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"cell {key} is not on the audited grid "
+                f"(schemes={self.schemes}, budgets={self.budget_multipliers}, "
+                f"cost_scales={self.cost_scales})"
+            ) from None
+
+    def cells(self) -> Iterator[Tuple[str, float, float]]:
+        """Grid-cell keys in canonical (scheme, budget, cost-scale) order."""
+        for scheme in self.schemes:
+            for b in self.budget_multipliers:
+                for cs in self.cost_scales:
+                    yield (scheme, b, cs)
+
+    def max_gain_tensor(self) -> np.ndarray:
+        """Best deviation gain per cell, shape ``(S, B, C)`` float64."""
+        return np.array(
+            [
+                [
+                    [
+                        self.reports[(scheme, b, cs)].max_gain
+                        for cs in self.cost_scales
+                    ]
+                    for b in self.budget_multipliers
+                ]
+                for scheme in self.schemes
+            ],
+            dtype=np.float64,
+        )
+
+    def certified_tensor(self) -> np.ndarray:
+        """Epsilon-IC verdict per cell, shape ``(S, B, C)`` bool."""
+        return np.array(
+            [
+                [
+                    [
+                        self.reports[(scheme, b, cs)].certified
+                        for cs in self.cost_scales
+                    ]
+                    for b in self.budget_multipliers
+                ]
+                for scheme in self.schemes
+            ],
+            dtype=bool,
+        )
+
+    def witnesses(self) -> Dict[Tuple[str, float, float], DeviationWitness]:
+        """The profitable-deviation witness for every non-certified cell."""
+        return {
+            cell: report.witness
+            for cell, report in self.reports.items()
+            if report.witness is not None
+        }
+
+    def to_payload(self) -> Dict[str, object]:
+        """Deterministic JSON-ready form (timing excluded).
+
+        Cells appear in canonical order and carry
+        :meth:`PopulationAuditReport.verdict_dict` payloads, so two runs
+        of the same grid audit — at *any* chunk size — serialize to
+        byte-identical JSON.  The CI grid smoke compares exactly this.
+        """
+        return {
+            "population": self.population,
+            "n_agents": self.n_agents,
+            "dtype": self.dtype,
+            "target": self.target,
+            "schemes": list(self.schemes),
+            "budget_multipliers": list(self.budget_multipliers),
+            "cost_scales": list(self.cost_scales),
+            "cells": [
+                {
+                    "budget_multiplier": b,
+                    "cost_scale": cs,
+                    **self.reports[(scheme, b, cs)].verdict_dict(),
+                }
+                for scheme, b, cs in self.cells()
+            ],
+        }
+
+
+def _grid_axis(
+    label: str, values: Optional[Sequence[float]], default: float
+) -> Tuple[float, ...]:
+    """Validate one grid axis: positive finite floats, deduped in order."""
+    if values is None:
+        return (float(default),)
+    axis: List[float] = []
+    for value in values:
+        number = float(value)
+        if not math.isfinite(number) or number <= 0:
+            raise ConfigurationError(
+                f"{label} must be positive and finite, got {value!r}"
+            )
+        if number not in axis:
+            axis.append(number)
+    if not axis:
+        raise ConfigurationError(f"{label} axis is empty; pass at least one value")
+    return tuple(axis)
+
+
+def _resolve_unique(schemes: Sequence[SchemeLike]) -> List[RewardScheme]:
+    """Resolve an audit's scheme list: non-empty, deduped preserving order.
+
+    Duplicate names collapse to their first occurrence — repeating a
+    scheme cannot change its verdict, so doubling the work (or refusing
+    the request) would only punish programmatic callers that concatenate
+    scheme lists.  An empty request is a configuration error, reported
+    as such instead of surfacing a bare ``ZeroDivisionError`` from the
+    timing split.
+    """
+    resolved = [resolve_scheme(item) for item in schemes]
+    if not resolved:
+        raise ConfigurationError(
+            "audit request names no schemes; pass at least one"
+        )
+    unique: List[RewardScheme] = []
+    seen = set()
+    for item in resolved:
+        if item.name not in seen:
+            seen.add(item.name)
+            unique.append(item)
+    return unique
+
+
+def audit_population_grid(
+    schemes: Sequence[SchemeLike],
+    spec: PopulationSpec,
+    config: PopulationAuditConfig = PopulationAuditConfig(),
+    budget_multipliers: Optional[Sequence[float]] = None,
+    cost_scales: Optional[Sequence[float]] = None,
+) -> PopulationAuditGridResult:
+    """Audit a (scheme x budget x cost-scale) grid in one fused stream.
+
+    The whole verdict tensor costs the same two streamed passes as a
+    single audit: pass 1 selects, draws synchrony and totals pools for
+    every cell at once (:func:`_build_structure_grid`), and the gain
+    pass realizes each chunk's roles/synchrony/actions once per cost
+    scale — budget cells share the context and differ only in the
+    ``b_i`` scalar — before folding every cell's closed-form deviation
+    gains.  Memory stays O(chunk): the per-cell state carried across
+    chunks is one :class:`_GainReducer` (a few scalars and a witness).
+
+    ``budget_multipliers`` / ``cost_scales`` default to the single value
+    in ``config``; both axes are validated positive/finite and deduped
+    preserving order, as is the scheme list.
+    """
+    resolved = _resolve_unique(schemes)
+    budgets = _grid_axis(
+        "budget multiplier", budget_multipliers, config.budget_multiplier
+    )
+    scales = _grid_axis("cost scale", cost_scales, config.cost_scale)
+
+    started = time.perf_counter()
+    structures = _build_structure_grid(resolved, spec, config, budgets, scales)
+    reducers = {
+        (item.name, b, cs): _GainReducer(structures[(b, cs)])
+        for item in resolved
+        for b in budgets
+        for cs in scales
+    }
+    for chunk in _chunks(spec, config):
+        # Draw the chunk's synchrony Bernoullis and widen its stakes
+        # once; every cost scale re-derives its context (costs differ),
+        # and every budget cell shares that scale's context.
+        stake = chunk.stake64()
+        sync_draws = _sync_mask(spec, config, chunk)
+        for cs in scales:
+            ctx = _chunk_context(
+                structures[(budgets[0], cs)],
+                spec,
+                chunk,
+                stake=stake,
+                sync=sync_draws,
+            )
+            for item in resolved:
+                for b in budgets:
+                    reducers[(item.name, b, cs)].update(
+                        chunk,
+                        _chunk_gains(item.name, structures[(b, cs)], ctx),
+                        ctx.coop,
+                    )
+    # All cells are fused work; per-report throughput is the honest
+    # amortized figure (total wall-clock split evenly across cells).
+    elapsed = time.perf_counter() - started
+    share = elapsed / (len(resolved) * len(budgets) * len(scales))
+    reports = {
+        (item.name, b, cs): reducers[(item.name, b, cs)].report(
+            item.name, spec, structures[(b, cs)].config, share
+        )
+        for item in resolved
+        for b in budgets
+        for cs in scales
+    }
+    return PopulationAuditGridResult(
+        population=spec.describe(),
+        n_agents=spec.size,
+        dtype=spec.dtype,
+        target=config.target,
+        schemes=tuple(item.name for item in resolved),
+        budget_multipliers=budgets,
+        cost_scales=scales,
+        reports=reports,
+        elapsed_s=elapsed,
+    )
+
+
 def audit_populations(
     schemes: Sequence[SchemeLike],
     spec: PopulationSpec,
@@ -877,31 +1232,15 @@ def audit_populations(
     every scheme's pool totals; one chunk-major gain pass then generates
     each chunk once and evaluates all schemes on it before moving on —
     a paired comparison that streams the population exactly twice no
-    matter how many schemes are audited.
+    matter how many schemes are audited.  This is the one-cell view of
+    :func:`audit_population_grid` (the cell being ``config``'s own
+    budget multiplier and cost scale); the scheme list is deduplicated
+    preserving order and must be non-empty.
     """
-    resolved = [resolve_scheme(item) for item in schemes]
-    names = [item.name for item in resolved]
-    if len(set(names)) != len(names):
-        raise ConfigurationError(f"duplicate schemes in audit request: {names}")
-    started = time.perf_counter()
-    structure = _build_structure(resolved, spec, config)
-    reducers = {item.name: _GainReducer(structure) for item in resolved}
-    for chunk in _chunks(spec, config):
-        # Realize the chunk (RNG draws, roles, dtype widening) once;
-        # every scheme evaluates its gains on the shared context.
-        ctx = _chunk_context(structure, spec, chunk)
-        for item in resolved:
-            reducers[item.name].update(
-                chunk, _chunk_gains(item.name, structure, ctx), ctx.coop
-            )
-    # Both passes are shared work; per-report throughput is the honest
-    # amortized figure (total wall-clock split evenly across schemes).
-    elapsed_share = (time.perf_counter() - started) / len(resolved)
+    grid = audit_population_grid(schemes, spec, config)
     return {
-        item.name: reducers[item.name].report(
-            item.name, spec, config, elapsed_share
-        )
-        for item in resolved
+        name: grid.reports[(name, grid.budget_multipliers[0], grid.cost_scales[0])]
+        for name in grid.schemes
     }
 
 

@@ -127,6 +127,20 @@ class TournamentResult:
 
     # -- rendering ----------------------------------------------------------
 
+    def _audit_grid_label(self) -> str:
+        """Budget operating point(s) of the league audit, for headers.
+
+        A single multiplier renders as before (``1.5``); a grid of
+        operating points — from the runner's repeatable
+        ``--budget-multiplier`` flag — renders as the full axis
+        (``{1,1.5,2}``), since a scheme must certify at *every* cell to
+        keep its margin.
+        """
+        budgets = self.config.audit.budget_multipliers
+        if len(budgets) == 1:
+            return f"{budgets[0]:g}"
+        return "{" + ",".join(f"{b:g}" for b in budgets) + "}"
+
     def _rows(self) -> List[Tuple[object, ...]]:
         return [
             (
@@ -163,7 +177,7 @@ class TournamentResult:
                 f"Reward-scheme tournament — {len(self.standings)} schemes x "
                 f"{n_families} scenario families "
                 f"({self.config.n_replications} replications, "
-                f"audit at {self.config.audit.budget_multipliers[0]:g}x bound)"
+                f"audit at {self._audit_grid_label()}x bound)"
             ),
         )
         legends = [
@@ -181,7 +195,7 @@ class TournamentResult:
             f"{len(self.campaign.scenarios())} scenario families, "
             f"{self.config.n_replications} paired replications per cell; "
             f"epsilon-IC audited at "
-            f"{self.config.audit.budget_multipliers[0]:g}x the Theorem 3 "
+            f"{self._audit_grid_label()}x the Theorem 3 "
             f"bound (epsilon = {self.config.audit.epsilon:g}).",
             "",
             "| # | scheme | coop share | budget eff | IC margin | "

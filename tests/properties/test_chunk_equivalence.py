@@ -16,6 +16,8 @@ hypothesis-chosen populations and chunk sizes:
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -24,6 +26,7 @@ from repro.populations import SEED_BLOCK, PopulationArrays, PopulationSpec
 from repro.schemes.population_audit import (
     PopulationAuditConfig,
     audit_population,
+    audit_population_grid,
     iter_population_gains,
 )
 from repro.sim.fastpath import sample_committee_stream
@@ -97,6 +100,38 @@ def test_gain_tensor_identical_at_any_chunk_size(size, chunk, seed):
         [g for _, g, _ in iter_population_gains("hybrid", spec, chunk_cfg)]
     )
     assert np.array_equal(mono, chunked, equal_nan=True)
+
+
+@given(
+    family=_FAMILIES,
+    size=st.integers(min_value=60, max_value=2 * SEED_BLOCK + 300),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=8, deadline=None)
+def test_grid_verdict_tensor_identical_at_pinned_chunk_sizes(family, size, seed):
+    """The fused verdict tensor is byte-identical at every chunking.
+
+    Serializes the whole (scheme x budget x cost-scale) grid payload at
+    the pinned chunk sizes {1, 7, 8192, 16384} plus the monolithic path
+    and requires one identical byte string — the fused engine inherits
+    the blockwise-reduction contract cell for cell.
+    """
+    name, params = family
+    spec = PopulationSpec(family=name, size=size, params=params, seed=seed)
+    payloads = set()
+    for chunk in (1, 7, SEED_BLOCK, 2 * SEED_BLOCK, None):
+        config = PopulationAuditConfig(
+            n_leaders=2, committee_size=6, chunk_agents=chunk
+        )
+        grid = audit_population_grid(
+            ["foundation", "role_based", "hybrid"],
+            spec,
+            config,
+            budget_multipliers=(1.0, 1.5),
+            cost_scales=(1.0, 2.0),
+        )
+        payloads.add(json.dumps(grid.to_payload(), sort_keys=True))
+    assert len(payloads) == 1
 
 
 @given(

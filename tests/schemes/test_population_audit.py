@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -9,7 +11,9 @@ from repro.errors import ConfigurationError
 from repro.populations import SEED_BLOCK, PopulationSpec
 from repro.schemes.population_audit import (
     PopulationAuditConfig,
+    _merge_top_k,
     audit_population,
+    audit_population_grid,
     audit_populations,
     iter_population_gains,
     oracle_population_gains,
@@ -216,6 +220,136 @@ class TestPairedAudits:
             individual = audit_population(name, SPEC, CHUNKED)
             assert shared[name].verdict_dict() == individual.verdict_dict()
 
-    def test_duplicate_schemes_rejected(self):
-        with pytest.raises(ConfigurationError, match="duplicate"):
-            audit_populations(["irs", "irs"], SPEC, CHUNKED)
+    def test_duplicate_schemes_deduped_preserving_order(self):
+        deduped = audit_populations(["irs", "hybrid", "irs"], SPEC, CHUNKED)
+        assert list(deduped) == ["irs", "hybrid"]
+        clean = audit_populations(["irs", "hybrid"], SPEC, CHUNKED)
+        for name in clean:
+            assert deduped[name].verdict_dict() == clean[name].verdict_dict()
+
+    def test_empty_scheme_list_rejected(self):
+        with pytest.raises(ConfigurationError, match="no schemes"):
+            audit_populations([], SPEC, CHUNKED)
+
+
+class TestMergeTopK:
+    KEYS = np.array([3.0, 1.0, 2.0])
+    INDEX = np.arange(3, dtype=np.int64)
+
+    def test_k_zero_selects_nothing(self):
+        merged = _merge_top_k(None, self.KEYS, self.INDEX, (self.KEYS * 10,), 0)
+        assert len(merged) == 3
+        assert all(row.size == 0 for row in merged)
+
+    def test_k_zero_with_carry_selects_nothing(self):
+        carry = _merge_top_k(None, self.KEYS, self.INDEX, (), 2)
+        merged = _merge_top_k(carry, self.KEYS + 10.0, self.INDEX + 3, (), 0)
+        assert all(row.size == 0 for row in merged)
+
+    def test_k_above_candidate_count_passes_through_untrimmed(self):
+        merged = _merge_top_k(None, self.KEYS, self.INDEX, (), 10)
+        assert merged[0].tolist() == [1.0, 2.0, 3.0]
+        assert merged[1].tolist() == [1, 2, 0]
+
+    def test_k_exactly_candidate_count_passes_through(self):
+        merged = _merge_top_k(None, self.KEYS, self.INDEX, (), 3)
+        assert merged[0].tolist() == [1.0, 2.0, 3.0]
+
+
+class TestGridAudit:
+    BUDGETS = (1.0, 1.5)
+    SCALES = (1.0, 2.0)
+
+    def _grid(self, schemes=("foundation", "role_based", "hybrid")):
+        return audit_population_grid(
+            list(schemes),
+            SPEC,
+            CHUNKED,
+            budget_multipliers=self.BUDGETS,
+            cost_scales=self.SCALES,
+        )
+
+    def test_fused_cells_match_per_cell_audits_bitwise(self):
+        grid = self._grid(scheme_names())
+        for b in self.BUDGETS:
+            for c in self.SCALES:
+                cell_config = replace(
+                    CHUNKED, budget_multiplier=b, cost_scale=c
+                )
+                per_cell = audit_populations(scheme_names(), SPEC, cell_config)
+                for name, report in per_cell.items():
+                    assert (
+                        grid.reports[(name, b, c)].verdict_dict()
+                        == report.verdict_dict()
+                    ), (name, b, c)
+
+    def test_single_cell_grid_matches_audit_populations(self):
+        grid = audit_population_grid(["irs", "hybrid"], SPEC, CHUNKED)
+        flat = audit_populations(["irs", "hybrid"], SPEC, CHUNKED)
+        for name, report in flat.items():
+            assert (
+                grid.report(name, CHUNKED.budget_multiplier, CHUNKED.cost_scale)
+                .verdict_dict()
+                == report.verdict_dict()
+            )
+
+    def test_tensor_accessors_agree_with_reports(self):
+        grid = self._grid()
+        gains = grid.max_gain_tensor()
+        certified = grid.certified_tensor()
+        assert gains.shape == certified.shape == (3, 2, 2)
+        for s, name in enumerate(grid.schemes):
+            for i, b in enumerate(grid.budget_multipliers):
+                for j, c in enumerate(grid.cost_scales):
+                    report = grid.reports[(name, b, c)]
+                    assert gains[s, i, j] == report.max_gain
+                    assert certified[s, i, j] == report.certified
+
+    def test_witnesses_cover_exactly_the_uncertified_cells(self):
+        grid = self._grid()
+        witnesses = grid.witnesses()
+        for cell, report in grid.reports.items():
+            assert (cell in witnesses) == (report.witness is not None)
+
+    def test_cells_enumerate_in_canonical_order(self):
+        grid = self._grid()
+        cells = list(grid.cells())
+        assert cells[0] == ("foundation", 1.0, 1.0)
+        assert cells[-1] == ("hybrid", 1.5, 2.0)
+        assert len(cells) == len(grid.reports) == 12
+
+    def test_payload_lists_every_cell(self):
+        grid = self._grid()
+        payload = grid.to_payload()
+        assert payload["budget_multipliers"] == [1.0, 1.5]
+        assert payload["cost_scales"] == [1.0, 2.0]
+        assert len(payload["cells"]) == 12
+        assert "elapsed_s" not in payload
+
+    def test_off_grid_report_raises(self):
+        grid = self._grid()
+        with pytest.raises(ConfigurationError, match="not on the audited grid"):
+            grid.report("foundation", 9.9, 1.0)
+
+    def test_grid_axes_validated(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            audit_population_grid(
+                ["irs"], SPEC, CHUNKED, budget_multipliers=(1.0, -2.0)
+            )
+        with pytest.raises(ConfigurationError, match="positive"):
+            audit_population_grid(
+                ["irs"], SPEC, CHUNKED, cost_scales=(float("nan"),)
+            )
+        with pytest.raises(ConfigurationError, match="empty"):
+            audit_population_grid(["irs"], SPEC, CHUNKED, budget_multipliers=())
+
+    def test_grid_axes_deduped_preserving_order(self):
+        grid = audit_population_grid(
+            ["irs"],
+            SPEC,
+            CHUNKED,
+            budget_multipliers=(1.5, 1.0, 1.5),
+            cost_scales=(2.0, 2.0, 1.0),
+        )
+        assert grid.budget_multipliers == (1.5, 1.0)
+        assert grid.cost_scales == (2.0, 1.0)

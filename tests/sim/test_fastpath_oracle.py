@@ -104,15 +104,73 @@ class TestSharedPureFunctions:
 
 
 class TestVrfHotLoopExact:
-    def test_vrf_values_match_crypto_for_every_domain(self):
+    @pytest.mark.parametrize(
+        "round_seed, round_index",
+        [
+            (987_654_321, 5),
+            (0, 0),
+            (1, 1),
+            (2**63 - 1, 10_000),
+            (-(2**31), 3),
+        ],
+    )
+    def test_vrf_values_match_crypto_for_every_domain(self, round_seed, round_index):
+        """The batched counter-mode hasher is bit-identical to crypto.
+
+        Sweeps the proposer (0), step (1000+s), and final (2000+s) tag
+        domains across degenerate and extreme (seed, round) pairs — the
+        batched path must reproduce ``crypto.vrf_evaluate`` exactly, not
+        just statistically.
+        """
         simulation = FastSimulation(_paired_config(backend="fast"))
         for tag in (0, 1_000 + 1, 1_000 + 13, 2_000 + 10_000):
-            batch = simulation._vrf_values(987_654_321, 5, tag)
+            batch = simulation._vrf_values(round_seed, round_index, tag)
             reference = [
-                crypto.vrf_evaluate(keypair, 987_654_321, 5, tag).value
+                crypto.vrf_evaluate(keypair, round_seed, round_index, tag).value
                 for keypair in simulation._keypairs
             ]
             assert batch.tolist() == reference
+
+
+class TestProposeSubUnitWeight:
+    """Sortition weights in (0, 1) hold no whole sub-user slot."""
+
+    def _context(self, simulation) -> "RoundContext":
+        from repro.sim.node import RoundContext
+
+        config = simulation.config
+        return RoundContext(
+            round_index=1,
+            sortition_seed=simulation.sortition_seed,
+            total_stake=simulation.total_stake(),
+            tau_proposer=config.tau_proposer,
+            tau_step=config.tau_step,
+            tau_final=config.tau_final,
+            t_step=config.t_step,
+            t_final=config.t_final,
+            max_binary_steps=config.max_binary_steps,
+            coin_seed=simulation.sortition_seed,
+        )
+
+    def _propose_with_weight(self, weight: float):
+        simulation = FastSimulation(_paired_config(backend="fast"))
+        weights = np.zeros(simulation.config.n_nodes, dtype=np.float64)
+        weights[0] = weight
+        simulation._role_weights = lambda *args, **kwargs: weights
+        ctx = self._context(simulation)
+        stake_units = np.array(
+            [int(s) for s in simulation.stakes], dtype=np.int64
+        )
+        return simulation._propose(ctx, stake_units, ctx.total_stake)
+
+    def test_sub_one_weight_yields_no_proposal(self):
+        """Weight 0.5 truncates to zero sub-users: skip, don't raise."""
+        assert self._propose_with_weight(0.5) == []
+
+    def test_whole_weight_still_proposes(self):
+        proposals = self._propose_with_weight(1.0)
+        assert len(proposals) == 1
+        assert proposals[0].sender == 0
 
 
 # -- paired-seed differential comparisons ------------------------------------
