@@ -11,10 +11,12 @@ differential oracle.  This benchmark
 * times the full bench-scale Figure 3 campaign on the fast kernel
   against the recorded seed baseline (98.2s serial, BENCH_sweep.json),
 * times a small scenario campaign with ``simulate_rounds`` raised 10x,
-  and
+* measures the telemetry tax on the kernel — enabled-registry rounds vs
+  null-registry rounds, interleaved min-of-reps — and
 * writes every measurement to ``BENCH_des.json`` at the repo root — the
   file the CI drift guard (``benchmarks/check_fastpath_drift.py``)
-  checks against.
+  checks against — including the merged telemetry snapshot of the
+  instrumented measurements under a ``telemetry`` key.
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ from repro.analysis.reward_comparison import (
 )
 from repro.scenarios import ScenarioCampaignConfig, run_scenarios_campaign
 from repro.sim import AlgorandSimulation, FastSimulation, SimulationConfig, crypto
+from repro.telemetry import capture, span
 
 _BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_des.json"
 
@@ -66,6 +69,21 @@ _GUARD_MIN_VRF_SPEEDUP = 1.6
 #: Shape of the VRF microbench: keys per sortition call and evaluations.
 _VRF_NODES = 120
 _VRF_REPS = 40
+
+#: Telemetry tax the CI box must stay under: enabled-registry rounds may
+#: cost at most this fraction more than null-registry rounds.  Disabled
+#: mode does strictly less work than enabled mode (the same branch
+#: checks, none of the observations), so this also bounds the disabled
+#: overhead the default configuration pays.  The measured median tax is
+#: ~1.3%; the ceiling carries headroom because single estimates on a
+#: shared runner wander by a few percent either way even under the
+#: order-alternating median-of-ratios estimator.
+_GUARD_MAX_TELEMETRY_OVERHEAD = 0.03
+
+#: Shape of the telemetry-overhead microbench: rounds per measurement
+#: and order-alternating measurement pairs (median-of-ratios estimator).
+_TELEMETRY_ROUNDS = 10
+_TELEMETRY_REPS = 15
 
 
 def _machine() -> str:
@@ -137,6 +155,49 @@ def run_vrf_microbench(n_nodes: int = _VRF_NODES, reps: int = _VRF_REPS):
     return bit_identical, naive_s / batched_s
 
 
+def run_telemetry_overhead_microbench(
+    rounds: int = _TELEMETRY_ROUNDS, reps: int = _TELEMETRY_REPS
+):
+    """Fast-kernel rounds with a live registry vs the null registry.
+
+    Runs ``reps`` *pairs* of measurements — one mode, then the other,
+    alternating which goes first so warm-up and frequency drift cancel —
+    and takes the **median** of the per-pair enabled/disabled ratios
+    (robust to the occasional pair disturbed by the machine; a global
+    min would compare timings from different thermal moments).  A fresh
+    :class:`FastSimulation` is built per measurement inside its mode's
+    registry context, because instruments resolve at construction.
+    Returns ``(disabled_s, enabled_s, overhead)`` where ``disabled_s`` /
+    ``enabled_s`` are each mode's minimum and ``overhead`` is the median
+    paired ratio minus one; disabled mode does strictly less per-round
+    work than enabled mode, so the measured overhead is an upper bound
+    on the tax the default (telemetry-off) configuration pays for the
+    instrumentation hooks.
+    """
+    import statistics
+
+    def measure(enabled: bool) -> float:
+        if enabled:
+            with capture():
+                return measure(False)
+        simulation = FastSimulation(_paired_config(0.05, 0, "fast"))
+        start = time.perf_counter()
+        simulation.run(rounds)
+        return time.perf_counter() - start
+
+    best = {False: float("inf"), True: float("inf")}
+    ratios = []
+    for rep in range(reps):
+        order = (False, True) if rep % 2 == 0 else (True, False)
+        pair = {}
+        for mode in order:
+            pair[mode] = measure(mode)
+            best[mode] = min(best[mode], pair[mode])
+        ratios.append(pair[True] / pair[False])
+    overhead = statistics.median(ratios) - 1.0
+    return best[False], best[True], overhead
+
+
 def test_bench_fastpath_vs_des(benchmark, report):
     """All fast-kernel measurements, recorded to BENCH_des.json."""
     # 1. Paired subset: both backends, identical seeds, must agree.
@@ -147,36 +208,52 @@ def test_bench_fastpath_vs_des(benchmark, report):
     paired_speedup = des_s / fast_s
     agreement = des_records == fast_records
 
-    # 2. Full bench-scale Figure 3 campaign on the fast kernel.
-    fig3_config = DefectionExperimentConfig(
-        n_runs=3, n_rounds=12, n_nodes=60, backend="fast"
-    )
-    start = time.perf_counter()
-    fig3 = run_defection_experiment(fig3_config, workers=1)
-    fig3_fast_s = time.perf_counter() - start
-    problems = shape_assertions(fig3)
+    # Sections 2, 3 and 5 run inside one captured registry: spans replace
+    # the hand-rolled perf_counter pairs, and the merged snapshot (kernel
+    # round/VRF metrics included) lands in the payload's telemetry key.
+    with capture() as telemetry_registry:
+        # 2. Full bench-scale Figure 3 campaign on the fast kernel.
+        fig3_config = DefectionExperimentConfig(
+            n_runs=3, n_rounds=12, n_nodes=60, backend="fast"
+        )
+        with span("bench.fig3_campaign") as timer:
+            fig3 = run_defection_experiment(fig3_config, workers=1)
+        fig3_fast_s = timer.elapsed_s
+        problems = shape_assertions(fig3)
 
-    # 3. Scenario campaign with simulate_rounds raised 10x over the small
-    #    scale default (2 -> 20), on the fast kernel.
-    campaign_config = ScenarioCampaignConfig(
-        n_replications=2, n_players=28, n_epochs=10, simulate_rounds=20, backend="fast"
-    )
-    start = time.perf_counter()
-    run_scenarios_campaign(campaign_config, workers=1)
-    campaign_fast_s = time.perf_counter() - start
+        # 3. Scenario campaign with simulate_rounds raised 10x over the small
+        #    scale default (2 -> 20), on the fast kernel.
+        campaign_config = ScenarioCampaignConfig(
+            n_replications=2,
+            n_players=28,
+            n_epochs=10,
+            simulate_rounds=20,
+            backend="fast",
+        )
+        with span("bench.scenario_campaign") as timer:
+            run_scenarios_campaign(campaign_config, workers=1)
+        campaign_fast_s = timer.elapsed_s
+
+        # 5. Figure 7(c) for the record: analytic in the stake vector, so the
+        #    backend switch leaves it untouched — timed to document that the
+        #    fast-kernel change did not perturb the non-simulator figures.
+        with span("bench.fig7c") as timer:
+            run_truncation_experiment(
+                RewardComparisonConfig(n_nodes=50_000, n_instances=2, n_rounds=2),
+                workers=1,
+            )
+        fig7c_s = timer.elapsed_s
+    telemetry_snapshot = telemetry_registry.snapshot()
 
     # 4. Batched-VRF hot loop: bit-identity plus speedup over the naive
-    #    per-key hashing loop it replaced.
+    #    per-key hashing loop it replaced.  Runs outside the captured
+    #    registry so the speedup compares uninstrumented timings.
     vrf_exact, vrf_speedup = run_vrf_microbench()
 
-    # 5. Figure 7(c) for the record: analytic in the stake vector, so the
-    #    backend switch leaves it untouched — timed to document that the
-    #    fast-kernel change did not perturb the non-simulator figures.
-    start = time.perf_counter()
-    run_truncation_experiment(
-        RewardComparisonConfig(n_nodes=50_000, n_instances=2, n_rounds=2), workers=1
+    # 6. Telemetry tax on the kernel: null registry vs live registry.
+    tel_disabled_s, tel_enabled_s, tel_overhead = (
+        run_telemetry_overhead_microbench()
     )
-    fig7c_s = time.perf_counter() - start
 
     table = format_table(
         ("measurement", "des", "fast", "speedup"),
@@ -204,6 +281,12 @@ def test_bench_fastpath_vs_des(benchmark, report):
                 "-",
                 "bit-identical" if vrf_exact else "DIVERGED",
                 f"{vrf_speedup:.2f}x",
+            ),
+            (
+                "telemetry on vs off",
+                f"{tel_disabled_s * 1000:.1f}ms off",
+                f"{tel_enabled_s * 1000:.1f}ms on",
+                f"{tel_overhead:+.2%}",
             ),
         ],
         title="Fast kernel vs discrete-event simulator",
@@ -261,11 +344,20 @@ def test_bench_fastpath_vs_des(benchmark, report):
             "bit_identical": vrf_exact,
             "speedup_vs_per_key_loop": vrf_speedup,
         },
+        "telemetry_overhead": {
+            "rounds": _TELEMETRY_ROUNDS,
+            "reps": _TELEMETRY_REPS,
+            "disabled_s": tel_disabled_s,
+            "enabled_s": tel_enabled_s,
+            "overhead": tel_overhead,
+        },
         "ci_guard": {
             "min_speedup": _GUARD_MIN_SPEEDUP,
             "min_vrf_speedup": _GUARD_MIN_VRF_SPEEDUP,
             "tolerance": _GUARD_TOLERANCE,
+            "max_telemetry_overhead": _GUARD_MAX_TELEMETRY_OVERHEAD,
         },
+        "telemetry": telemetry_snapshot,
     }
     _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -27,7 +27,6 @@ import platform
 import resource
 import subprocess
 import sys
-import time
 from pathlib import Path
 from typing import Dict, List
 
@@ -68,21 +67,23 @@ def _dynamics_spec(size: int, chunk_agents, epochs: int = EPOCHS):
 def _child_payload(size: int, chunk_agents: int) -> Dict[str, object]:
     """Run one size's two-scheme evolution in-process; return its payload."""
     from repro.scenarios.population_dynamics import run_population_dynamics
+    from repro.telemetry import capture, span
 
     spec = _dynamics_spec(size, chunk_agents)
-    started = time.perf_counter()
     schemes: Dict[str, Dict[str, object]] = {}
-    for scheme in SCHEMES:
-        trajectory = run_population_dynamics(spec, scheme)
-        final = trajectory.records[-1]
-        blocks = trajectory.block_series()
-        schemes[scheme] = {
-            "final_defection": final.defection_share,
-            "block_rate": sum(blocks) / len(blocks),
-            "final_block": final.block_success,
-            "budget_efficiency": final.budget_efficiency,
-        }
-    elapsed = time.perf_counter() - started
+    with capture() as registry:
+        with span("bench.dynamics_sweep", agents=size) as timer:
+            for scheme in SCHEMES:
+                trajectory = run_population_dynamics(spec, scheme)
+                final = trajectory.records[-1]
+                blocks = trajectory.block_series()
+                schemes[scheme] = {
+                    "final_defection": final.defection_share,
+                    "block_rate": sum(blocks) / len(blocks),
+                    "final_block": final.block_success,
+                    "budget_efficiency": final.budget_efficiency,
+                }
+    elapsed = timer.elapsed_s
     peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
     return {
         "n_agents": size,
@@ -91,6 +92,7 @@ def _child_payload(size: int, chunk_agents: int) -> Dict[str, object]:
         "peak_rss_mb": peak_rss_mb,
         "agent_epochs_per_second": size * EPOCHS * len(SCHEMES) / elapsed,
         "schemes": schemes,
+        "telemetry": registry.snapshot(),
     }
 
 
@@ -131,9 +133,14 @@ def run_benchmark(sizes=DEFAULT_SIZES, chunk_agents: int = CHUNK_AGENTS) -> Dict
     """Sweep the sizes, verify the invariants, write ``BENCH_dynamics.json``."""
     import numpy
 
+    from repro.telemetry import merge_snapshots
+
     rows: List[Dict[str, object]] = []
+    snapshots: List[Dict[str, object]] = []
     for size in sizes:
-        rows.append(_run_child(size, chunk_agents))
+        row = _run_child(size, chunk_agents)
+        snapshots.append(row.pop("telemetry"))
+        rows.append(row)
     payload = {
         "benchmark": "population-dynamics-streamed-epochs",
         "date": datetime.date.today().isoformat(),
@@ -156,6 +163,7 @@ def run_benchmark(sizes=DEFAULT_SIZES, chunk_agents: int = CHUNK_AGENTS) -> Dict
         "schemes": list(SCHEMES),
         "chunk_invariance_at_20k": _chunk_invariance(),
         "sizes": rows,
+        "telemetry": merge_snapshots(snapshots),
     }
     _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     return payload

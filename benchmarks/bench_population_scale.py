@@ -59,22 +59,25 @@ GRID_COST_SCALES = (0.5, 1.0, 2.0)
 def _child_payload(size: int, chunk_agents: int) -> Dict[str, object]:
     """Run one size's audit in-process and return its payload."""
     from repro.analysis.scale import ScaleConfig, run_scale
+    from repro.telemetry import capture
 
-    result = run_scale(
-        ScaleConfig(
-            family=FAMILY,
-            family_params=dict(FAMILY_PARAMS),
-            n_agents=size,
-            chunk_agents=chunk_agents,
-            seed=SEED,
+    with capture() as registry:
+        result = run_scale(
+            ScaleConfig(
+                family=FAMILY,
+                family_params=dict(FAMILY_PARAMS),
+                n_agents=size,
+                chunk_agents=chunk_agents,
+                seed=SEED,
+            )
         )
-    )
-    return result.to_payload()
+    payload = dict(result.to_payload())
+    payload["telemetry"] = registry.snapshot()
+    return payload
 
 
 def _grid_child_payload(size: int, chunk_agents: int, mode: str) -> Dict[str, object]:
     """Run the grid audit in-process, fused or per cell, and report timing."""
-    import time
     from dataclasses import replace
 
     from repro.analysis.scale import peak_rss_mb
@@ -85,37 +88,40 @@ def _grid_child_payload(size: int, chunk_agents: int, mode: str) -> Dict[str, ob
         audit_populations,
     )
     from repro.schemes.registry import scheme_names
+    from repro.telemetry import capture, span
 
     spec = PopulationSpec(
         family=FAMILY, size=size, params=dict(FAMILY_PARAMS), seed=SEED
     )
     config = PopulationAuditConfig(chunk_agents=chunk_agents)
     verdicts: Dict[str, bool] = {}
-    started = time.perf_counter()
-    if mode == "fused":
-        grid = audit_population_grid(
-            scheme_names(),
-            spec,
-            config,
-            budget_multipliers=GRID_BUDGETS,
-            cost_scales=GRID_COST_SCALES,
-        )
-        for (name, b, c), report in grid.reports.items():
-            verdicts[f"{name}@b{b:g}c{c:g}"] = report.certified
-    else:
-        for b in GRID_BUDGETS:
-            for c in GRID_COST_SCALES:
-                reports = audit_populations(
+    with capture() as registry:
+        with span(f"bench.grid_{mode}", agents=size) as timer:
+            if mode == "fused":
+                grid = audit_population_grid(
                     scheme_names(),
                     spec,
-                    replace(config, budget_multiplier=b, cost_scale=c),
+                    config,
+                    budget_multipliers=GRID_BUDGETS,
+                    cost_scales=GRID_COST_SCALES,
                 )
-                for name, report in reports.items():
+                for (name, b, c), report in grid.reports.items():
                     verdicts[f"{name}@b{b:g}c{c:g}"] = report.certified
+            else:
+                for b in GRID_BUDGETS:
+                    for c in GRID_COST_SCALES:
+                        reports = audit_populations(
+                            scheme_names(),
+                            spec,
+                            replace(config, budget_multiplier=b, cost_scale=c),
+                        )
+                        for name, report in reports.items():
+                            verdicts[f"{name}@b{b:g}c{c:g}"] = report.certified
     return {
-        "elapsed_s": time.perf_counter() - started,
+        "elapsed_s": timer.elapsed_s,
         "peak_rss_mb": peak_rss_mb(),
         "verdicts": dict(sorted(verdicts.items())),
+        "telemetry": registry.snapshot(),
     }
 
 
@@ -174,9 +180,13 @@ def run_benchmark(
     """Sweep the sizes, verify the invariant, and write ``BENCH_scale.json``."""
     import numpy
 
+    from repro.telemetry import merge_snapshots
+
     rows: List[Dict[str, object]] = []
+    snapshots: List[Dict[str, object]] = []
     for size in sizes:
         payload = _run_child(size, chunk_agents)
+        snapshots.append(payload.pop("telemetry"))
         schemes = payload["schemes"]
         mean_throughput = sum(
             entry["agents_per_second"] for entry in schemes.values()
@@ -195,6 +205,9 @@ def run_benchmark(
         )
     fused = _run_child(grid_agents, chunk_agents, grid_mode="fused")
     per_cell = _run_child(grid_agents, chunk_agents, grid_mode="percell")
+    # Child order is deterministic (sweep order, then fused, then per-cell),
+    # so the merged snapshot is too.
+    snapshots += [fused.pop("telemetry"), per_cell.pop("telemetry")]
     payload = {
         "benchmark": "population-scale-chunked-audit",
         "date": datetime.date.today().isoformat(),
@@ -231,6 +244,7 @@ def run_benchmark(
             "speedup": per_cell["elapsed_s"] / fused["elapsed_s"],
             "verdicts_match": fused["verdicts"] == per_cell["verdicts"],
         },
+        "telemetry": merge_snapshots(snapshots),
     }
     _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     return payload

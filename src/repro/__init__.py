@@ -25,6 +25,10 @@ The package has five layers:
 * :mod:`repro.scenarios` — declarative scenario families and the
   iterated-game campaigns evaluating every scheme's participation
   dynamics.
+* :mod:`repro.telemetry` — zero-dependency observability: an in-process
+  metrics registry (counters, gauges, log-bucket histograms), span-based
+  tracing, multiprocessing-safe snapshot merging, and Prometheus/JSON
+  exposition.  Off by default with near-zero overhead.
 """
 
 import importlib as _importlib
@@ -67,6 +71,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing aid only
         register_scheme,
         scheme_names,
     )
+    from repro.telemetry import MetricsRegistry, capture, get_registry, span
 
 #: Registry re-exports resolved lazily (PEP 562): the scenario and scheme
 #: packages pull in numpy/scipy and the experiment drivers, which light
@@ -85,6 +90,10 @@ _LAZY_EXPORTS = {
     "get_scheme": "repro.schemes",
     "register_scheme": "repro.schemes",
     "scheme_names": "repro.schemes",
+    "MetricsRegistry": "repro.telemetry",
+    "capture": "repro.telemetry",
+    "get_registry": "repro.telemetry",
+    "span": "repro.telemetry",
 }
 
 
@@ -108,6 +117,7 @@ __all__ = [
     "GameError",
     "InfeasibleRewardError",
     "MechanismError",
+    "MetricsRegistry",
     "PopulationArrays",
     "PopulationSpec",
     "ReproError",
@@ -116,7 +126,9 @@ __all__ = [
     "SchemeError",
     "SimulationError",
     "__version__",
+    "capture",
     "family_names",
+    "get_registry",
     "get_scenario",
     "get_scheme",
     "population_family",
@@ -124,4 +136,5 @@ __all__ = [
     "register_scheme",
     "scenario_names",
     "scheme_names",
+    "span",
 ]

@@ -22,7 +22,19 @@ Features:
   only computes missing shards, which makes interrupted campaigns
   resumable: kill the process at shard 40/100, run again, and the first
   40 shards load from disk.  Cache writes are atomic (tmp file + rename).
-* Progress reporting to stderr (``[fig3] 12/18 shards, 3 cached, 41.2s``).
+* Progress reporting through the ``repro.progress`` logger — an
+  in-place stderr line (``[fig3] 12/18 shards, 3 cached, 41.2s``) when
+  enabled, silenced by raising the logger level.
+* **Telemetry aggregation**: when the parent process has telemetry
+  enabled (:func:`repro.telemetry.enable`), each worker runs its shard
+  inside a private :func:`~repro.telemetry.runtime.capture` registry and
+  ships the snapshot back on the :class:`ShardOutcome`.  The parent
+  merges snapshots in *canonical shard order* after the run — counters
+  sum, histogram buckets add, gauges keep the last shard's value — so
+  merged metrics are identical at any ``--workers`` count.  Snapshots
+  never touch the shard cache: cache keys hash only sweep parameters and
+  cached payloads carry only results, so telemetry-on and telemetry-off
+  runs produce byte-identical experiment output.
 
 Shard functions must be module-level callables taking ``(params, seed)``
 and returning JSON-serializable data — both requirements come from the
@@ -33,6 +45,7 @@ across processes and sessions.
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
 import os
 import sys
@@ -44,12 +57,61 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.analysis.sweep import Shard, SweepSpec
 from repro.errors import OrchestrationError
+from repro.telemetry.metrics import DEFAULT_TIME_BUCKETS
+from repro.telemetry.runtime import capture, get_registry
 
 #: A shard task: ``(params, seed) -> JSON-serializable result``.
 ShardTask = Callable[[Mapping[str, Any], int], Any]
 
 #: Cache format version; bump when the payload layout changes.
 _CACHE_FORMAT = 1
+
+#: The progress logger: in-place stderr updates ride on ``logging`` so
+#: ``--no-progress`` (or any embedding application) can silence them by
+#: level instead of monkey-patching streams.
+PROGRESS_LOGGER_NAME = "repro.progress"
+
+_progress_logger = logging.getLogger(PROGRESS_LOGGER_NAME)
+
+
+class _InPlaceStreamHandler(logging.StreamHandler):
+    """A stderr handler that rewrites one line instead of appending.
+
+    Messages are emitted with no terminator and a leading ``\\r`` added by
+    the callers, so successive progress reports overwrite each other the
+    way the previous print-based reporter did.
+    """
+
+    terminator = ""
+
+
+def configure_progress_logging(
+    enabled: bool = True, stream: Any = None
+) -> logging.Logger:
+    """Route orchestrator progress through ``logging`` and return the logger.
+
+    Idempotent: attaches one :class:`_InPlaceStreamHandler` (stderr by
+    default) the first time and re-points its stream afterwards.
+    ``enabled=False`` keeps the handler but raises the logger level to
+    ``WARNING`` — the ``--no-progress`` behaviour.
+    """
+    handler = next(
+        (
+            existing
+            for existing in _progress_logger.handlers
+            if isinstance(existing, _InPlaceStreamHandler)
+        ),
+        None,
+    )
+    if handler is None:
+        handler = _InPlaceStreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        _progress_logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    _progress_logger.propagate = False
+    _progress_logger.setLevel(logging.INFO if enabled else logging.WARNING)
+    return _progress_logger
 
 
 def resolve_workers(workers: Union[int, str, None]) -> int:
@@ -72,12 +134,19 @@ def resolve_workers(workers: Union[int, str, None]) -> int:
 
 @dataclass(frozen=True)
 class ShardOutcome:
-    """One shard's result plus execution metadata."""
+    """One shard's result plus execution metadata.
+
+    ``telemetry`` is the worker-side metrics snapshot captured around the
+    shard's execution, or ``None`` for cached shards and telemetry-off
+    runs.  It rides on the outcome — never through the shard cache — so
+    cached payloads stay byte-identical whether telemetry is on or off.
+    """
 
     shard: Shard
     result: Any
     cached: bool
     elapsed: float
+    telemetry: Optional[Mapping[str, Any]] = None
 
 
 @dataclass
@@ -118,24 +187,42 @@ class SweepResult:
         return matches[0]
 
 
-def _run_shard(task: ShardTask, shard: Shard) -> Tuple[int, Any, float]:
-    """Execute one shard; returns ``(index, result, elapsed)``.
+def _run_shard(
+    task: ShardTask, shard: Shard, instrument: bool = False
+) -> Tuple[int, Any, float, Optional[Dict[str, Any]]]:
+    """Execute one shard; returns ``(index, result, elapsed, snapshot)``.
 
     Module-level so it pickles for the worker pool.  Exceptions are wrapped
     with the shard's parameters — in a 200-shard campaign, "N(100,10)
     instance 17 failed" beats a bare traceback.
+
+    With ``instrument=True`` the task runs inside a private
+    :func:`~repro.telemetry.runtime.capture` registry and the fourth
+    element is its snapshot; otherwise it is ``None`` and no registry is
+    allocated.  The inline (``workers<=1``) path and the pool path both go
+    through here, so serial and parallel runs instrument identically.
     """
+    snapshot: Optional[Dict[str, Any]] = None
     start = time.perf_counter()
     try:
-        result = task(shard.params, shard.seed)
+        if instrument:
+            with capture() as registry:
+                result = task(shard.params, shard.seed)
+            elapsed = time.perf_counter() - start
+            snapshot = registry.snapshot()
+        else:
+            result = task(shard.params, shard.seed)
+            elapsed = time.perf_counter() - start
     except Exception as exc:
         raise OrchestrationError(
             f"shard {shard.index} {dict(shard.params)} failed: {exc}"
         ) from exc
-    return shard.index, result, time.perf_counter() - start
+    return shard.index, result, elapsed, snapshot
 
 
-def _pool_entry(args: Tuple[ShardTask, Shard]) -> Tuple[int, Any, float]:
+def _pool_entry(
+    args: Tuple[ShardTask, Shard, bool]
+) -> Tuple[int, Any, float, Optional[Dict[str, Any]]]:
     return _run_shard(*args)
 
 
@@ -227,19 +314,51 @@ class Orchestrator:
         self.cache = ShardCache(cache_dir) if cache_dir is not None else None
         self._progress = progress
         self._mp_context = mp_context
+        if progress is True:
+            configure_progress_logging(enabled=True)
 
     # -- public API ---------------------------------------------------------
 
     def run(self, spec: SweepSpec, task: ShardTask) -> SweepResult:
         """Execute every shard of ``spec`` and return ordered outcomes."""
         started = time.perf_counter()
+        registry = get_registry()
+        instrument = registry.enabled
+        cache_lookups = registry.counter(
+            "repro_orchestrator_cache_lookups_total",
+            "Shard cache lookups by result (hit, miss, or disabled)",
+            labels=("result",),
+        )
+        shards_seen = registry.counter(
+            "repro_orchestrator_shards_total",
+            "Shards resolved by the orchestrator, by state",
+            labels=("state",),
+        )
+        shard_seconds = registry.histogram(
+            "repro_orchestrator_shard_seconds",
+            "Per-shard compute latency (cache hits excluded)",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        queue_wait = registry.histogram(
+            "repro_orchestrator_queue_wait_seconds",
+            "Per-shard completion wall time minus its own compute time",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+
         shards = spec.shards()
         outcomes: Dict[int, ShardOutcome] = {}
 
         pending: List[Shard] = []
         for shard in shards:
             cached = self.cache.load(shard) if self.cache is not None else None
+            if self.cache is None:
+                cache_lookups.labels(result="disabled").inc()
+            else:
+                cache_lookups.labels(
+                    result="hit" if cached is not None else "miss"
+                ).inc()
             if cached is not None:
+                shards_seen.labels(state="cached").inc()
                 outcomes[shard.index] = ShardOutcome(
                     shard=shard, result=cached, cached=True, elapsed=0.0
                 )
@@ -248,18 +367,49 @@ class Orchestrator:
         n_cached = len(outcomes)
         self._report(spec, len(outcomes), len(shards), n_cached, started)
 
-        for index, result, elapsed in self._execute(task, pending):
+        exec_started = time.perf_counter()
+        for index, result, elapsed, snapshot in self._execute(
+            task, pending, instrument
+        ):
             shard = shards[index]
             if self.cache is not None:
                 self.cache.store(shard, result, elapsed)
+            shards_seen.labels(state="computed").inc()
+            shard_seconds.observe(elapsed)
+            queue_wait.observe(
+                max(0.0, (time.perf_counter() - exec_started) - elapsed)
+            )
             outcomes[index] = ShardOutcome(
-                shard=shard, result=result, cached=False, elapsed=elapsed
+                shard=shard,
+                result=result,
+                cached=False,
+                elapsed=elapsed,
+                telemetry=snapshot,
             )
             self._report(spec, len(outcomes), len(shards), n_cached, started)
         self._finish_report(len(shards))
 
         ordered = [outcomes[shard.index] for shard in shards]
+        # Merge worker snapshots in canonical shard order — not completion
+        # order — so the merged registry is identical at any worker count
+        # (gauges keep the value of the highest-indexed shard that set them).
+        for outcome in ordered:
+            if outcome.telemetry is not None:
+                registry.merge(outcome.telemetry)
         wall = time.perf_counter() - started
+        registry.gauge(
+            "repro_orchestrator_workers", "Worker-pool size of the last sweep"
+        ).set(float(self.workers))
+        registry.gauge(
+            "repro_orchestrator_cache_hit_ratio",
+            "Cache hits over total shards for the last sweep",
+        ).set(n_cached / len(shards) if shards else 0.0)
+        registry.histogram(
+            "repro_orchestrator_sweep_seconds",
+            "Wall time of one orchestrated sweep",
+            labels=("sweep",),
+            buckets=DEFAULT_TIME_BUCKETS,
+        ).labels(sweep=spec.name).observe(wall)
         stats = SweepRunStats(
             n_shards=len(shards),
             n_cached=n_cached,
@@ -276,16 +426,19 @@ class Orchestrator:
 
     # -- execution backends -------------------------------------------------
 
-    def _execute(self, task: ShardTask, pending: List[Shard]):
-        """Yield ``(index, result, elapsed)`` for every pending shard.
+    def _execute(self, task: ShardTask, pending: List[Shard], instrument: bool):
+        """Yield ``(index, result, elapsed, snapshot)`` per pending shard.
 
         Completion order is arbitrary under the pool; the caller re-orders.
+        ``instrument`` travels inside each job tuple so spawn-context
+        workers (which do not inherit the parent's active registry) still
+        know whether to capture a snapshot.
         """
         if not pending:
             return
         if self.workers <= 1 or len(pending) == 1:
             for shard in pending:
-                yield _run_shard(task, shard)
+                yield _run_shard(task, shard, instrument)
             return
         context = (
             multiprocessing.get_context(self._mp_context)
@@ -294,7 +447,7 @@ class Orchestrator:
         )
         n_procs = min(self.workers, len(pending))
         with context.Pool(processes=n_procs) as pool:
-            jobs = [(task, shard) for shard in pending]
+            jobs = [(task, shard, instrument) for shard in pending]
             for item in pool.imap_unordered(_pool_entry, jobs):
                 yield item
 
@@ -307,16 +460,19 @@ class Orchestrator:
         if callable(self._progress):
             self._progress(done, total, n_cached, elapsed)
         elif self._progress:
-            sys.stderr.write(
-                f"\r[{spec.name}] {done}/{total} shards"
-                f" ({n_cached} cached, {self.workers} workers, {elapsed:.1f}s)"
+            _progress_logger.info(
+                "\r[%s] %d/%d shards (%d cached, %d workers, %.1fs)",
+                spec.name,
+                done,
+                total,
+                n_cached,
+                self.workers,
+                elapsed,
             )
-            sys.stderr.flush()
 
     def _finish_report(self, total: int) -> None:
         if self._progress is True and total:
-            sys.stderr.write("\n")
-            sys.stderr.flush()
+            _progress_logger.info("\n")
 
 
 def run_sweep(

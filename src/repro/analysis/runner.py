@@ -46,6 +46,15 @@ to the per-message discrete-event oracle (see
 summary table, ``--timings-json`` writes it machine-readably, and
 ``profile <experiment>`` wraps one experiment in cProfile and prints
 the dominant functions.
+
+``--telemetry-json PATH`` / ``--metrics-text PATH`` switch on the
+in-process metrics registry (:mod:`repro.telemetry`) for the whole run
+and write the merged cross-worker snapshot as deterministic JSON or
+Prometheus text exposition.  Telemetry never alters experiment output:
+the same command without these flags produces byte-identical results,
+and shard-cache entries are unaffected.  With both telemetry and
+``--timings-json``, the timings payload embeds the snapshot under a
+``"telemetry"`` key.
 """
 
 from __future__ import annotations
@@ -59,6 +68,7 @@ from pathlib import Path
 from typing import Callable, Dict, Optional, Union
 
 from repro.analysis.defection import DefectionExperimentConfig, run_defection_experiment
+from repro.analysis.orchestrator import configure_progress_logging
 from repro.analysis.reward_comparison import (
     RewardComparisonConfig,
     run_reward_comparison,
@@ -68,6 +78,13 @@ from repro.analysis.reward_surface import RewardSurfaceConfig, run_reward_surfac
 from repro.analysis.tables import table2, table3
 from repro.errors import ConfigurationError
 from repro.sim.config import SIMULATION_BACKENDS
+from repro.telemetry import (
+    enable as _telemetry_enable,
+    get_registry,
+    snapshot_to_json,
+    span,
+    to_prometheus_text,
+)
 
 #: Per-scale experiment parameters: (fig3 runs/rounds/nodes, fig6 instances,
 #: scenario campaign shape (players, epochs, replications, simulated rounds),
@@ -701,7 +718,24 @@ def main(argv=None) -> int:
         type=Path,
         default=None,
         help="write the per-experiment wall-clock timings to this JSON "
-        "file (machine-readable companion of the summary table)",
+        "file (machine-readable companion of the summary table); with "
+        "telemetry enabled the payload embeds the merged metrics "
+        "snapshot under a 'telemetry' key",
+    )
+    parser.add_argument(
+        "--telemetry-json",
+        type=Path,
+        default=None,
+        help="enable in-process telemetry and write the merged "
+        "cross-worker metrics snapshot to this JSON file; experiment "
+        "results are unaffected (byte-identical with or without)",
+    )
+    parser.add_argument(
+        "--metrics-text",
+        type=Path,
+        default=None,
+        help="enable in-process telemetry and write the merged metrics "
+        "in Prometheus text exposition format to this file",
     )
     parser.add_argument(
         "--profile-top",
@@ -738,6 +772,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    configure_progress_logging(enabled=not args.no_progress)
+    telemetry_on = args.telemetry_json is not None or args.metrics_text is not None
+    if telemetry_on:
+        _telemetry_enable()
+
     if args.experiment == "profile":
         if args.target is None:
             parser.error("profile needs a target experiment, e.g. 'profile fig3'")
@@ -763,27 +802,30 @@ def main(argv=None) -> int:
     timings: Dict[str, float] = {}
     for name in names:
         started = time.perf_counter()
-        outcome = run_experiment(
-            name,
-            scale=args.scale,
-            out=args.out,
-            workers=args.workers,
-            seed=args.seed,
-            cache_dir=args.cache_dir,
-            progress=not args.no_progress,
-            backend=args.backend,
-            family=args.family,
-            family_params=tuple(args.family_params) if args.family_params else (),
-            agents=args.agents,
-            chunk_agents=args.chunk_agents,
-            dtype=args.dtype,
-            schemes=tuple(args.schemes) if args.schemes else (),
-            epochs=args.epochs,
-            budget_multipliers=(
-                tuple(args.budget_multipliers) if args.budget_multipliers else ()
-            ),
-            cost_scales=tuple(args.cost_scales) if args.cost_scales else (),
-        )
+        with span(f"runner.{name}"):
+            outcome = run_experiment(
+                name,
+                scale=args.scale,
+                out=args.out,
+                workers=args.workers,
+                seed=args.seed,
+                cache_dir=args.cache_dir,
+                progress=not args.no_progress,
+                backend=args.backend,
+                family=args.family,
+                family_params=(
+                    tuple(args.family_params) if args.family_params else ()
+                ),
+                agents=args.agents,
+                chunk_agents=args.chunk_agents,
+                dtype=args.dtype,
+                schemes=tuple(args.schemes) if args.schemes else (),
+                epochs=args.epochs,
+                budget_multipliers=(
+                    tuple(args.budget_multipliers) if args.budget_multipliers else ()
+                ),
+                cost_scales=tuple(args.cost_scales) if args.cost_scales else (),
+            )
         timings[name] = time.perf_counter() - started
         print(f"=== {outcome.name} ===")
         print(outcome.rendered)
@@ -792,6 +834,7 @@ def main(argv=None) -> int:
         print()
     if len(names) > 1:
         print(_timing_table(timings))
+    snapshot = get_registry().snapshot() if telemetry_on else None
     if args.timings_json is not None:
         args.timings_json.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -801,8 +844,18 @@ def main(argv=None) -> int:
             "timings_s": timings,
             "total_s": sum(timings.values()),
         }
+        if snapshot is not None:
+            payload["telemetry"] = snapshot
         args.timings_json.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"[timings written to {args.timings_json}]")
+    if args.telemetry_json is not None:
+        args.telemetry_json.parent.mkdir(parents=True, exist_ok=True)
+        args.telemetry_json.write_text(snapshot_to_json(snapshot))
+        print(f"[telemetry written to {args.telemetry_json}]")
+    if args.metrics_text is not None:
+        args.metrics_text.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_text.write_text(to_prometheus_text(snapshot))
+        print(f"[metrics written to {args.metrics_text}]")
     return 0
 
 

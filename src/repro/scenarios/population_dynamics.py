@@ -47,6 +47,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
@@ -88,6 +89,9 @@ from repro.schemes.population_audit import (
     _Structure,
 )
 from repro.schemes.registry import SchemeLike, resolve_scheme
+from repro.telemetry.metrics import DEFAULT_TIME_BUCKETS
+from repro.telemetry.runtime import get_registry
+from repro.telemetry.spans import span
 
 #: Crowd/selected update rules the streamed driver understands.
 UPDATE_RULES: Tuple[str, ...] = ("replicator", "best_response")
@@ -743,6 +747,9 @@ def _update_pass(
     slice, so the synchronous semantics hold).
     """
     spec = engine.spec
+    registry = get_registry()
+    telemetry = registry.enabled
+    crowd_revisions = 0
     accumulator = ReplicatorAccumulator(
         intensity=spec.replicator_intensity, mutation=spec.replicator_mutation
     )
@@ -761,10 +768,22 @@ def _update_pass(
                 np.where(utility_d > utility_c + _BR_TOLERANCE, 1, 0),
                 np.where(utility_c > utility_d + _BR_TOLERANCE, 0, 1),
             ).astype(np.int8)
+            if telemetry:
+                crowd_revisions += int(np.sum(crowd & (switched != ctx.action)))
             crowd_behavior[chunk.offset : chunk.offset + ctx.n] = np.where(
                 crowd, switched, ctx.action
             )
     next_selected = _selected_best_responses(engine, aggregates, sel_action)
+    if telemetry:
+        revisions = registry.counter(
+            "repro_dynamics_revisions_total",
+            "Strategy revisions applied by the update pass, by agent kind",
+            labels=("kind",),
+        )
+        revisions.labels(kind="crowd").inc(float(crowd_revisions))
+        revisions.labels(kind="selected").inc(
+            float(int(np.sum(next_selected != sel_action)))
+        )
     next_share = (
         accumulator.step(share) if spec.update_rule == "replicator" else share
     )
@@ -800,29 +819,51 @@ def run_population_dynamics(
         alpha=structure.split.alpha,
         beta=structure.split.beta,
     )
-    thresholds: Optional[Tuple[float, float]] = _thresholds(engine, share)
-    aggregates = _measure_pass(
-        engine, 0, thresholds, sel_action, None, store_behavior=crowd_behavior
+    registry = get_registry()
+    telemetry = registry.enabled
+    m_epoch_seconds = registry.histogram(
+        "repro_dynamics_epoch_seconds",
+        "Wall time of one streamed dynamics epoch (update + measure pass)",
+        labels=("scheme",),
+        buckets=DEFAULT_TIME_BUCKETS,
     )
-    trajectory.records.append(aggregates.record)
-    for epoch in range(1, spec.n_epochs + 1):
-        share, sel_action = _update_pass(
-            engine,
-            aggregates,
-            epoch - 1,
-            thresholds,
-            sel_action,
-            crowd_behavior,
-            share,
-        )
-        if spec.update_rule == "replicator":
-            thresholds = _thresholds(engine, share)
-        else:
-            thresholds = None
+    m_epochs = registry.counter(
+        "repro_dynamics_epochs_total",
+        "Streamed dynamics epochs evolved",
+        labels=("scheme",),
+    )
+    with span(
+        "dynamics.run", agents=spec.population.size, epochs=spec.n_epochs
+    ):
+        thresholds: Optional[Tuple[float, float]] = _thresholds(engine, share)
         aggregates = _measure_pass(
-            engine, epoch, thresholds, sel_action, crowd_behavior
+            engine, 0, thresholds, sel_action, None, store_behavior=crowd_behavior
         )
         trajectory.records.append(aggregates.record)
+        for epoch in range(1, spec.n_epochs + 1):
+            epoch_started = time.perf_counter() if telemetry else 0.0
+            share, sel_action = _update_pass(
+                engine,
+                aggregates,
+                epoch - 1,
+                thresholds,
+                sel_action,
+                crowd_behavior,
+                share,
+            )
+            if spec.update_rule == "replicator":
+                thresholds = _thresholds(engine, share)
+            else:
+                thresholds = None
+            aggregates = _measure_pass(
+                engine, epoch, thresholds, sel_action, crowd_behavior
+            )
+            trajectory.records.append(aggregates.record)
+            if telemetry:
+                m_epochs.labels(scheme=resolved.name).inc()
+                m_epoch_seconds.labels(scheme=resolved.name).observe(
+                    time.perf_counter() - epoch_started
+                )
     return trajectory
 
 

@@ -65,6 +65,9 @@ from repro.populations.spec import PopulationSpec
 from repro.schemes.audit import _COMMITTEE, _LEADER, _ONLINE, _TARGETS, DeviationWitness
 from repro.schemes.base import RewardScheme, SchemeSplit, WeightKind
 from repro.schemes.registry import SchemeLike, resolve_scheme
+from repro.telemetry.metrics import DEFAULT_TIME_BUCKETS
+from repro.telemetry.runtime import get_registry
+from repro.telemetry.spans import span
 
 #: Target profiles the population audit understands.  ``theorem3`` and
 #: ``all_c`` mirror the batch engine; ``population`` additionally reads
@@ -1167,35 +1170,72 @@ def audit_population_grid(
     )
     scales = _grid_axis("cost scale", cost_scales, config.cost_scale)
 
+    registry = get_registry()
+    telemetry = registry.enabled
+    m_chunks = registry.counter(
+        "repro_audit_chunks_total", "Population chunks streamed by the audit"
+    )
+    m_agents = registry.counter(
+        "repro_audit_agents_total",
+        "Agents streamed by the audit (chunk-size numerator)",
+    )
+    m_chunk_seconds = registry.histogram(
+        "repro_audit_chunk_seconds",
+        "Wall time of one streamed audit chunk across all grid cells",
+        buckets=DEFAULT_TIME_BUCKETS,
+    )
+    m_cell_gain = registry.counter(
+        "repro_audit_cell_gain_seconds_total",
+        "Accumulated gain-pass seconds per fused grid cell",
+        labels=("scheme", "budget", "cost_scale"),
+    )
+
     started = time.perf_counter()
-    structures = _build_structure_grid(resolved, spec, config, budgets, scales)
-    reducers = {
-        (item.name, b, cs): _GainReducer(structures[(b, cs)])
-        for item in resolved
-        for b in budgets
-        for cs in scales
-    }
-    for chunk in _chunks(spec, config):
-        # Draw the chunk's synchrony Bernoullis and widen its stakes
-        # once; every cost scale re-derives its context (costs differ),
-        # and every budget cell shares that scale's context.
-        stake = chunk.stake64()
-        sync_draws = _sync_mask(spec, config, chunk)
-        for cs in scales:
-            ctx = _chunk_context(
-                structures[(budgets[0], cs)],
-                spec,
-                chunk,
-                stake=stake,
-                sync=sync_draws,
-            )
-            for item in resolved:
-                for b in budgets:
-                    reducers[(item.name, b, cs)].update(
-                        chunk,
-                        _chunk_gains(item.name, structures[(b, cs)], ctx),
-                        ctx.coop,
-                    )
+    with span(
+        "audit.grid",
+        agents=spec.size,
+        cells=len(resolved) * len(budgets) * len(scales),
+    ):
+        structures = _build_structure_grid(resolved, spec, config, budgets, scales)
+        reducers = {
+            (item.name, b, cs): _GainReducer(structures[(b, cs)])
+            for item in resolved
+            for b in budgets
+            for cs in scales
+        }
+        for chunk in _chunks(spec, config):
+            chunk_started = time.perf_counter() if telemetry else 0.0
+            # Draw the chunk's synchrony Bernoullis and widen its stakes
+            # once; every cost scale re-derives its context (costs differ),
+            # and every budget cell shares that scale's context.
+            stake = chunk.stake64()
+            sync_draws = _sync_mask(spec, config, chunk)
+            for cs in scales:
+                ctx = _chunk_context(
+                    structures[(budgets[0], cs)],
+                    spec,
+                    chunk,
+                    stake=stake,
+                    sync=sync_draws,
+                )
+                for item in resolved:
+                    for b in budgets:
+                        cell_started = time.perf_counter() if telemetry else 0.0
+                        reducers[(item.name, b, cs)].update(
+                            chunk,
+                            _chunk_gains(item.name, structures[(b, cs)], ctx),
+                            ctx.coop,
+                        )
+                        if telemetry:
+                            m_cell_gain.labels(
+                                scheme=item.name,
+                                budget=repr(float(b)),
+                                cost_scale=repr(float(cs)),
+                            ).inc(time.perf_counter() - cell_started)
+            if telemetry:
+                m_chunks.inc()
+                m_agents.inc(float(chunk.n_agents))
+                m_chunk_seconds.observe(time.perf_counter() - chunk_started)
     # All cells are fused work; per-report throughput is the honest
     # amortized figure (total wall-clock split evenly across cells).
     elapsed = time.perf_counter() - started

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -77,6 +78,8 @@ from repro.sim.protocol import (
 from repro.sim.rng import RngStreams, derive_seed
 from repro.sim.roles import RoleSnapshot
 from repro.sim.sortition import Role, binomial_weights
+from repro.telemetry.metrics import DEFAULT_SIZE_BUCKETS, DEFAULT_TIME_BUCKETS
+from repro.telemetry.runtime import get_registry
 
 #: Hop-distance sentinel for "no path through the relaying subgraph".
 UNREACHABLE = np.iinfo(np.int32).max
@@ -346,6 +349,46 @@ class FastSimulation:
             else _bfs_hops(self._neighbors, self._online, self._relays)
         )
 
+        # Telemetry instruments are resolved once at construction from the
+        # process's active registry, down to the child level (``labels()``
+        # memoizes; holding the children skips per-event lookups).  With
+        # telemetry disabled (the default) these are shared no-op objects
+        # and ``_telemetry`` is False, which gates every perf_counter read
+        # in the hot path — the enabled check is the only per-round cost.
+        _registry = get_registry()
+        self._telemetry = _registry.enabled
+        self._m_rounds = _registry.counter(
+            "repro_fastpath_rounds_total", "Rounds simulated by the fast kernel"
+        ).labels()
+        self._m_round_seconds = _registry.histogram(
+            "repro_fastpath_round_seconds",
+            "Wall time of one fast-kernel round",
+            buckets=DEFAULT_TIME_BUCKETS,
+        ).labels()
+        # VRF batch count rides on the histogram's _count; only the key
+        # total (the batch-size numerator, constant per simulation) needs
+        # its own counter.
+        self._m_vrf_keys = _registry.counter(
+            "repro_fastpath_vrf_keys_total",
+            "Keys hashed across all VRF batches (batch-size numerator)",
+        ).labels()
+        self._m_vrf_seconds = _registry.histogram(
+            "repro_fastpath_vrf_batch_seconds",
+            "Wall time of one batched population VRF evaluation "
+            "(its _count is the batch total)",
+            buckets=DEFAULT_TIME_BUCKETS,
+        ).labels()
+        _committee = _registry.histogram(
+            "repro_fastpath_committee_weight",
+            "Total sortition committee weight per (role) selection",
+            labels=("role",),
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_committee = {
+            role: _committee.labels(role=role.name.lower()) for role in Role
+        }
+        self._n_keys = float(n)
+
     # -- public accessors ----------------------------------------------------
 
     def total_stake(self) -> float:
@@ -368,6 +411,7 @@ class FastSimulation:
 
     def run_round(self) -> RoundRecord:
         """Simulate one full round as batched array work."""
+        round_started = time.perf_counter() if self._telemetry else 0.0
         config = self.config
         n = config.n_nodes
         self.round_index += 1
@@ -500,7 +544,7 @@ class FastSimulation:
                 break
 
         # -- phase C: extraction and rewards ---------------------------------
-        return self._finalize_round(
+        record = self._finalize_round(
             ctx,
             steps_used,
             machines,
@@ -511,6 +555,10 @@ class FastSimulation:
             final_votes,
             hops,
         )
+        if self._telemetry:
+            self._m_rounds.inc()
+            self._m_round_seconds.observe(time.perf_counter() - round_started)
+        return record
 
     # -- sortition ------------------------------------------------------------
 
@@ -540,6 +588,8 @@ class FastSimulation:
         probability = min(1.0, expected / total_stake)
         weights = binomial_weights(values, stake_units, probability)
         weights[~self._online] = 0
+        if self._telemetry:
+            self._m_committee[role].observe(float(weights.sum()))
         return weights
 
     def _vrf_values(
@@ -563,6 +613,7 @@ class FastSimulation:
         per-part ``repr``/join machinery that dominates profiles at
         population x steps x rounds scale.
         """
+        batch_started = time.perf_counter() if self._telemetry else 0.0
         suffix = f"\x1f{round_seed}\x1f{round_index}\x1f{tag}".encode("utf-8")
         digests: List[bytes] = []
         append = digests.append
@@ -573,7 +624,11 @@ class FastSimulation:
         block = b"".join(digests)
         # One 32-byte digest per key: take word 0 of each 4-uint64 row.
         words = np.frombuffer(block, dtype=">u8").reshape(-1, 4)[:, 0]
-        return (words.astype(np.uint64) >> np.uint64(11)) / float(2**53)
+        values = (words.astype(np.uint64) >> np.uint64(11)) / float(2**53)
+        if self._telemetry:
+            self._m_vrf_keys.inc(self._n_keys)
+            self._m_vrf_seconds.observe(time.perf_counter() - batch_started)
+        return values
 
     # -- proposals ------------------------------------------------------------
 

@@ -1,0 +1,253 @@
+"""Snapshot exposition: Prometheus text format, JSON, and a line linter.
+
+Two serializations of the same deterministic snapshot
+(:meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`):
+
+* :func:`to_prometheus_text` — the Prometheus *text exposition format*
+  (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one sample per
+  line, histograms expanded into cumulative ``_bucket{le=...}`` series
+  plus ``_sum`` / ``_count``.  Zero dependencies; this is the payload a
+  future ``/metrics`` endpoint serves verbatim.
+* :func:`snapshot_to_json` — sorted, indented JSON of the snapshot
+  itself; byte-identical for identical metric states (the form the CLI
+  writes with ``--telemetry-json`` and the benchmarks embed in their
+  ``BENCH_*.json`` records).
+
+:func:`lint_prometheus_text` is the CI gate's simple line-format
+linter: it re-parses an exposition and reports structural problems
+(malformed lines, samples without a ``TYPE``, non-monotone histogram
+buckets, missing ``+Inf`` bucket, count/bucket mismatches).  Run it
+from the command line with::
+
+    python -m repro.telemetry.exposition metrics.prom
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import sys
+from typing import Dict, List, Mapping
+
+_NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_NAME_RE})"
+    rf"(?:\{{(?P<labels>[^}}]*)\}})?"
+    r" (?P<value>[0-9eE+\-.]+|NaN|\+Inf|-Inf)$"
+)
+_LABEL_RE = re.compile(rf'^(?P<label>{_NAME_RE})="(?P<value>(?:[^"\\]|\\.)*)"$')
+_HEADER_RE = re.compile(
+    rf"^# (?P<kind>HELP|TYPE) (?P<name>{_NAME_RE})(?: (?P<rest>.*))?$"
+)
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    formatted = repr(float(value))
+    return formatted[:-2] if formatted.endswith(".0") else formatted
+
+
+def _label_string(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in labels.items()
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus_text(snapshot: Mapping[str, object]) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Deterministic: families appear sorted by name (the snapshot already
+    sorts them) and histogram buckets render cumulatively with a
+    trailing ``+Inf`` bucket equal to ``_count``, as the format
+    requires.
+    """
+    lines: List[str] = []
+    for name, payload in snapshot["metrics"].items():
+        lines.append(f"# HELP {name} {_escape_help(payload.get('help', ''))}")
+        lines.append(f"# TYPE {name} {payload['type']}")
+        for sample in payload["samples"]:
+            labels = sample["labels"]
+            if payload["type"] == "histogram":
+                cumulative = 0
+                for bound, count in zip(sample["bounds"], sample["counts"]):
+                    cumulative += count
+                    le = 'le="' + _format_value(float(bound)) + '"'
+                    lines.append(
+                        f"{name}_bucket{_label_string(labels, le)} {cumulative}"
+                    )
+                inf = 'le="+Inf"'
+                lines.append(
+                    f"{name}_bucket{_label_string(labels, inf)}"
+                    f" {sample['count']}"
+                )
+                lines.append(
+                    f"{name}_sum{_label_string(labels)}"
+                    f" {_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_string(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_string(labels)}"
+                    f" {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_to_json(snapshot: Mapping[str, object]) -> str:
+    """Sorted, indented JSON of a snapshot (byte-stable for equal states)."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def _parse_labels(raw: str, line_no: int, problems: List[str]) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not raw:
+        return labels
+    # Split on commas outside quotes (label values may contain commas).
+    parts, depth, current = [], False, ""
+    for ch in raw:
+        if ch == '"' and not current.endswith("\\"):
+            depth = not depth
+        if ch == "," and not depth:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current:
+        parts.append(current)
+    for part in parts:
+        match = _LABEL_RE.match(part)
+        if match is None:
+            problems.append(f"line {line_no}: malformed label {part!r}")
+            continue
+        labels[match.group("label")] = match.group("value")
+    return labels
+
+
+def lint_prometheus_text(text: str) -> List[str]:
+    """Check a text exposition line by line; return the problems found.
+
+    An empty return value means the exposition parses cleanly.  Checks:
+    every line is a comment, blank, header, or sample; every sample's
+    base name carries a ``# TYPE``; histogram ``le`` buckets are
+    monotone non-decreasing, end in ``+Inf``, and agree with their
+    ``_count`` sample.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    buckets: Dict[str, List[tuple]] = {}
+    counts: Dict[str, float] = {}
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = _HEADER_RE.match(line)
+            if match is None:
+                if line.startswith(("# HELP", "# TYPE")):
+                    problems.append(f"line {line_no}: malformed header {line!r}")
+                continue
+            if match.group("kind") == "TYPE":
+                declared = (match.group("rest") or "").strip()
+                if declared not in _TYPES:
+                    problems.append(
+                        f"line {line_no}: unknown metric type {declared!r}"
+                    )
+                types[match.group("name")] = declared
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {line_no}: malformed sample line {line!r}")
+            continue
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", line_no, problems)
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        if base not in types:
+            problems.append(
+                f"line {line_no}: sample {name!r} has no # TYPE declaration"
+            )
+            continue
+        try:
+            value = float(match.group("value").replace("+Inf", "inf"))
+        except ValueError:
+            problems.append(f"line {line_no}: unparsable value in {line!r}")
+            continue
+        if types[base] == "histogram":
+            series = json.dumps(
+                {k: v for k, v in labels.items() if k != "le"}, sort_keys=True
+            )
+            key = f"{base}|{series}"
+            if name == f"{base}_bucket":
+                if "le" not in labels:
+                    problems.append(
+                        f"line {line_no}: histogram bucket without le label"
+                    )
+                    continue
+                le = float(labels["le"].replace("+Inf", "inf"))
+                buckets.setdefault(key, []).append((line_no, le, value))
+            elif name == f"{base}_count":
+                counts[key] = value
+
+    for key, series in buckets.items():
+        last_count = -math.inf
+        for line_no, le, value in series:
+            if value < last_count:
+                problems.append(
+                    f"line {line_no}: histogram buckets of {key.split('|')[0]} "
+                    "are not cumulative/monotone"
+                )
+            last_count = value
+        if not math.isinf(series[-1][1]):
+            problems.append(
+                f"histogram {key.split('|')[0]}: bucket series does not end "
+                'with le="+Inf"'
+            )
+        elif key in counts and series[-1][2] != counts[key]:
+            problems.append(
+                f"histogram {key.split('|')[0]}: +Inf bucket "
+                f"({series[-1][2]:g}) != _count ({counts[key]:g})"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    """Lint a Prometheus text file: ``python -m repro.telemetry.exposition``."""
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python -m repro.telemetry.exposition <metrics.prom>")
+        return 2
+    with open(args[0], "r", encoding="utf-8") as handle:
+        problems = lint_prometheus_text(handle.read())
+    for problem in problems:
+        print(f"LINT: {problem}")
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s) in {args[0]}")
+        return 1
+    print(f"OK: {args[0]} parses cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""The process-wide active registry: enable, disable, capture.
+
+Telemetry is off by default: :func:`get_registry` returns the shared
+:data:`~repro.telemetry.metrics.NULL_REGISTRY` until something calls
+:func:`enable` (the CLI's ``--telemetry-json`` / ``--metrics-text``
+flags, a benchmark's :func:`capture` block, or a worker process asked to
+instrument a shard).  Instrumented modules resolve the active registry
+once per object construction — e.g. ``FastSimulation.__init__`` — so
+enabling telemetry *after* building a simulation leaves that simulation
+uninstrumented by design: the hot path never re-checks a global.
+
+The orchestrator's workers each :func:`capture` a fresh registry around
+their shard, attach the snapshot to the shard outcome, and the parent
+merges outcomes in canonical shard order — which is why merged metrics
+are identical at any ``--workers`` count.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.telemetry.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+
+Registry = Union[MetricsRegistry, NullRegistry]
+
+_active: Registry = NULL_REGISTRY
+
+
+def get_registry() -> Registry:
+    """The process's active registry (the null registry when disabled)."""
+    return _active
+
+
+def telemetry_enabled() -> bool:
+    """Whether a live registry is active in this process."""
+    return _active.enabled
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Activate ``registry`` (or a fresh one) and return it."""
+    global _active
+    if registry is None:
+        registry = MetricsRegistry()
+    _active = registry
+    return registry
+
+
+def disable() -> None:
+    """Deactivate telemetry: the null registry becomes active again."""
+    global _active
+    _active = NULL_REGISTRY
+
+
+@contextmanager
+def capture(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Activate a registry for the block, restoring the previous one after.
+
+    The worker-side primitive: shard functions run inside ``capture()``
+    so their metrics accumulate into a private registry whose snapshot
+    travels back on the shard outcome — never into the shard cache.
+    """
+    global _active
+    previous = _active
+    live = registry if registry is not None else MetricsRegistry()
+    _active = live
+    try:
+        yield live
+    finally:
+        _active = previous

@@ -1,0 +1,142 @@
+"""Span-based tracing: nested wall-time (and optional RSS) measurement.
+
+A span wraps one logical unit of work::
+
+    with span("audit.chunk", agents=chunk.n_agents):
+        ...
+
+On exit the span records, into the process's active registry,
+
+* ``repro_span_seconds{span=<name>}`` — inclusive wall time,
+* ``repro_span_exclusive_seconds{span=<name>}`` — wall time minus the
+  time spent inside *nested* spans (the self-time profile),
+* ``repro_span_total{span=<name>}`` — invocation count,
+* ``repro_span_attr_total{span=<name>,attr=<key>}`` — the sum of every
+  numeric keyword attribute (e.g. ``agents=n`` accumulates a throughput
+  numerator next to the seconds histogram), and
+* with ``sample_rss=True``, ``repro_span_rss_max_mib{span=<name>}`` —
+  the process's lifetime peak RSS sampled at span exit (a high-water
+  mark, not a per-span delta: ``ru_maxrss`` cannot be reset).
+
+When telemetry is disabled, :func:`span` returns a shared no-op
+singleton — no timer reads, no allocation — so instrumented code can
+leave spans in place unconditionally.  Code that needs the measured
+wall time itself (benchmarks) reads ``.elapsed_s`` off the span object
+after the block; under the null span that reads 0.0, so measure inside
+a :func:`~repro.telemetry.runtime.capture` block.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+from typing import List, Union
+
+from repro.telemetry import runtime
+from repro.telemetry.metrics import log_buckets
+
+#: Span-duration buckets: 10 microseconds to 1000 seconds.
+SPAN_TIME_BUCKETS = log_buckets(1e-5, 1e3, per_decade=3)
+
+
+def rss_max_mib() -> float:
+    """The process's lifetime peak resident set size, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; both are
+    normalized here.  This is a lifetime high-water mark — it never
+    decreases — so spans expose it as a gauge, not a delta.
+    """
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return raw / divisor
+
+
+class Span:
+    """One live span: context manager measuring the wrapped block."""
+
+    __slots__ = ("name", "attrs", "sample_rss", "elapsed_s", "_start", "_child_s")
+
+    def __init__(self, name: str, sample_rss: bool, attrs) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.sample_rss = sample_rss
+        self.elapsed_s = 0.0
+        self._start = 0.0
+        self._child_s = 0.0
+
+    def __enter__(self) -> "Span":
+        _STACK.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed_s = time.perf_counter() - self._start
+        _STACK.pop()
+        if _STACK:
+            _STACK[-1]._child_s += self.elapsed_s
+        registry = runtime.get_registry()
+        registry.histogram(
+            "repro_span_seconds",
+            "Inclusive wall time of one traced span",
+            labels=("span",),
+            buckets=SPAN_TIME_BUCKETS,
+        ).labels(span=self.name).observe(self.elapsed_s)
+        registry.histogram(
+            "repro_span_exclusive_seconds",
+            "Wall time of one traced span minus its nested spans",
+            labels=("span",),
+            buckets=SPAN_TIME_BUCKETS,
+        ).labels(span=self.name).observe(max(0.0, self.elapsed_s - self._child_s))
+        registry.counter(
+            "repro_span_total", "Traced span invocations", labels=("span",)
+        ).labels(span=self.name).inc()
+        for key, value in self.attrs.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                registry.counter(
+                    "repro_span_attr_total",
+                    "Accumulated numeric span attributes",
+                    labels=("span", "attr"),
+                ).labels(span=self.name, attr=key).inc(float(value))
+        if self.sample_rss:
+            registry.gauge(
+                "repro_span_rss_max_mib",
+                "Process peak RSS sampled at span exit (lifetime high-water mark)",
+                labels=("span",),
+            ).labels(span=self.name).set(rss_max_mib())
+
+
+class _NullSpan:
+    """The disabled-mode span: a reentrant, stateless no-op."""
+
+    __slots__ = ()
+
+    #: Mirrors :attr:`Span.elapsed_s` so benchmark-style callers can read
+    #: it unconditionally; always 0.0 in disabled mode.
+    elapsed_s = 0.0
+    name = ""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The live-span nesting stack (per process; shard workers are processes).
+_STACK: List[Span] = []
+
+
+def span(name: str, sample_rss: bool = False, **attrs) -> Union[Span, _NullSpan]:
+    """Open a traced span named ``name``; see the module docstring.
+
+    Numeric keyword attributes accumulate into
+    ``repro_span_attr_total{span=...,attr=...}``; non-numeric attributes
+    are ignored (labels would explode cardinality).  Returns the shared
+    no-op span when telemetry is disabled.
+    """
+    if not runtime.get_registry().enabled:
+        return _NULL_SPAN
+    return Span(name, sample_rss, attrs)

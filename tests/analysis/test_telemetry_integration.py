@@ -1,0 +1,197 @@
+"""Telemetry through the orchestrator and the CLI: merge determinism,
+cache purity, and the ``--telemetry-json`` / ``--metrics-text`` flags.
+
+The worker-pool tests use module-level task functions (the pool pickles
+tasks by reference) and tiny workloads, mirroring ``test_orchestrator``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.sweep import SweepSpec, grid_of
+from repro.sim.rng import RngStreams
+from repro.telemetry import (
+    capture,
+    disable,
+    lint_prometheus_text,
+    snapshot_to_json,
+)
+
+
+def seeded_task(params, seed):
+    """A shard whose result depends on its params and its derived seed."""
+    stream = RngStreams(seed).get("draw")
+    return {
+        "x": params["x"],
+        "draw": [stream.random() for _ in range(3)],
+    }
+
+
+def spec_of(n=4, **overrides):
+    """A tiny four-shard sweep spec."""
+    options = dict(name="t", grid=grid_of(x=list(range(n))), root_seed=11)
+    options.update(overrides)
+    return SweepSpec(**options)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off_after():
+    """Restore the disabled-mode null registry after every test."""
+    yield
+    disable()
+
+
+def _orchestrated_snapshot(workers, cache_dir=None):
+    from repro.analysis.orchestrator import run_sweep
+
+    with capture() as registry:
+        sweep = run_sweep(spec_of(), seeded_task, workers=workers, cache_dir=cache_dir)
+    return sweep, registry.snapshot()
+
+
+class TestCrossWorkerMerge:
+    def test_snapshot_contains_orchestrator_families(self):
+        _, snapshot = _orchestrated_snapshot(workers=1)
+        metrics = snapshot["metrics"]
+        assert metrics["repro_orchestrator_shards_total"]["samples"][0]["value"] == 4.0
+        assert metrics["repro_orchestrator_shard_seconds"]["samples"][0]["count"] == 4
+        assert metrics["repro_orchestrator_workers"]["samples"][0]["value"] == 1.0
+        lookups = {
+            sample["labels"]["result"]: sample["value"]
+            for sample in metrics["repro_orchestrator_cache_lookups_total"]["samples"]
+        }
+        # No cache directory: every lookup reports 'disabled'.
+        assert lookups == {"disabled": 4.0}
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_merged_snapshot_identical_at_any_worker_count(self, workers):
+        """The tentpole guarantee: counters and histogram counts merge to
+        the same values serial and parallel (timings differ, so only the
+        event-count shape is compared)."""
+        serial_sweep, serial = _orchestrated_snapshot(workers=1)
+        parallel_sweep, parallel = _orchestrated_snapshot(workers=workers)
+        assert serial_sweep.results() == parallel_sweep.results()
+
+        def shape(snapshot):
+            out = {}
+            for name, payload in snapshot["metrics"].items():
+                if name == "repro_orchestrator_workers":
+                    continue  # reports the worker count by design
+                for sample in payload["samples"]:
+                    key = (name, tuple(sorted(sample["labels"].items())))
+                    if payload["type"] == "histogram":
+                        out[key] = sample["count"]
+                    else:
+                        out[key] = sample["value"]
+            return out
+
+        assert shape(serial) == shape(parallel)
+
+    def test_shard_metrics_from_workers_reach_the_parent(self):
+        """Worker processes capture per-shard registries; their snapshots
+        ride the shard outcome back and merge into the parent's registry."""
+        _, snapshot = _orchestrated_snapshot(workers=2)
+        sweep_seconds = snapshot["metrics"]["repro_orchestrator_sweep_seconds"]
+        assert sweep_seconds["samples"][0]["labels"] == {"sweep": "t"}
+
+
+class TestCachePurity:
+    def test_cache_files_identical_with_and_without_telemetry(self, tmp_path):
+        """Telemetry must never leak into cache keys or payloads.
+
+        Cache filenames (the keys) and every payload field except the
+        pre-existing ``elapsed`` wall-clock stamp — which differs between
+        *any* two runs — must match byte for byte.
+        """
+        from repro.analysis.orchestrator import run_sweep
+
+        plain_dir = tmp_path / "plain"
+        instrumented_dir = tmp_path / "instrumented"
+        run_sweep(spec_of(), seeded_task, workers=1, cache_dir=plain_dir)
+        with capture():
+            run_sweep(spec_of(), seeded_task, workers=1, cache_dir=instrumented_dir)
+
+        plain = sorted(plain_dir.glob("*.json"))
+        instrumented = sorted(instrumented_dir.glob("*.json"))
+        assert [p.name for p in plain] == [p.name for p in instrumented]
+        for a, b in zip(plain, instrumented):
+            payload_a = json.loads(a.read_text())
+            payload_b = json.loads(b.read_text())
+            payload_a.pop("elapsed")
+            payload_b.pop("elapsed")
+            assert payload_a == payload_b
+
+    def test_cache_payload_has_no_telemetry_key(self, tmp_path):
+        with capture():
+            _orchestrated_snapshot(workers=1, cache_dir=tmp_path)
+        for entry in tmp_path.glob("*.json"):
+            payload = json.loads(entry.read_text())
+            assert "telemetry" not in payload
+            assert "telemetry" not in json.dumps(payload["result"])
+
+    def test_cached_resume_is_identical_with_telemetry_on(self, tmp_path):
+        cold_sweep, cold = _orchestrated_snapshot(workers=1, cache_dir=tmp_path)
+        warm_sweep, warm = _orchestrated_snapshot(workers=1, cache_dir=tmp_path)
+        assert warm_sweep.results() == cold_sweep.results()
+        assert warm_sweep.stats.n_cached == 4
+        hits = {
+            sample["labels"]["result"]: sample["value"]
+            for sample in warm["metrics"]["repro_orchestrator_cache_lookups_total"][
+                "samples"
+            ]
+        }
+        assert hits == {"hit": 4.0}
+        assert (
+            warm["metrics"]["repro_orchestrator_cache_hit_ratio"]["samples"][0][
+                "value"
+            ]
+            == 1.0
+        )
+
+
+class TestRunnerCli:
+    def test_telemetry_flags_write_valid_artifacts(self, tmp_path, capsys):
+        from repro.analysis.runner import main
+
+        telemetry_json = tmp_path / "telemetry.json"
+        metrics_text = tmp_path / "metrics.prom"
+        timings_json = tmp_path / "timings.json"
+        assert (
+            main(
+                [
+                    "table2",
+                    "--no-progress",
+                    "--telemetry-json",
+                    str(telemetry_json),
+                    "--metrics-text",
+                    str(metrics_text),
+                    "--timings-json",
+                    str(timings_json),
+                ]
+            )
+            == 0
+        )
+        snapshot = json.loads(telemetry_json.read_text())
+        assert snapshot["version"] == 1
+        span_samples = snapshot["metrics"]["repro_span_total"]["samples"]
+        assert {"span": "runner.table2"} in [s["labels"] for s in span_samples]
+        # The JSON file is the canonical byte-stable serialization.
+        assert telemetry_json.read_text() == snapshot_to_json(snapshot)
+        assert lint_prometheus_text(metrics_text.read_text()) == []
+        timings = json.loads(timings_json.read_text())
+        assert timings["telemetry"] == snapshot
+
+    def test_no_flags_means_no_telemetry(self, tmp_path, capsys):
+        from repro.analysis.runner import main
+        from repro.telemetry import telemetry_enabled
+
+        timings_json = tmp_path / "timings.json"
+        assert (
+            main(["table2", "--no-progress", "--timings-json", str(timings_json)])
+            == 0
+        )
+        assert telemetry_enabled() is False
+        assert "telemetry" not in json.loads(timings_json.read_text())

@@ -1,0 +1,14 @@
+"""Telemetry test fixtures: never leak an enabled registry across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import disable
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off_after():
+    """Restore the disabled-mode null registry after every test."""
+    yield
+    disable()

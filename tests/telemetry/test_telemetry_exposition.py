@@ -1,0 +1,140 @@
+"""Prometheus/JSON exposition and the CI line linter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import (
+    MetricsRegistry,
+    lint_prometheus_text,
+    snapshot_to_json,
+    to_prometheus_text,
+)
+from repro.telemetry.exposition import main as lint_main
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_events_total", "Total events", labels=("kind",)).labels(
+        kind="a"
+    ).inc(3)
+    registry.gauge("repro_level", "Current level").set(2.5)
+    histogram = registry.histogram(
+        "repro_wait_seconds", "Wait time", buckets=(0.1, 1.0, 10.0)
+    )
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(50.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_headers_and_samples(self):
+        text = to_prometheus_text(_registry().snapshot())
+        assert "# HELP repro_events_total Total events" in text
+        assert "# TYPE repro_events_total counter" in text
+        assert 'repro_events_total{kind="a"} 3' in text
+        assert "repro_level 2.5" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        lines = to_prometheus_text(_registry().snapshot()).splitlines()
+        buckets = [l for l in lines if l.startswith("repro_wait_seconds_bucket")]
+        assert buckets == [
+            'repro_wait_seconds_bucket{le="0.1"} 1',
+            'repro_wait_seconds_bucket{le="1"} 2',
+            'repro_wait_seconds_bucket{le="10"} 2',
+            'repro_wait_seconds_bucket{le="+Inf"} 3',
+        ]
+        assert "repro_wait_seconds_sum 50.55" in lines
+        assert "repro_wait_seconds_count 3" in lines
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_odd_total", "odd", labels=("name",)).labels(
+            name='quote " slash \\ newline \n'
+        ).inc()
+        text = to_prometheus_text(registry.snapshot())
+        assert '\\"' in text
+        assert "\\\\" in text
+        assert "\\n" in text
+        assert lint_prometheus_text(text) == []
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus_text({"version": 1, "metrics": {}}) == ""
+
+
+class TestJson:
+    def test_byte_stable_for_equal_states(self):
+        assert snapshot_to_json(_registry().snapshot()) == snapshot_to_json(
+            _registry().snapshot()
+        )
+
+    def test_round_trips_through_json(self):
+        snapshot = _registry().snapshot()
+        assert json.loads(snapshot_to_json(snapshot)) == snapshot
+
+
+class TestLinter:
+    def test_clean_exposition_has_no_problems(self):
+        assert lint_prometheus_text(to_prometheus_text(_registry().snapshot())) == []
+
+    def test_sample_without_type_declaration(self):
+        problems = lint_prometheus_text("repro_orphan_total 1\n")
+        assert any("no # TYPE" in p for p in problems)
+
+    def test_malformed_sample_line(self):
+        text = "# TYPE repro_x counter\nrepro_x one_point_five\n"
+        assert any("malformed" in p for p in lint_prometheus_text(text))
+
+    def test_non_monotone_histogram_buckets(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="10"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+        )
+        assert any("monotone" in p for p in lint_prometheus_text(text))
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+        )
+        assert any('+Inf"' in p for p in lint_prometheus_text(text))
+
+    def test_inf_bucket_disagrees_with_count(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 4\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+        )
+        assert any("_count" in p for p in lint_prometheus_text(text))
+
+    def test_unknown_metric_type(self):
+        problems = lint_prometheus_text("# TYPE repro_x thermometer\n")
+        assert any("unknown metric type" in p for p in problems)
+
+
+class TestLintCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        target.write_text(to_prometheus_text(_registry().snapshot()))
+        assert lint_main([str(target)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_dirty_file_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        target.write_text("repro_orphan_total 1\n")
+        assert lint_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "LINT:" in out
+        assert "FAIL:" in out
+
+    def test_usage_exits_two(self, capsys):
+        assert lint_main([]) == 2
+        assert "usage:" in capsys.readouterr().out

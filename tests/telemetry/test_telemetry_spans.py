@@ -1,0 +1,143 @@
+"""Span tracing: null-object disabled mode, nesting, attrs, RSS sampling."""
+
+from __future__ import annotations
+
+import time
+
+from repro.telemetry import (
+    capture,
+    disable,
+    enable,
+    get_registry,
+    rss_max_mib,
+    span,
+    telemetry_enabled,
+)
+from repro.telemetry.metrics import NULL_REGISTRY
+from repro.telemetry.spans import _NULL_SPAN
+
+
+def _value(snapshot, name, **labels):
+    for sample in snapshot["metrics"][name]["samples"]:
+        if sample["labels"] == labels:
+            return sample
+    raise AssertionError(f"no sample of {name} with labels {labels}")
+
+
+class TestRuntime:
+    def test_disabled_by_default(self):
+        disable()
+        assert telemetry_enabled() is False
+        assert get_registry() is NULL_REGISTRY
+
+    def test_enable_disable_roundtrip(self):
+        registry = enable()
+        assert telemetry_enabled() is True
+        assert get_registry() is registry
+        disable()
+        assert get_registry() is NULL_REGISTRY
+
+    def test_capture_restores_previous_registry(self):
+        outer = enable()
+        with capture() as inner:
+            assert get_registry() is inner
+            assert inner is not outer
+        assert get_registry() is outer
+
+    def test_capture_restores_even_on_error(self):
+        disable()
+        try:
+            with capture():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_registry() is NULL_REGISTRY
+
+
+class TestDisabledSpans:
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        disable()
+        assert span("anything") is _NULL_SPAN
+        assert span("else", agents=5) is _NULL_SPAN
+
+    def test_null_span_reads_zero_elapsed(self):
+        disable()
+        with span("unit") as timer:
+            time.sleep(0.001)
+        assert timer.elapsed_s == 0.0
+
+
+class TestLiveSpans:
+    def test_records_all_families(self):
+        with capture() as registry:
+            with span("unit.work", agents=7):
+                pass
+        snapshot = registry.snapshot()
+        assert _value(snapshot, "repro_span_total", span="unit.work")["value"] == 1.0
+        assert _value(snapshot, "repro_span_seconds", span="unit.work")["count"] == 1
+        assert (
+            _value(snapshot, "repro_span_exclusive_seconds", span="unit.work")[
+                "count"
+            ]
+            == 1
+        )
+        assert (
+            _value(snapshot, "repro_span_attr_total", span="unit.work", attr="agents")[
+                "value"
+            ]
+            == 7.0
+        )
+
+    def test_elapsed_is_readable_after_exit(self):
+        with capture():
+            with span("unit.sleep") as timer:
+                time.sleep(0.005)
+        assert timer.elapsed_s >= 0.005
+
+    def test_nested_spans_subtract_child_time(self):
+        with capture() as registry:
+            with span("outer"):
+                with span("inner"):
+                    time.sleep(0.01)
+        snapshot = registry.snapshot()
+        outer_inclusive = _value(snapshot, "repro_span_seconds", span="outer")["sum"]
+        outer_exclusive = _value(
+            snapshot, "repro_span_exclusive_seconds", span="outer"
+        )["sum"]
+        inner_inclusive = _value(snapshot, "repro_span_seconds", span="inner")["sum"]
+        assert inner_inclusive >= 0.01
+        assert outer_inclusive >= inner_inclusive
+        # The inner 10ms is excluded from the outer span's self-time.
+        assert outer_exclusive < inner_inclusive
+
+    def test_non_numeric_and_bool_attrs_are_ignored(self):
+        with capture() as registry:
+            with span("unit.attrs", mode="fused", ok=True, n=3):
+                pass
+        samples = registry.snapshot()["metrics"]["repro_span_attr_total"]["samples"]
+        attrs = {sample["labels"]["attr"] for sample in samples}
+        assert attrs == {"n"}
+
+    def test_sample_rss_records_a_gauge(self):
+        with capture() as registry:
+            with span("unit.rss", sample_rss=True):
+                pass
+        sample = _value(
+            registry.snapshot(), "repro_span_rss_max_mib", span="unit.rss"
+        )
+        assert sample["value"] > 0.0
+        assert sample["value"] <= rss_max_mib()
+
+    def test_span_attrs_accumulate_across_invocations(self):
+        with capture() as registry:
+            for n in (2, 3):
+                with span("unit.loop", agents=n):
+                    pass
+        snapshot = registry.snapshot()
+        assert _value(snapshot, "repro_span_total", span="unit.loop")["value"] == 2.0
+        assert (
+            _value(snapshot, "repro_span_attr_total", span="unit.loop", attr="agents")[
+                "value"
+            ]
+            == 5.0
+        )
