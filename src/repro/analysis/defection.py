@@ -16,13 +16,14 @@ from __future__ import annotations
 
 from pathlib import Path
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis import plotting
 from repro.analysis.csvio import PathLike, write_rows
 from repro.analysis.orchestrator import run_sweep
+from repro.analysis.retry import ExecutionPolicy
 from repro.analysis.sweep import SweepSpec
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, OrchestrationError
 from repro.sim import SimulationConfig, make_simulation
 from repro.sim.metrics import trimmed_mean_series
 
@@ -231,23 +232,39 @@ def run_defection_experiment(
     workers: Union[int, str, None] = 1,
     cache_dir: Union[str, Path, None] = None,
     progress: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> DefectionExperimentResult:
     """Run the full Figure 3 sweep.
 
     ``workers`` fans the (rate, run) shards out over processes via the
     sweep orchestrator; every run is an independent simulation with its own
     seed, so the merged result is bit-identical at any worker count.
-    ``cache_dir`` enables the resumable on-disk shard cache.
+    ``cache_dir`` enables the resumable on-disk shard cache.  ``policy``
+    sets the robustness envelope (retries, timeouts, partial mode); under
+    ``on_error="partial"`` the merge is failure-aware — each rate's
+    trimmed mean is taken over its *surviving* runs, and a rate that
+    loses every run raises :class:`~repro.errors.OrchestrationError`.
     """
     spec = fig3_sweep_spec(config)
     sweep = run_sweep(
-        spec, _fig3_shard, workers=workers, cache_dir=cache_dir, progress=progress
+        spec,
+        _fig3_shard,
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+        policy=policy,
     )
-    shard_results = sweep.results()
+    shard_results = sweep.results_with(fill=None)
 
     result = DefectionExperimentResult(config=config)
     for index, rate in enumerate(config.rates):
-        runs = shard_results[index * config.n_runs : (index + 1) * config.n_runs]
+        group = shard_results[index * config.n_runs : (index + 1) * config.n_runs]
+        runs = [run for run in group if run is not None]
+        if not runs:
+            raise OrchestrationError(
+                f"every run of rate {rate} failed; cannot aggregate fig3 "
+                f"({len(sweep.failed)} shard failures in total)"
+            )
         result.series[rate] = DefectionSeries(
             rate=rate,
             fraction_final=_trimmed_series(runs, "fraction_final", config.trim),

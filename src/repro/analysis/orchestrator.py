@@ -10,7 +10,9 @@ because (a) every shard's randomness comes from its own deterministic seed
 (spawned from the sweep root, independent of scheduling), (b) shards never
 share state, and (c) results are re-ordered into canonical shard order
 before they reach the caller's merge step.  Parallelism therefore changes
-wall-clock time and nothing else.
+wall-clock time and nothing else — and so does *recovery*: a retried
+shard reuses its deterministic seed, so surviving a fault never changes a
+byte of output.
 
 Features:
 
@@ -20,21 +22,41 @@ Features:
 * An optional **on-disk shard cache** keyed by each shard's content hash
   (sweep name + version + root seed + parameters).  Re-running a sweep
   only computes missing shards, which makes interrupted campaigns
-  resumable: kill the process at shard 40/100, run again, and the first
-  40 shards load from disk.  Cache writes are atomic (tmp file + rename).
+  resumable.  Cache writes are atomic (tmp file + rename); format v2
+  payloads carry a SHA-256 checksum of the result, and entries that fail
+  the checksum (bit-rot, torn writes) are **quarantined** into a
+  ``quarantine/`` subdirectory and recomputed.  Cache *write* failures
+  (read-only directory, full disk) degrade to a one-time warning — they
+  never abort a sweep.
+* **Fault tolerance** via an :class:`~repro.analysis.retry.ExecutionPolicy`:
+  per-shard retries with deterministic exponential backoff
+  (:class:`~repro.analysis.retry.RetryPolicy`), a per-attempt
+  ``shard_timeout_s`` enforced by SIGKILLing hung workers, a sweep-wide
+  ``deadline_s``, and an ``on_error="raise"|"partial"`` switch — partial
+  mode records :class:`~repro.analysis.retry.FailedShard` entries on the
+  result instead of aborting, keeping every successful outcome
+  bit-identical to a clean run.
+* **Worker-death recovery**: the pool loop tracks which worker holds
+  which shard over a private pipe per worker, so an OOM-killed or
+  segfaulted worker is detected, respawned, and its lost shard requeued
+  under the retry policy.  ``multiprocessing.Pool.imap_unordered`` —
+  which hangs forever on a dead worker — is gone.
+* **Deterministic fault injection** (:mod:`repro.faults`): an active
+  :class:`~repro.faults.FaultPlan` makes chosen shard attempts raise,
+  hang, or die, and chosen cache writes corrupt, truncate, or ENOSPC —
+  the harness that proves all of the above actually works (see the
+  chaos-smoke CI job and ``docs/robustness.md``).
 * Progress reporting through the ``repro.progress`` logger — an
   in-place stderr line (``[fig3] 12/18 shards, 3 cached, 41.2s``) when
   enabled, silenced by raising the logger level.
 * **Telemetry aggregation**: when the parent process has telemetry
   enabled (:func:`repro.telemetry.enable`), each worker runs its shard
   inside a private :func:`~repro.telemetry.runtime.capture` registry and
-  ships the snapshot back on the :class:`ShardOutcome`.  The parent
-  merges snapshots in *canonical shard order* after the run — counters
-  sum, histogram buckets add, gauges keep the last shard's value — so
-  merged metrics are identical at any ``--workers`` count.  Snapshots
-  never touch the shard cache: cache keys hash only sweep parameters and
-  cached payloads carry only results, so telemetry-on and telemetry-off
-  runs produce byte-identical experiment output.
+  ships the snapshot back with the result.  The parent merges snapshots
+  in *canonical shard order* after the run, so merged metrics are
+  identical at any ``--workers`` count.  Recovery adds its own families
+  (retries, timeouts, worker deaths, quarantined entries, injected
+  faults) — all parent-side, see ``docs/observability.md``.
 
 Shard functions must be module-level callables taking ``(params, seed)``
 and returning JSON-serializable data — both requirements come from the
@@ -44,19 +66,48 @@ across processes and sessions.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import multiprocessing
 import os
+import signal
 import sys
 import tempfile
 import time
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
-from repro.analysis.sweep import Shard, SweepSpec
-from repro.errors import OrchestrationError
+from repro import faults
+from repro.analysis.retry import (
+    DEFAULT_EXECUTION_POLICY,
+    ExecutionPolicy,
+    FailedShard,
+    RetryPolicy,
+    is_retryable,
+)
+from repro.analysis.sweep import Shard, SweepSpec, canonical_json
+from repro.errors import (
+    CacheIntegrityError,
+    OrchestrationError,
+    ShardTimeoutError,
+    SweepDeadlineError,
+    WorkerCrashError,
+)
 from repro.telemetry.metrics import DEFAULT_TIME_BUCKETS
 from repro.telemetry.runtime import capture, get_registry
 
@@ -64,7 +115,13 @@ from repro.telemetry.runtime import capture, get_registry
 ShardTask = Callable[[Mapping[str, Any], int], Any]
 
 #: Cache format version; bump when the payload layout changes.
-_CACHE_FORMAT = 1
+#: v2 adds a SHA-256 checksum over the canonical-JSON result; v1 entries
+#: (no checksum) read as plain misses, so old cache directories migrate
+#: by recomputation, never by error.
+_CACHE_FORMAT = 2
+
+#: Subdirectory (inside the cache dir) where integrity failures land.
+QUARANTINE_DIRNAME = "quarantine"
 
 #: The progress logger: in-place stderr updates ride on ``logging`` so
 #: ``--no-progress`` (or any embedding application) can silence them by
@@ -72,6 +129,9 @@ _CACHE_FORMAT = 1
 PROGRESS_LOGGER_NAME = "repro.progress"
 
 _progress_logger = logging.getLogger(PROGRESS_LOGGER_NAME)
+
+#: Operational warnings (cache degradation, quarantines, worker deaths).
+_ops_logger = logging.getLogger("repro.orchestrator")
 
 
 class _InPlaceStreamHandler(logging.StreamHandler):
@@ -140,6 +200,7 @@ class ShardOutcome:
     shard's execution, or ``None`` for cached shards and telemetry-off
     runs.  It rides on the outcome — never through the shard cache — so
     cached payloads stay byte-identical whether telemetry is on or off.
+    ``attempts`` records how many tries the shard needed (1 = first try).
     """
 
     shard: Shard
@@ -147,6 +208,7 @@ class ShardOutcome:
     cached: bool
     elapsed: float
     telemetry: Optional[Mapping[str, Any]] = None
+    attempts: int = 1
 
 
 @dataclass
@@ -159,19 +221,56 @@ class SweepRunStats:
     workers: int = 1
     wall_seconds: float = 0.0
     shard_seconds: float = 0.0  # summed per-shard compute time
+    n_failed: int = 0  # shards that exhausted their attempts (partial mode)
+    n_retries: int = 0  # extra attempts beyond each shard's first
 
 
 @dataclass
 class SweepResult:
-    """All shard outcomes of a sweep, in canonical shard order."""
+    """All shard outcomes of a sweep, in canonical shard order.
+
+    Under ``on_error="partial"``, shards that exhausted their attempts
+    appear in ``failed`` (as :class:`~repro.analysis.retry.FailedShard`
+    records, canonical order) instead of ``outcomes``; the outcomes that
+    are present are bit-identical to what a fault-free run produces.
+    """
 
     spec: SweepSpec
     outcomes: List[ShardOutcome] = field(default_factory=list)
     stats: SweepRunStats = field(default_factory=SweepRunStats)
+    failed: List[FailedShard] = field(default_factory=list)
 
     def results(self) -> List[Any]:
-        """Shard results in shard order (the merge-ready view)."""
+        """Shard results in shard order (the merge-ready view).
+
+        Raises :class:`~repro.errors.OrchestrationError` if any shard
+        failed — positional merges over a silently shortened list would
+        misalign.  Partial-aware callers use :meth:`results_with`.
+        """
+        if self.failed:
+            raise OrchestrationError(
+                f"{len(self.failed)} of {self.stats.n_shards} shards failed "
+                "(on_error='partial'); use results_with(fill=...) for a "
+                "positionally aligned view, or inspect .failed: "
+                + "; ".join(record.describe() for record in self.failed[:3])
+            )
         return [outcome.result for outcome in self.outcomes]
+
+    def results_with(self, fill: Any = None) -> List[Any]:
+        """Full-length results in shard order, ``fill`` at failed slots.
+
+        The partial-degradation view: positional merges stay aligned and
+        can drop (or impute) the failed grid points explicitly.
+        """
+        failed_indices = {record.shard.index for record in self.failed}
+        by_index = {outcome.shard.index: outcome.result for outcome in self.outcomes}
+        out: List[Any] = []
+        for shard in self.spec.shards():
+            if shard.index in failed_indices:
+                out.append(fill)
+            else:
+                out.append(by_index[shard.index])
+        return out
 
     def result_for(self, **params: Any) -> Any:
         """The result of the unique shard whose params contain ``params``."""
@@ -187,14 +286,40 @@ class SweepResult:
         return matches[0]
 
 
-def _run_shard(
-    task: ShardTask, shard: Shard, instrument: bool = False
-) -> Tuple[int, Any, float, Optional[Dict[str, Any]]]:
-    """Execute one shard; returns ``(index, result, elapsed, snapshot)``.
+def _wrap_shard_error(shard: Shard, attempt: int, exc: Exception) -> OrchestrationError:
+    """Wrap a shard exception with its parameters, preserving the subclass.
 
-    Module-level so it pickles for the worker pool.  Exceptions are wrapped
-    with the shard's parameters — in a 200-shard campaign, "N(100,10)
-    instance 17 failed" beats a bare traceback.
+    In a 200-shard campaign, "N(100,10) instance 17 failed" beats a bare
+    traceback; keeping :class:`OrchestrationError` subclasses intact
+    (timeouts, injected faults) keeps retry classification and telemetry
+    reasons meaningful.
+    """
+    message = (
+        f"shard {shard.index} {dict(shard.params)} failed "
+        f"(attempt {attempt}): {exc}"
+    )
+    if isinstance(exc, OrchestrationError):
+        wrapped = type(exc)(message)
+    else:
+        wrapped = OrchestrationError(message)
+    wrapped.__cause__ = exc
+    return wrapped
+
+
+def _run_shard(
+    task: ShardTask,
+    shard: Shard,
+    instrument: bool = False,
+    attempt: int = 1,
+    inline: bool = False,
+) -> Tuple[int, Any, float, Optional[Dict[str, Any]]]:
+    """Execute one shard attempt; returns ``(index, result, elapsed, snapshot)``.
+
+    Module-level so it pickles for the worker pool.  An active
+    :class:`~repro.faults.FaultPlan` is consulted first (``inline`` marks
+    serial execution, where ``kill``/``hang`` degrade to ``raise``).
+    Exceptions are wrapped with the shard's parameters via
+    :func:`_wrap_shard_error`.
 
     With ``instrument=True`` the task runs inside a private
     :func:`~repro.telemetry.runtime.capture` registry and the fourth
@@ -205,6 +330,7 @@ def _run_shard(
     snapshot: Optional[Dict[str, Any]] = None
     start = time.perf_counter()
     try:
+        faults.fire_shard_fault(shard.index, attempt, inline=inline)
         if instrument:
             with capture() as registry:
                 result = task(shard.params, shard.seed)
@@ -214,25 +340,135 @@ def _run_shard(
             result = task(shard.params, shard.seed)
             elapsed = time.perf_counter() - start
     except Exception as exc:
-        raise OrchestrationError(
-            f"shard {shard.index} {dict(shard.params)} failed: {exc}"
-        ) from exc
+        raise _wrap_shard_error(shard, attempt, exc) from exc
     return shard.index, result, elapsed, snapshot
 
 
-def _pool_entry(
-    args: Tuple[ShardTask, Shard, bool]
-) -> Tuple[int, Any, float, Optional[Dict[str, Any]]]:
-    return _run_shard(*args)
+def _worker_main(task: ShardTask, conn: Any, parent_end: Any, instrument: bool) -> None:
+    """Pool-worker loop: receive ``(shard, attempt)``, send back the outcome.
+
+    SIGINT is ignored so Ctrl-C is handled once, by the parent, which
+    then shuts workers down cleanly.  A ``None`` message (or a closed
+    pipe) ends the loop.  Errors travel back as exception *instances* —
+    the custom taxonomy pickles cleanly — so the parent can classify
+    retryability without re-parsing strings.
+
+    ``parent_end`` is the parent's side of this worker's pipe, closed
+    here first thing: under the ``fork`` start method the child inherits
+    a copy of it, and an unclosed copy would keep ``recv`` from ever
+    seeing EOF after the parent dies — orphaned workers would block
+    forever instead of exiting.  (Copies of *older* siblings' pipes are
+    also inherited; those unwind youngest-first once each worker's own
+    copy is closed, so a SIGKILLed parent never strands the pool.)
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        parent_end.close()
+    except OSError:
+        pass
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            shard, attempt = message
+            try:
+                index, result, elapsed, snapshot = _run_shard(
+                    task, shard, instrument, attempt=attempt
+                )
+                conn.send(("done", index, attempt, result, elapsed, snapshot))
+            except Exception as exc:
+                conn.send(("error", shard.index, attempt, exc))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _PoolWorker:
+    """Parent-side handle of one tracked worker process.
+
+    Unlike ``Pool``'s anonymous workers, each handle knows exactly which
+    ``(shard, attempt)`` its process is executing and since when — the
+    information timeout enforcement and death recovery both need.
+    """
+
+    __slots__ = ("process", "conn", "current", "started_at")
+
+    def __init__(self, context: Any, task: ShardTask, instrument: bool) -> None:
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main,
+            args=(task, child_conn, parent_conn, instrument),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.current: Optional[Tuple[Shard, int]] = None
+        self.started_at = 0.0
+
+    @property
+    def busy(self) -> bool:
+        """Whether a shard attempt is currently assigned to this worker."""
+        return self.current is not None
+
+    def submit(self, shard: Shard, attempt: int) -> None:
+        """Hand ``(shard, attempt)`` to the worker process."""
+        self.current = (shard, attempt)
+        self.started_at = time.monotonic()
+        self.conn.send((shard, attempt))
+
+    def kill(self) -> None:
+        """SIGKILL the worker and reap it (timeout/shutdown path)."""
+        try:
+            if self.process.is_alive():
+                self.process.kill()
+            self.process.join(timeout=5.0)
+        finally:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+    def shutdown(self) -> None:
+        """Ask an idle worker to exit; falls back to kill on any trouble."""
+        try:
+            self.conn.send(None)
+            self.process.join(timeout=1.0)
+        except (OSError, ValueError):
+            pass
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
 
 
 class ShardCache:
     """Content-addressed on-disk cache of shard results (JSON files).
 
-    One file per shard, named by the shard key.  A payload records the
-    parameters alongside the result, so cache directories are
-    self-describing and auditable.  Corrupt or stale-format entries are
-    treated as misses (resumability must never depend on a clean cache).
+    One file per shard, named by the shard key.  A format-v2 payload
+    records the parameters and seed alongside the result plus a SHA-256
+    checksum of the result's canonical JSON, so cache directories are
+    self-describing, auditable, and tamper-evident.  On ``load``:
+
+    * well-formed v2 entries with a matching checksum are hits;
+    * v1 (pre-checksum) entries are plain misses — old directories
+      migrate by recomputation, never by error;
+    * unparseable files and checksum mismatches are **quarantined**
+      (moved into ``quarantine/`` and counted) and read as misses —
+      resumability must never depend on a clean cache.
+
+    ``store`` is atomic (tmp file + rename) and consults the active
+    :class:`~repro.faults.FaultPlan`, which may corrupt or truncate the
+    payload or raise ``OSError(ENOSPC)`` — the orchestrator degrades
+    store failures to a one-time warning.
     """
 
     def __init__(self, directory: Union[str, Path]) -> None:
@@ -247,22 +483,82 @@ class ShardCache:
     def _path(self, shard: Shard) -> Path:
         return self.directory / f"{shard.key}.json"
 
-    def load(self, shard: Shard) -> Optional[Any]:
-        """Return the cached result for ``shard``, or ``None`` on a miss."""
+    @staticmethod
+    def result_checksum(result: Any) -> str:
+        """SHA-256 hex digest of the result's canonical JSON form."""
+        return hashlib.sha256(
+            canonical_json(result).encode("utf-8")
+        ).hexdigest()
+
+    def quarantine_dir(self) -> Path:
+        """Where integrity failures are moved (created on demand)."""
+        return self.directory / QUARANTINE_DIRNAME
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside (best effort) and count the event."""
+        get_registry().counter(
+            "repro_orchestrator_cache_quarantined_total",
+            "Cache entries quarantined on integrity failure, by reason",
+            labels=("reason",),
+        ).labels(reason=reason).inc()
+        target = self.quarantine_dir() / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            _ops_logger.warning(
+                "quarantined cache entry %s (%s) -> %s", path.name, reason, target
+            )
+        except OSError as exc:
+            # Last resort: leave it in place; the recompute will overwrite.
+            _ops_logger.warning(
+                "could not quarantine cache entry %s (%s): %s", path, reason, exc
+            )
+
+    def load(self, shard: Shard, strict: bool = False) -> Optional[Any]:
+        """Return the cached result for ``shard``, or ``None`` on a miss.
+
+        Integrity failures (unparseable JSON, checksum mismatch) are
+        quarantined and read as misses; ``strict=True`` raises
+        :class:`~repro.errors.CacheIntegrityError` instead — the audit
+        mode tests and tooling use.
+        """
         path = self._path(shard)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
             return None
-        if payload.get("format") != _CACHE_FORMAT or payload.get("key") != shard.key:
+        except ValueError:
+            if strict:
+                raise CacheIntegrityError(
+                    f"cache entry {path.name} is not valid JSON"
+                )
+            self._quarantine(path, reason="unreadable")
             return None
-        if "result" not in payload:
+        if not isinstance(payload, dict) or payload.get("format") != _CACHE_FORMAT:
+            return None  # v1 or foreign format: a plain miss, never an error
+        if payload.get("key") != shard.key or "result" not in payload:
+            return None
+        expected = payload.get("sha256")
+        actual = self.result_checksum(payload["result"])
+        if expected != actual:
+            if strict:
+                raise CacheIntegrityError(
+                    f"cache entry {path.name} failed its checksum "
+                    f"(stored {str(expected)[:12]}..., computed {actual[:12]}...)"
+                )
+            self._quarantine(path, reason="checksum")
             return None
         return payload["result"]
 
     def store(self, shard: Shard, result: Any, elapsed: float) -> None:
-        """Atomically persist one shard result."""
+        """Atomically persist one shard result (format v2, checksummed).
+
+        Raises ``OSError`` on write failure (including an injected
+        ENOSPC); callers decide whether that is fatal — the orchestrator
+        degrades it to a warning plus a counter.
+        """
+        fault = faults.match_cache_fault(shard.index)  # may raise OSError
         payload = {
             "format": _CACHE_FORMAT,
             "key": shard.key,
@@ -270,13 +566,28 @@ class ShardCache:
             "seed": shard.seed,
             "elapsed": elapsed,
             "result": result,
+            "sha256": self.result_checksum(result),
         }
+        if fault is not None:
+            get_registry().counter(
+                "repro_faults_injected_total",
+                "Faults fired from the active fault plan, by site and kind",
+                labels=("site", "kind"),
+            ).labels(site=faults.SITE_CACHE_STORE, kind=fault).inc()
+        text = json.dumps(payload)
+        if fault == "corrupt":
+            # Valid JSON whose result no longer matches its checksum —
+            # simulated bit-rot that only the v2 checksum can catch.
+            payload["sha256"] = "0" * 64
+            text = json.dumps(payload)
+        elif fault == "truncate":
+            text = text[: len(text) // 2]  # torn write / power loss
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=".json"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
+                handle.write(text)
             os.replace(tmp_name, self._path(shard))
         except BaseException:
             try:
@@ -301,6 +612,11 @@ class Orchestrator:
     mp_context:
         ``multiprocessing`` start-method name (default: the platform
         default, ``fork`` on Linux — cheapest for read-only shared code).
+    policy:
+        The :class:`~repro.analysis.retry.ExecutionPolicy` governing
+        retries, timeouts, the sweep deadline, partial-result mode, and
+        fault injection.  ``None`` keeps the fail-fast default (one
+        attempt, no timeouts, ``on_error="raise"``).
     """
 
     def __init__(
@@ -309,9 +625,11 @@ class Orchestrator:
         cache_dir: Union[str, Path, None] = None,
         progress: Union[bool, Callable[[int, int, int, float], None]] = False,
         mp_context: Optional[str] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = ShardCache(cache_dir) if cache_dir is not None else None
+        self.policy = policy if policy is not None else DEFAULT_EXECUTION_POLICY
         self._progress = progress
         self._mp_context = mp_context
         if progress is True:
@@ -321,6 +639,10 @@ class Orchestrator:
 
     def run(self, spec: SweepSpec, task: ShardTask) -> SweepResult:
         """Execute every shard of ``spec`` and return ordered outcomes."""
+        with faults.injected(self.policy.fault_plan):
+            return self._run(spec, task)
+
+    def _run(self, spec: SweepSpec, task: ShardTask) -> SweepResult:
         started = time.perf_counter()
         registry = get_registry()
         instrument = registry.enabled
@@ -344,9 +666,43 @@ class Orchestrator:
             "Per-shard completion wall time minus its own compute time",
             buckets=DEFAULT_TIME_BUCKETS,
         )
+        self._metric_retries = registry.counter(
+            "repro_orchestrator_retries_total",
+            "Shard attempts retried after a retryable failure, by reason",
+            labels=("reason",),
+        )
+        self._metric_timeouts = registry.counter(
+            "repro_orchestrator_shard_timeouts_total",
+            "Shard attempts killed for exceeding shard_timeout_s",
+        )
+        self._metric_worker_deaths = registry.counter(
+            "repro_orchestrator_worker_deaths_total",
+            "Pool workers that died mid-shard and were respawned",
+        )
+        self._metric_failed_shards = registry.counter(
+            "repro_orchestrator_failed_shards_total",
+            "Shards recorded as failed under on_error='partial'",
+        )
+        self._metric_cache_write_errors = registry.counter(
+            "repro_orchestrator_cache_write_errors_total",
+            "Shard-cache store failures degraded to warnings",
+        )
+        self._metric_backoff = registry.histogram(
+            "repro_orchestrator_retry_backoff_seconds",
+            "Deterministic backoff delay before each retry",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        self._metric_faults_injected = registry.counter(
+            "repro_faults_injected_total",
+            "Faults fired from the active fault plan, by site and kind",
+            labels=("site", "kind"),
+        )
+        self._cache_warned = False
+        self._n_retries = 0
 
         shards = spec.shards()
         outcomes: Dict[int, ShardOutcome] = {}
+        failures: List[FailedShard] = []
 
         pending: List[Shard] = []
         for shard in shards:
@@ -365,31 +721,39 @@ class Orchestrator:
             else:
                 pending.append(shard)
         n_cached = len(outcomes)
-        self._report(spec, len(outcomes), len(shards), n_cached, started)
+        n_resolved = len(outcomes)
+        self._report(spec, n_resolved, len(shards), n_cached, started)
 
         exec_started = time.perf_counter()
-        for index, result, elapsed, snapshot in self._execute(
-            task, pending, instrument
-        ):
-            shard = shards[index]
-            if self.cache is not None:
-                self.cache.store(shard, result, elapsed)
-            shards_seen.labels(state="computed").inc()
-            shard_seconds.observe(elapsed)
-            queue_wait.observe(
-                max(0.0, (time.perf_counter() - exec_started) - elapsed)
-            )
-            outcomes[index] = ShardOutcome(
-                shard=shard,
-                result=result,
-                cached=False,
-                elapsed=elapsed,
-                telemetry=snapshot,
-            )
-            self._report(spec, len(outcomes), len(shards), n_cached, started)
+        iterator = self._execute(task, pending, instrument, failures)
+        try:
+            for index, result, elapsed, snapshot, attempts in iterator:
+                shard = shards[index]
+                if self.cache is not None:
+                    self._store_guarded(shard, result, elapsed)
+                shards_seen.labels(state="computed").inc()
+                shard_seconds.observe(elapsed)
+                queue_wait.observe(
+                    max(0.0, (time.perf_counter() - exec_started) - elapsed)
+                )
+                outcomes[index] = ShardOutcome(
+                    shard=shard,
+                    result=result,
+                    cached=False,
+                    elapsed=elapsed,
+                    telemetry=snapshot,
+                    attempts=attempts,
+                )
+                n_resolved = len(outcomes) + len(failures)
+                self._report(spec, n_resolved, len(shards), n_cached, started)
+        finally:
+            iterator.close()
         self._finish_report(len(shards))
 
-        ordered = [outcomes[shard.index] for shard in shards]
+        failures.sort(key=lambda record: record.shard.index)
+        ordered = [
+            outcomes[shard.index] for shard in shards if shard.index in outcomes
+        ]
         # Merge worker snapshots in canonical shard order — not completion
         # order — so the merged registry is identical at any worker count
         # (gauges keep the value of the highest-indexed shard that set them).
@@ -413,43 +777,378 @@ class Orchestrator:
         stats = SweepRunStats(
             n_shards=len(shards),
             n_cached=n_cached,
-            n_computed=len(shards) - n_cached,
+            n_computed=len(ordered) - n_cached,
             workers=self.workers,
             wall_seconds=wall,
             shard_seconds=sum(outcome.elapsed for outcome in ordered),
+            n_failed=len(failures),
+            n_retries=self._n_retries,
         )
-        return SweepResult(spec=spec, outcomes=ordered, stats=stats)
+        return SweepResult(
+            spec=spec, outcomes=ordered, stats=stats, failed=failures
+        )
 
     def map(self, spec: SweepSpec, task: ShardTask) -> List[Any]:
         """Shorthand: run the sweep and return just the ordered results."""
         return self.run(spec, task).results()
 
+    # -- cache degradation --------------------------------------------------
+
+    def _store_guarded(self, shard: Shard, result: Any, elapsed: float) -> None:
+        """Persist one shard; store failures degrade to a one-time warning.
+
+        A read-only cache directory or a full disk costs persistence of
+        this run's shards — never the run itself.
+        """
+        try:
+            self.cache.store(shard, result, elapsed)
+        except OSError as exc:
+            self._metric_cache_write_errors.inc()
+            if not self._cache_warned:
+                self._cache_warned = True
+                _ops_logger.warning(
+                    "shard cache write to %s failed (%s: %s); continuing "
+                    "without persistence — this run is not resumable",
+                    self.cache.directory,
+                    type(exc).__name__,
+                    exc,
+                )
+
+    # -- failure resolution (shared by inline and pool paths) ---------------
+
+    def _count_injected(self, shard: Shard, attempt: int) -> None:
+        """Count a planned shard-site fault at dispatch time (parent-side).
+
+        Parent-side counting survives even the ``kill`` kind, whose
+        worker never lives to report anything.
+        """
+        plan = faults.active_plan()
+        if plan is None:
+            return
+        spec = plan.match(faults.SITE_SHARD, shard.index, attempt)
+        if spec is not None:
+            self._metric_faults_injected.labels(
+                site=faults.SITE_SHARD, kind=spec.kind
+            ).inc()
+
+    def _resolve_failure(
+        self,
+        shard: Shard,
+        attempt: int,
+        error: BaseException,
+        failures: List[FailedShard],
+    ) -> Optional[float]:
+        """Decide what happens after a failed attempt.
+
+        Returns the backoff delay in seconds when the shard should be
+        retried; returns ``None`` when the failure is final and was
+        recorded (partial mode); raises when the sweep must abort.
+        """
+        retry = self.policy.retry
+        if isinstance(error, ShardTimeoutError):
+            self._metric_timeouts.inc()
+            reason = "timeout"
+        elif isinstance(error, WorkerCrashError):
+            self._metric_worker_deaths.inc()
+            reason = "worker_death"
+        else:
+            reason = "exception"
+        if is_retryable(error) and attempt < retry.max_attempts:
+            delay = retry.backoff_for(shard.key, attempt + 1)
+            self._metric_retries.labels(reason=reason).inc()
+            self._metric_backoff.observe(delay)
+            self._n_retries += 1
+            _ops_logger.warning(
+                "retrying shard %d (attempt %d/%d in %.3fs): %s",
+                shard.index,
+                attempt + 1,
+                retry.max_attempts,
+                delay,
+                error,
+            )
+            return delay
+        if self.policy.on_error == "partial" and not isinstance(
+            error, (KeyboardInterrupt, SystemExit)
+        ):
+            self._metric_failed_shards.inc()
+            record = FailedShard(
+                shard=shard,
+                attempts=attempt,
+                error_type=type(error).__name__,
+                message=str(error),
+            )
+            failures.append(record)
+            _ops_logger.warning("giving up on %s", record.describe())
+            return None
+        raise error
+
     # -- execution backends -------------------------------------------------
 
-    def _execute(self, task: ShardTask, pending: List[Shard], instrument: bool):
-        """Yield ``(index, result, elapsed, snapshot)`` per pending shard.
+    def _execute(
+        self,
+        task: ShardTask,
+        pending: List[Shard],
+        instrument: bool,
+        failures: List[FailedShard],
+    ) -> Iterator[Tuple[int, Any, float, Optional[Dict[str, Any]], int]]:
+        """Yield ``(index, result, elapsed, snapshot, attempts)`` per success.
 
-        Completion order is arbitrary under the pool; the caller re-orders.
-        ``instrument`` travels inside each job tuple so spawn-context
-        workers (which do not inherit the parent's active registry) still
-        know whether to capture a snapshot.
+        Completion order is arbitrary under the pool; the caller
+        re-orders.  Final failures are appended to ``failures`` (partial
+        mode) or raised.  ``instrument`` travels inside each job so
+        spawn-context workers (which do not inherit the parent's active
+        registry) still know whether to capture a snapshot.
         """
         if not pending:
             return
         if self.workers <= 1 or len(pending) == 1:
-            for shard in pending:
-                yield _run_shard(task, shard, instrument)
-            return
+            yield from self._execute_inline(task, pending, instrument, failures)
+        else:
+            yield from self._execute_pool(task, pending, instrument, failures)
+
+    def _execute_inline(
+        self,
+        task: ShardTask,
+        pending: List[Shard],
+        instrument: bool,
+        failures: List[FailedShard],
+    ) -> Iterator[Tuple[int, Any, float, Optional[Dict[str, Any]], int]]:
+        """Serial backend: same retry/deadline semantics, no preemption.
+
+        ``shard_timeout_s`` cannot interrupt an in-process shard, so it
+        is not enforced here (``kill``/``hang`` faults degrade to
+        ``raise`` for the same reason); the sweep ``deadline_s`` is
+        checked between attempts.
+        """
+        deadline_at = (
+            time.monotonic() + self.policy.deadline_s
+            if self.policy.deadline_s is not None
+            else None
+        )
+        expired = False
+        for position, shard in enumerate(pending):
+            attempt = 1
+            while True:
+                if deadline_at is not None and time.monotonic() > deadline_at:
+                    expired = True
+                    break
+                self._count_injected(shard, attempt)
+                try:
+                    index, result, elapsed, snapshot = _run_shard(
+                        task, shard, instrument, attempt=attempt, inline=True
+                    )
+                except Exception as exc:
+                    delay = self._resolve_failure(shard, attempt, exc, failures)
+                    if delay is None:
+                        break
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                yield index, result, elapsed, snapshot, attempt
+                break
+            if expired:
+                deadline_error = SweepDeadlineError(
+                    f"sweep deadline of {self.policy.deadline_s}s expired with "
+                    f"{len(pending) - position} shard(s) unfinished"
+                )
+                for remaining in pending[position:]:
+                    self._resolve_failure(remaining, 1, deadline_error, failures)
+                return
+
+    def _execute_pool(
+        self,
+        task: ShardTask,
+        pending: List[Shard],
+        instrument: bool,
+        failures: List[FailedShard],
+    ) -> Iterator[Tuple[int, Any, float, Optional[Dict[str, Any]], int]]:
+        """Pooled backend: tracked async submission over private pipes.
+
+        Each worker owns a duplex pipe and executes one ``(shard,
+        attempt)`` at a time, so the parent always knows who is running
+        what and since when.  The loop multiplexes on pipe + process
+        sentinels, which gives it, in one place:
+
+        * completion collection (any order),
+        * hung-shard enforcement (`shard_timeout_s` → SIGKILL + respawn),
+        * worker-death recovery (sentinel/EOF → respawn + requeue),
+        * deterministic retry backoff (a ``not_before`` ready queue),
+        * the sweep deadline.
+        """
+        policy = self.policy
         context = (
             multiprocessing.get_context(self._mp_context)
             if self._mp_context
             else multiprocessing.get_context()
         )
         n_procs = min(self.workers, len(pending))
-        with context.Pool(processes=n_procs) as pool:
-            jobs = [(task, shard, instrument) for shard in pending]
-            for item in pool.imap_unordered(_pool_entry, jobs):
-                yield item
+        deadline_at = (
+            time.monotonic() + policy.deadline_s
+            if policy.deadline_s is not None
+            else None
+        )
+        #: (shard, attempt, not_before) — retries wait out their backoff here.
+        ready: Deque[Tuple[Shard, int, float]] = deque(
+            (shard, 1, 0.0) for shard in pending
+        )
+        outstanding = len(pending)
+        workers = [_PoolWorker(context, task, instrument) for _ in range(n_procs)]
+
+        def fail_attempt(shard: Shard, attempt: int, error: Exception) -> int:
+            """Shared post-failure bookkeeping; returns outstanding delta."""
+            delay = self._resolve_failure(shard, attempt, error, failures)
+            if delay is None:
+                return -1
+            ready.append((shard, attempt + 1, time.monotonic() + delay))
+            return 0
+
+        try:
+            while outstanding > 0:
+                now = time.monotonic()
+
+                if deadline_at is not None and now > deadline_at:
+                    deadline_error = SweepDeadlineError(
+                        f"sweep deadline of {policy.deadline_s}s expired with "
+                        f"{outstanding} shard(s) unfinished"
+                    )
+                    abandoned: List[Tuple[Shard, int]] = [
+                        (shard, attempt) for shard, attempt, _ in ready
+                    ]
+                    for worker in workers:
+                        if worker.busy:
+                            abandoned.append(worker.current)
+                    ready.clear()
+                    for shard, attempt in abandoned:
+                        # Never retryable: _resolve_failure records or raises.
+                        self._resolve_failure(
+                            shard, attempt, deadline_error, failures
+                        )
+                        outstanding -= 1
+                    return
+
+                # Dispatch ready work onto idle workers.
+                for worker in workers:
+                    if worker.busy:
+                        continue
+                    item = self._pop_ready(ready, now)
+                    if item is None:
+                        break
+                    shard, attempt, _ = item
+                    self._count_injected(shard, attempt)
+                    try:
+                        worker.submit(shard, attempt)
+                    except (OSError, ValueError):
+                        # The pipe died between checks: treat as a crash.
+                        worker.kill()
+                        workers[workers.index(worker)] = _PoolWorker(
+                            context, task, instrument
+                        )
+                        ready.appendleft((shard, attempt, now))
+
+                busy = [worker for worker in workers if worker.busy]
+                wait_handles = [worker.conn for worker in busy] + [
+                    worker.process.sentinel for worker in busy
+                ]
+                timeout = self._next_wake(busy, ready, deadline_at, now)
+                if wait_handles:
+                    ready_handles = _mp_connection.wait(
+                        wait_handles, timeout=timeout
+                    )
+                else:
+                    time.sleep(timeout if timeout is not None else 0.01)
+                    ready_handles = []
+
+                # Drain completions first (a worker that answered and then
+                # died of natural shutdown causes must not read as a crash).
+                for worker in busy:
+                    if worker.conn not in ready_handles:
+                        continue
+                    shard, attempt = worker.current
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        continue  # death: the sentinel scan below handles it
+                    worker.current = None
+                    if message[0] == "done":
+                        _, index, attempt, result, elapsed, snapshot = message
+                        outstanding -= 1
+                        yield index, result, elapsed, snapshot, attempt
+                    else:
+                        _, _, attempt, error = message
+                        outstanding += fail_attempt(shard, attempt, error)
+
+                # Liveness + timeout enforcement on whoever is still busy.
+                now = time.monotonic()
+                for slot, worker in enumerate(workers):
+                    if not worker.busy:
+                        continue
+                    shard, attempt = worker.current
+                    if not worker.process.is_alive():
+                        worker.kill()
+                        workers[slot] = _PoolWorker(context, task, instrument)
+                        crash = WorkerCrashError(
+                            f"worker pid {worker.process.pid} died executing "
+                            f"shard {shard.index} (attempt {attempt}); "
+                            "respawned the worker and requeued the shard"
+                        )
+                        outstanding += fail_attempt(shard, attempt, crash)
+                    elif (
+                        policy.shard_timeout_s is not None
+                        and now - worker.started_at > policy.shard_timeout_s
+                    ):
+                        worker.kill()
+                        workers[slot] = _PoolWorker(context, task, instrument)
+                        timeout_error = ShardTimeoutError(
+                            f"shard {shard.index} (attempt {attempt}) exceeded "
+                            f"shard_timeout_s={policy.shard_timeout_s}s; "
+                            "killed the worker and respawned it"
+                        )
+                        outstanding += fail_attempt(shard, attempt, timeout_error)
+        finally:
+            for worker in workers:
+                if worker.busy:
+                    worker.kill()
+                else:
+                    worker.shutdown()
+
+    @staticmethod
+    def _pop_ready(
+        ready: Deque[Tuple[Shard, int, float]], now: float
+    ) -> Optional[Tuple[Shard, int, float]]:
+        """Pop the first queue item whose backoff has elapsed, if any."""
+        for _ in range(len(ready)):
+            item = ready.popleft()
+            if item[2] <= now:
+                return item
+            ready.append(item)
+        return None
+
+    def _next_wake(
+        self,
+        busy: List[_PoolWorker],
+        ready: Deque[Tuple[Shard, int, float]],
+        deadline_at: Optional[float],
+        now: float,
+    ) -> Optional[float]:
+        """Longest safe blocking time before a timer could need service.
+
+        ``None`` (block until a pipe/sentinel event) when no shard
+        timeout, backoff expiry, or deadline is pending — the common
+        fault-free case, where the loop wakes only on real events.
+        """
+        wakes: List[float] = []
+        if self.policy.shard_timeout_s is not None:
+            for worker in busy:
+                wakes.append(worker.started_at + self.policy.shard_timeout_s)
+        for _, _, not_before in ready:
+            if not_before > now:
+                wakes.append(not_before)
+        if deadline_at is not None:
+            wakes.append(deadline_at)
+        if not wakes:
+            return None
+        return min(0.5, max(0.01, min(wakes) - now))
 
     # -- progress -----------------------------------------------------------
 
@@ -471,7 +1170,10 @@ class Orchestrator:
             )
 
     def _finish_report(self, total: int) -> None:
-        if self._progress is True and total:
+        # Callable reporters share the in-place stderr line (tests and the
+        # CLI both route through the same logger), so they need the
+        # trailing newline exactly as much as the built-in reporter does.
+        if self._progress and total:
             _progress_logger.info("\n")
 
 
@@ -481,9 +1183,10 @@ def run_sweep(
     workers: Union[int, str, None] = 1,
     cache_dir: Union[str, Path, None] = None,
     progress: Union[bool, Callable[[int, int, int, float], None]] = False,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> SweepResult:
     """One-shot convenience wrapper around :class:`Orchestrator`."""
     orchestrator = Orchestrator(
-        workers=workers, cache_dir=cache_dir, progress=progress
+        workers=workers, cache_dir=cache_dir, progress=progress, policy=policy
     )
     return orchestrator.run(spec, task)

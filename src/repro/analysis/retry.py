@@ -1,0 +1,178 @@
+"""Retry, timeout and degradation policy for orchestrated sweeps.
+
+Three small, frozen dataclasses separate *what the orchestrator should do
+about failure* from the pool mechanics in
+:mod:`repro.analysis.orchestrator`:
+
+* :class:`RetryPolicy` — how many attempts a shard gets and how long to
+  wait between them.  Backoff is exponential with **deterministic
+  jitter**: the jitter factor is a SHA-256 hash of the shard key and the
+  attempt number, so two runs of the same campaign back off identically
+  (wall-clock is the only thing randomness would add, and this repo
+  trades it away for reproducibility everywhere else too).
+* :class:`ExecutionPolicy` — the full robustness envelope: retry policy,
+  per-shard timeout, sweep deadline, ``on_error`` mode, and an optional
+  :class:`~repro.faults.FaultPlan` to activate for the run.
+* :class:`FailedShard` — the partial-mode record of one shard that
+  exhausted its attempts, carried on the sweep result next to the
+  successful outcomes (which remain bit-identical to a fault-free run,
+  because retries reuse each shard's deterministic seed).
+
+Classification lives in :func:`is_retryable`: infrastructure failures
+(timeouts, worker deaths, injected faults, ``OSError``) and generic shard
+exceptions are retryable; configuration errors and a blown sweep deadline
+are not — retrying cannot fix a bad spec or refill a spent budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import (
+    ConfigurationError,
+    SweepDeadlineError,
+)
+from repro.faults import FaultPlan
+from repro.analysis.sweep import Shard
+
+#: Exception types retrying can never fix: bad configuration stays bad,
+#: and a blown deadline has no budget left to retry inside.
+NON_RETRYABLE = (ConfigurationError, SweepDeadlineError)
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether another attempt could plausibly succeed after ``error``.
+
+    ``KeyboardInterrupt``/``SystemExit`` (user intent) and the
+    :data:`NON_RETRYABLE` classes are final; every other ``Exception`` —
+    including timeouts, worker deaths and injected faults — is fair game
+    for the retry policy.
+    """
+    if not isinstance(error, Exception):
+        return False  # KeyboardInterrupt, SystemExit: the user said stop
+    return not isinstance(error, NON_RETRYABLE)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget and deterministic backoff schedule for one shard.
+
+    ``max_attempts=1`` (the default) is the pre-robustness behaviour:
+    one try, failure propagates.  ``backoff_for`` grows exponentially
+    from ``backoff_base_s`` by ``backoff_factor`` per retry, capped at
+    ``backoff_max_s``, then scaled by a deterministic jitter factor in
+    ``[1 - jitter, 1 + jitter]`` derived from the shard key — spreading
+    thundering-herd retries without sacrificing reproducibility.
+    """
+
+    max_attempts: int = 1
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def backoff_for(self, shard_key: str, attempt: int) -> float:
+        """Seconds to wait before ``attempt`` (2-based: no wait before 1).
+
+        Deterministic: depends only on the policy, the shard key and the
+        attempt number — never on wall clock or a global RNG.
+        """
+        if attempt <= 1:
+            return 0.0
+        raw = self.backoff_base_s * self.backoff_factor ** (attempt - 2)
+        raw = min(self.backoff_max_s, raw)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        digest = hashlib.sha256(
+            f"retry:{shard_key}:{attempt}".encode("utf-8")
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)  # [0, 1)
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+
+#: The default policy: single attempt, i.e. fail-fast like the seed code.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: Valid ``on_error`` modes.
+ON_ERROR_MODES: Tuple[str, ...] = ("raise", "partial")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """The robustness envelope of one orchestrated sweep.
+
+    ``on_error="raise"`` stops the sweep at the first shard that exhausts
+    its attempts (completed shards stay cached, so re-runs resume);
+    ``"partial"`` records a :class:`FailedShard` and keeps going — the
+    sweep result then carries every successful outcome bit-identical to
+    a clean run, plus the failure records.  ``shard_timeout_s`` is
+    enforced per attempt in pooled execution (inline execution cannot
+    preempt a running shard); ``deadline_s`` bounds the whole sweep in
+    both modes.  ``fault_plan`` activates deterministic fault injection
+    for the duration of the run.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    shard_timeout_s: Optional[float] = None
+    deadline_s: Optional[float] = None
+    on_error: str = "raise"
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ON_ERROR_MODES:
+            raise ConfigurationError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {self.on_error!r}"
+            )
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ConfigurationError(
+                f"shard_timeout_s must be > 0, got {self.shard_timeout_s}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+
+
+#: The do-nothing-new policy every caller gets by default.
+DEFAULT_EXECUTION_POLICY = ExecutionPolicy()
+
+
+@dataclass(frozen=True)
+class FailedShard:
+    """Partial-mode record of one shard that exhausted its attempts.
+
+    ``error_type`` is the exception class name (``ShardTimeoutError``,
+    ``WorkerCrashError``, ``InjectedFaultError``, ...), ``message`` its
+    rendered text; both are plain strings so the record serializes with
+    the rest of the sweep result.
+    """
+
+    shard: Shard
+    attempts: int
+    error_type: str
+    message: str
+
+    def describe(self) -> str:
+        """One-line human-readable summary for logs and CLI output."""
+        return (
+            f"shard {self.shard.index} {dict(self.shard.params)} failed "
+            f"after {self.attempts} attempt(s): {self.error_type}: {self.message}"
+        )

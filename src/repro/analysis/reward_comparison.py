@@ -33,6 +33,7 @@ import numpy as np
 from repro.analysis import plotting, stats
 from repro.analysis.csvio import PathLike, write_rows
 from repro.analysis.orchestrator import run_sweep
+from repro.analysis.retry import ExecutionPolicy
 from repro.analysis.sweep import SweepSpec
 from repro.core.bounds import paper_aggregates
 from repro.core.costs import RoleCosts
@@ -313,6 +314,7 @@ def run_reward_comparison(
     workers: Union[int, str, None] = 1,
     cache_dir: Union[str, Path, None] = None,
     progress: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> RewardComparisonResult:
     """Run the Figure 6 / 7(a) / 7(b) experiment.
 
@@ -327,7 +329,12 @@ def run_reward_comparison(
     if distributions is None and costs is None:
         spec = fig6_sweep_spec(config)
         sweep = run_sweep(
-            spec, _fig6_shard, workers=workers, cache_dir=cache_dir, progress=progress
+            spec,
+            _fig6_shard,
+            workers=workers,
+            cache_dir=cache_dir,
+            progress=progress,
+            policy=policy,
         )
         shard_results = sweep.results()
         names = list(paper_distributions())
@@ -438,6 +445,7 @@ def run_truncation_experiment(
     workers: Union[int, str, None] = 1,
     cache_dir: Union[str, Path, None] = None,
     progress: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> TruncationResult:
     """Run the Figure 7(c) sweep: U(1,200) with small-stake removal.
 
@@ -459,6 +467,7 @@ def run_truncation_experiment(
             workers=workers,
             cache_dir=cache_dir,
             progress=progress,
+            policy=policy,
         )
         shard_results = sweep.results()
         for index, threshold in enumerate(thresholds):

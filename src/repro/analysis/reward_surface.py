@@ -22,6 +22,7 @@ import numpy as np
 from repro.analysis import plotting
 from repro.analysis.csvio import PathLike, write_rows
 from repro.analysis.orchestrator import run_sweep
+from repro.analysis.retry import ExecutionPolicy
 from repro.analysis.sweep import SweepSpec
 from repro.core.bounds import (
     RoleAggregates,
@@ -186,13 +187,16 @@ def run_reward_surface(
     workers: Union[int, str, None] = 1,
     cache_dir: Union[str, Path, None] = None,
     progress: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> RewardSurfaceResult:
     """Run the Figure 5 sweep.
 
     The stake population and its role aggregates are computed once in the
     parent; with default (paper) costs the per-alpha surface rows then
     shard through the sweep orchestrator.  Custom ``costs`` run the
-    original single-process grid search.
+    original single-process grid search.  ``policy`` sets the robustness
+    envelope (retries, timeouts); the surface merge is positional, so a
+    partial-mode run with failures raises rather than misalign.
     """
     distribution = truncated_normal(config.stake_mean, config.stake_std)
     stakes = distribution.sample_total(config.n_nodes, config.total_stake, config.seed)
@@ -206,6 +210,7 @@ def run_reward_surface(
             workers=workers,
             cache_dir=cache_dir,
             progress=progress,
+            policy=policy,
         )
         grid = _merge_surface(alphas, betas, sweep.results())
         analytic = minimize_reward_analytic(RoleCosts.paper_defaults(), aggregates)

@@ -39,6 +39,17 @@ re-roots every random stream, and ``--cache-dir`` persists finished
 shards so interrupted campaigns resume instead of restarting.  Results
 are bit-identical at any worker count.
 
+The sharded experiments also take a robustness envelope:
+``--max-retries N`` retries failed shards with deterministic exponential
+backoff, ``--shard-timeout S`` SIGKILLs and retries pooled shards that
+run long, ``--deadline S`` bounds each sweep's wall clock, and
+``--on-error partial`` degrades to partial results instead of aborting.
+``--inject-faults PLAN`` (a JSON file or inline object) activates
+deterministic fault injection for chaos testing — see
+``docs/robustness.md``.  Ctrl-C (or SIGTERM) terminates workers cleanly
+and prints a resumable-partial summary instead of a traceback, exiting
+with status 130.
+
 The protocol-simulator experiments (fig3, scenarios, tournament) run on
 the vectorized fast kernel by default; ``--backend des`` switches back
 to the per-message discrete-event oracle (see
@@ -61,6 +72,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 from dataclasses import dataclass, replace
@@ -69,6 +81,7 @@ from typing import Callable, Dict, Optional, Union
 
 from repro.analysis.defection import DefectionExperimentConfig, run_defection_experiment
 from repro.analysis.orchestrator import configure_progress_logging
+from repro.analysis.retry import ON_ERROR_MODES, ExecutionPolicy, RetryPolicy
 from repro.analysis.reward_comparison import (
     RewardComparisonConfig,
     run_reward_comparison,
@@ -77,6 +90,7 @@ from repro.analysis.reward_comparison import (
 from repro.analysis.reward_surface import RewardSurfaceConfig, run_reward_surface
 from repro.analysis.tables import table2, table3
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
 from repro.sim.config import SIMULATION_BACKENDS
 from repro.telemetry import (
     enable as _telemetry_enable,
@@ -157,6 +171,12 @@ class RunOptions:
     #: empty means each experiment's single default cell.
     budget_multipliers: tuple = ()
     cost_scales: tuple = ()
+    #: Robustness envelope for the sharded experiments — retries,
+    #: per-shard timeout, sweep deadline, partial mode, fault injection
+    #: (from ``--max-retries`` / ``--shard-timeout`` / ``--deadline`` /
+    #: ``--on-error`` / ``--inject-faults``).  ``None`` keeps the
+    #: fail-fast default; the analytic experiments ignore it.
+    policy: Optional[ExecutionPolicy] = None
 
 
 @dataclass
@@ -202,6 +222,7 @@ def _run_fig3(options: RunOptions) -> ExperimentOutcome:
         workers=options.workers,
         cache_dir=options.cache_dir,
         progress=options.progress,
+        policy=options.policy,
     )
     csv_path = _csv_path(options, "fig3.csv")
     if csv_path is not None:
@@ -218,6 +239,7 @@ def _run_fig5(options: RunOptions) -> ExperimentOutcome:
         workers=options.workers,
         cache_dir=options.cache_dir,
         progress=options.progress,
+        policy=options.policy,
     )
     csv_path = _csv_path(options, "fig5.csv")
     if csv_path is not None:
@@ -234,6 +256,7 @@ def _run_fig6(options: RunOptions) -> ExperimentOutcome:
         workers=options.workers,
         cache_dir=options.cache_dir,
         progress=options.progress,
+        policy=options.policy,
     )
     csv_path = _csv_path(options, "fig6.csv")
     if csv_path is not None:
@@ -255,6 +278,7 @@ def _run_fig7c(options: RunOptions) -> ExperimentOutcome:
         workers=options.workers,
         cache_dir=options.cache_dir,
         progress=options.progress,
+        policy=options.policy,
     )
     csv_path = _csv_path(options, "fig7c.csv")
     if csv_path is not None:
@@ -282,6 +306,7 @@ def _run_scenarios(options: RunOptions) -> ExperimentOutcome:
         workers=options.workers,
         cache_dir=options.cache_dir,
         progress=options.progress,
+        policy=options.policy,
     )
     csv_path = _csv_path(options, "scenarios.csv")
     if csv_path is not None:
@@ -322,6 +347,7 @@ def _run_tournament(options: RunOptions) -> ExperimentOutcome:
         workers=options.workers,
         cache_dir=options.cache_dir,
         progress=options.progress,
+        policy=options.policy,
     )
     csv_path = _csv_path(options, "tournament.csv")
     if csv_path is not None:
@@ -441,6 +467,7 @@ def _run_dynamics(options: RunOptions) -> ExperimentOutcome:
         workers=options.workers,
         cache_dir=options.cache_dir,
         progress=options.progress,
+        policy=options.policy,
     )
     csv_path = _csv_path(options, "dynamics.csv")
     if csv_path is not None:
@@ -492,6 +519,7 @@ def run_experiment(
     epochs: Optional[int] = None,
     budget_multipliers: tuple = (),
     cost_scales: tuple = (),
+    policy: Optional[ExecutionPolicy] = None,
 ) -> ExperimentOutcome:
     """Run one registered experiment by name."""
     if name not in EXPERIMENTS:
@@ -525,6 +553,7 @@ def run_experiment(
         epochs=epochs,
         budget_multipliers=budget_multipliers,
         cost_scales=cost_scales,
+        policy=policy,
     )
     return EXPERIMENTS[name](options)
 
@@ -770,12 +799,79 @@ def main(argv=None) -> int:
         action="store_true",
         help="suppress the per-shard progress line on stderr",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retries per shard after a retryable failure (crash, timeout, "
+        "exception): 0 fails fast; backoff is exponential with "
+        "deterministic jitter, and retried shards reuse their seed so "
+        "recovery never changes results",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard attempt budget: a pooled shard running longer is "
+        "SIGKILLed, its worker respawned, and the shard retried under "
+        "--max-retries (inline --workers 1 execution cannot preempt a "
+        "running shard)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for each experiment's whole sweep; on "
+        "expiry unfinished shards fail (completed shards stay cached)",
+    )
+    parser.add_argument(
+        "--on-error",
+        default="raise",
+        choices=list(ON_ERROR_MODES),
+        help="'raise' stops at the first shard that exhausts its attempts; "
+        "'partial' records the failure and keeps going — successful "
+        "shards stay bit-identical to a clean run (experiments whose "
+        "merge cannot tolerate holes still raise)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="activate deterministic fault injection: a fault-plan JSON "
+        "file path or an inline JSON object (see docs/robustness.md); "
+        "workers inherit the plan under every multiprocessing start "
+        "method",
+    )
     args = parser.parse_args(argv)
 
     configure_progress_logging(enabled=not args.no_progress)
     telemetry_on = args.telemetry_json is not None or args.metrics_text is not None
     if telemetry_on:
         _telemetry_enable()
+
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    fault_plan = (
+        FaultPlan.from_source(args.inject_faults) if args.inject_faults else None
+    )
+    policy: Optional[ExecutionPolicy] = None
+    if (
+        args.max_retries
+        or args.shard_timeout is not None
+        or args.deadline is not None
+        or args.on_error != "raise"
+        or fault_plan is not None
+    ):
+        # --max-retries counts *extra* tries: 2 retries = 3 attempts.
+        policy = ExecutionPolicy(
+            retry=RetryPolicy(max_attempts=args.max_retries + 1),
+            shard_timeout_s=args.shard_timeout,
+            deadline_s=args.deadline,
+            on_error=args.on_error,
+            fault_plan=fault_plan,
+        )
 
     if args.experiment == "profile":
         if args.target is None:
@@ -800,38 +896,79 @@ def main(argv=None) -> int:
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     timings: Dict[str, float] = {}
-    for name in names:
-        started = time.perf_counter()
-        with span(f"runner.{name}"):
-            outcome = run_experiment(
-                name,
-                scale=args.scale,
-                out=args.out,
-                workers=args.workers,
-                seed=args.seed,
-                cache_dir=args.cache_dir,
-                progress=not args.no_progress,
-                backend=args.backend,
-                family=args.family,
-                family_params=(
-                    tuple(args.family_params) if args.family_params else ()
-                ),
-                agents=args.agents,
-                chunk_agents=args.chunk_agents,
-                dtype=args.dtype,
-                schemes=tuple(args.schemes) if args.schemes else (),
-                epochs=args.epochs,
-                budget_multipliers=(
-                    tuple(args.budget_multipliers) if args.budget_multipliers else ()
-                ),
-                cost_scales=tuple(args.cost_scales) if args.cost_scales else (),
+
+    def _on_sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        previous_sigterm = None  # embedded in a non-main thread: SIGINT only
+    current: Optional[str] = None
+    try:
+        for name in names:
+            current = name
+            started = time.perf_counter()
+            with span(f"runner.{name}"):
+                outcome = run_experiment(
+                    name,
+                    scale=args.scale,
+                    out=args.out,
+                    workers=args.workers,
+                    seed=args.seed,
+                    cache_dir=args.cache_dir,
+                    progress=not args.no_progress,
+                    backend=args.backend,
+                    family=args.family,
+                    family_params=(
+                        tuple(args.family_params) if args.family_params else ()
+                    ),
+                    agents=args.agents,
+                    chunk_agents=args.chunk_agents,
+                    dtype=args.dtype,
+                    schemes=tuple(args.schemes) if args.schemes else (),
+                    epochs=args.epochs,
+                    budget_multipliers=(
+                        tuple(args.budget_multipliers)
+                        if args.budget_multipliers
+                        else ()
+                    ),
+                    cost_scales=tuple(args.cost_scales) if args.cost_scales else (),
+                    policy=policy,
+                )
+            timings[name] = time.perf_counter() - started
+            print(f"=== {outcome.name} ===")
+            print(outcome.rendered)
+            if outcome.csv_path is not None:
+                print(f"[data written to {outcome.csv_path}]")
+            print()
+    except KeyboardInterrupt:
+        # The orchestrator's pool loop has already terminated its workers
+        # on the way out; report a resumable-partial summary instead of a
+        # traceback and exit with the conventional SIGINT status.
+        completed = ", ".join(timings) if timings else "none"
+        print(
+            f"\ninterrupted during {current!r}; workers terminated cleanly.\n"
+            f"completed experiments: {completed}.",
+            file=sys.stderr,
+        )
+        if args.cache_dir is not None:
+            print(
+                f"finished shards are cached under {args.cache_dir}; "
+                "re-run the same command to resume.",
+                file=sys.stderr,
             )
-        timings[name] = time.perf_counter() - started
-        print(f"=== {outcome.name} ===")
-        print(outcome.rendered)
-        if outcome.csv_path is not None:
-            print(f"[data written to {outcome.csv_path}]")
-        print()
+        else:
+            print(
+                "no --cache-dir was set, so finished shards were not "
+                "persisted; pass --cache-dir to make interrupted campaigns "
+                "resumable.",
+                file=sys.stderr,
+            )
+        return 130
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
     if len(names) > 1:
         print(_timing_table(timings))
     snapshot = get_registry().snapshot() if telemetry_on else None

@@ -78,3 +78,49 @@ class OrchestrationError(ReproError):
     failing grid point in a large parallel campaign is identifiable.
     """
 
+
+class ShardTimeoutError(OrchestrationError):
+    """A shard exceeded its per-attempt ``shard_timeout_s`` budget.
+
+    Raised (or recorded as a :class:`~repro.analysis.retry.FailedShard`)
+    after the orchestrator SIGKILLs the hung worker and respawns it.
+    Retryable: a timeout is usually load, not logic.
+    """
+
+
+class WorkerCrashError(OrchestrationError):
+    """A pool worker died (OOM kill, SIGKILL, segfault) mid-shard.
+
+    The orchestrator detects the death, respawns the worker, and requeues
+    the lost shard under the retry policy; this error surfaces only when
+    the shard's attempts are exhausted.  Retryable.
+    """
+
+
+class SweepDeadlineError(OrchestrationError):
+    """The whole sweep exceeded its ``deadline_s`` wall-clock budget.
+
+    Never retryable: the budget is gone.  Under ``on_error="partial"``
+    the remaining shards are recorded as failed and completed work is
+    kept (and cached), so a re-run resumes instead of restarting.
+    """
+
+
+class CacheIntegrityError(OrchestrationError):
+    """A shard-cache entry failed its integrity check (checksum, layout).
+
+    The cache treats integrity failures as misses and quarantines the
+    offending file; this error is raised only in strict audit mode
+    (``ShardCache.load(..., strict=True)``), where callers want the
+    failure surfaced instead of silently recomputed.
+    """
+
+
+class InjectedFaultError(OrchestrationError):
+    """A deterministic fault from an active :class:`repro.faults.FaultPlan`.
+
+    Raised by the ``raise`` fault kind so tests and chaos runs can tell
+    injected failures from organic ones.  Retryable by classification —
+    exactly like the transient errors it stands in for.
+    """
+

@@ -1,0 +1,162 @@
+"""`repro.faults`: zero-dependency deterministic fault injection.
+
+The package answers one question for the orchestrator's hardening work:
+*how do we prove the recovery paths actually run?*  A seeded
+:class:`FaultPlan` (see :mod:`repro.faults.plan`) names exact
+``(site, shard, attempt)`` coordinates; this module activates a plan for
+the current process tree and fires matched faults at the two injection
+sites the orchestrator consults.
+
+Activation travels through the :data:`FAULT_PLAN_ENV` environment
+variable — *not* through pickled arguments — so workers see the same
+plan under every ``multiprocessing`` start method (``fork`` inherits the
+parent's environment snapshot, ``spawn``/``forkserver`` re-import with
+``os.environ`` intact).  The CLI's ``--inject-faults`` flag and the
+:func:`injected` context manager both write that variable.
+
+Firing semantics at the ``shard`` site (worker-side):
+
+* ``raise`` — throws :class:`~repro.errors.InjectedFaultError`.
+* ``hang``  — sleeps ``sleep_s`` (trip the orchestrator's shard timeout).
+* ``kill``  — ``SIGKILL`` to the worker's own pid, mid-shard.  In inline
+  (``workers=1``) execution there is no worker to kill, so ``kill`` and
+  ``hang`` degrade to ``raise`` — the shard still fails deterministically,
+  which keeps partial-mode results well-defined at any worker count.
+
+The ``cache_store`` site is consulted by :class:`~repro.analysis.orchestrator.ShardCache`
+itself (corrupt / truncate / ENOSPC a write); see its ``store`` method.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import InjectedFaultError
+from repro.faults.plan import (
+    CACHE_KINDS,
+    SHARD_KINDS,
+    SITE_CACHE_STORE,
+    SITE_SHARD,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "CACHE_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "SHARD_KINDS",
+    "SITE_CACHE_STORE",
+    "SITE_SHARD",
+    "active_plan",
+    "clear_plan",
+    "fire_shard_fault",
+    "injected",
+    "install_plan",
+    "match_cache_fault",
+]
+
+#: The activation channel: compact plan JSON, visible to every worker.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Memoized ``(raw env value, parsed plan)`` — plans are parsed at most
+#: once per distinct value, so per-shard matching stays O(specs).
+_parsed: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan installed in this process's environment, or ``None``."""
+    global _parsed
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if raw is None:
+        return None
+    if _parsed[0] != raw:
+        _parsed = (raw, FaultPlan.from_json(raw))
+    return _parsed[1]
+
+
+def install_plan(plan: FaultPlan) -> None:
+    """Activate ``plan`` for this process and all future children."""
+    os.environ[FAULT_PLAN_ENV] = plan.to_json()
+
+
+def clear_plan() -> None:
+    """Deactivate fault injection for this process and future children."""
+    os.environ.pop(FAULT_PLAN_ENV, None)
+
+
+@contextmanager
+def injected(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Activate ``plan`` for the block, restoring the previous state after.
+
+    ``plan=None`` is a no-op passthrough, so call sites can write
+    ``with injected(policy.fault_plan):`` unconditionally.
+    """
+    if plan is None:
+        yield None
+        return
+    previous = os.environ.get(FAULT_PLAN_ENV)
+    install_plan(plan)
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            clear_plan()
+        else:
+            os.environ[FAULT_PLAN_ENV] = previous
+
+
+def fire_shard_fault(shard_index: int, attempt: int, inline: bool = False) -> None:
+    """Fire the shard-site fault targeting ``(shard_index, attempt)``, if any.
+
+    Called by the orchestrator's shard wrapper before the task runs.
+    ``inline=True`` marks serial (``workers=1``) execution, where ``kill``
+    and ``hang`` degrade to ``raise`` (there is no worker process to kill
+    and no parent watchdog to time a hang out).
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    spec = plan.match(SITE_SHARD, shard_index, attempt)
+    if spec is None:
+        return
+    kind = spec.kind
+    if inline and kind in ("kill", "hang"):
+        kind = "raise"
+    if kind == "raise":
+        raise InjectedFaultError(
+            f"injected fault ({spec.kind}) at shard {shard_index} "
+            f"attempt {attempt} [plan {plan.name!r}]"
+        )
+    if kind == "hang":
+        time.sleep(spec.sleep_s)
+        return
+    if kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def match_cache_fault(shard_index: int) -> Optional[str]:
+    """The cache-store fault kind targeting ``shard_index``, or ``None``.
+
+    ``enospc`` is fired here (an ``OSError`` exactly like a full disk);
+    ``corrupt`` / ``truncate`` are returned for the cache writer to apply
+    to the payload bytes, since only it knows the serialized form.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    spec = plan.match(SITE_CACHE_STORE, shard_index)
+    if spec is None:
+        return None
+    if spec.kind == "enospc":
+        raise OSError(
+            errno.ENOSPC,
+            f"injected ENOSPC storing shard {shard_index} [plan {plan.name!r}]",
+        )
+    return spec.kind

@@ -1,0 +1,255 @@
+"""Deterministic fault plans: which shard fails, how, and on which attempt.
+
+A :class:`FaultPlan` is a small, serializable list of :class:`FaultSpec`
+entries.  Each spec targets one *site* in the orchestrator:
+
+* ``site="shard"`` — fires inside the worker executing the targeted
+  shard attempt: ``raise`` throws :class:`~repro.errors.InjectedFaultError`,
+  ``hang`` sleeps past any reasonable timeout, ``kill`` SIGKILLs the
+  worker process mid-shard (the OOM-killer simulation).
+* ``site="cache_store"`` — fires in the parent when the targeted shard's
+  result is persisted: ``corrupt`` tampers the stored result after the
+  checksum was computed (bit-rot), ``truncate`` writes half the payload
+  (torn write / power loss), ``enospc`` raises ``OSError(ENOSPC)`` (full
+  disk).
+
+Plans are **deterministic by construction**: a spec names an exact
+``(site, shard_index, attempt)`` coordinate, so two runs with the same
+plan inject exactly the same faults — which is what lets the chaos CI
+job assert byte-identical output against a fault-free run.  For
+property-based testing, :meth:`FaultPlan.sample` draws a random-looking
+but seed-reproducible plan.
+
+Nothing here imports the orchestrator; activation and firing live in
+:mod:`repro.faults` (the package ``__init__``), which ships plans to
+workers through an environment variable so every ``multiprocessing``
+start method sees the same plan.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: The two injection sites the orchestrator consults.
+SITE_SHARD = "shard"
+SITE_CACHE_STORE = "cache_store"
+
+#: Valid fault kinds per site.
+SHARD_KINDS: Tuple[str, ...] = ("raise", "hang", "kill")
+CACHE_KINDS: Tuple[str, ...] = ("corrupt", "truncate", "enospc")
+
+_KINDS_BY_SITE: Mapping[str, Tuple[str, ...]] = {
+    SITE_SHARD: SHARD_KINDS,
+    SITE_CACHE_STORE: CACHE_KINDS,
+}
+
+#: Plan serialization format version (travels inside the JSON payload).
+PLAN_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: site + kind + exact target coordinate.
+
+    ``attempt`` is 1-based and only consulted at the ``shard`` site —
+    ``attempt=1`` means "fail the first try", so a retrying orchestrator
+    recovers on attempt 2 with the shard's unchanged deterministic seed.
+    ``sleep_s`` parameterizes ``hang``.
+    """
+
+    site: str
+    kind: str
+    shard_index: int
+    attempt: int = 1
+    sleep_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.site not in _KINDS_BY_SITE:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; choose from "
+                f"{sorted(_KINDS_BY_SITE)}"
+            )
+        if self.kind not in _KINDS_BY_SITE[self.site]:
+            raise ConfigurationError(
+                f"fault kind {self.kind!r} is invalid at site {self.site!r}; "
+                f"choose from {_KINDS_BY_SITE[self.site]}"
+            )
+        if self.shard_index < 0:
+            raise ConfigurationError(
+                f"shard_index must be >= 0, got {self.shard_index}"
+            )
+        if self.attempt < 1:
+            raise ConfigurationError(f"attempt is 1-based, got {self.attempt}")
+        if self.sleep_s <= 0:
+            raise ConfigurationError(f"sleep_s must be > 0, got {self.sleep_s}")
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-dict form (the JSON wire format)."""
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "shard_index": self.shard_index,
+            "attempt": self.attempt,
+            "sleep_s": self.sleep_s,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_payload` output (validates)."""
+        try:
+            return cls(
+                site=str(payload["site"]),
+                kind=str(payload["kind"]),
+                shard_index=int(payload["shard_index"]),
+                attempt=int(payload.get("attempt", 1)),
+                sleep_s=float(payload.get("sleep_s", 3600.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed fault spec {payload!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable collection of :class:`FaultSpec` entries.
+
+    The plan is pure data — matching is a lookup, firing is the caller's
+    job — so it serializes to compact JSON and crosses process
+    boundaries through an environment variable unchanged.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    name: str = "fault-plan"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+        seen = set()
+        for spec in self.specs:
+            coord = (spec.site, spec.shard_index, spec.attempt)
+            if coord in seen:
+                raise ConfigurationError(
+                    f"duplicate fault target {coord}: one fault per "
+                    "(site, shard, attempt) keeps plans deterministic"
+                )
+            seen.add(coord)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def match(
+        self, site: str, shard_index: int, attempt: int = 1
+    ) -> Optional[FaultSpec]:
+        """The spec targeting ``(site, shard_index, attempt)``, if any.
+
+        Cache-site specs ignore ``attempt`` (a shard's result is stored
+        once per run); shard-site specs match it exactly.
+        """
+        for spec in self.specs:
+            if spec.site != site or spec.shard_index != shard_index:
+                continue
+            if site == SITE_SHARD and spec.attempt != attempt:
+                continue
+            return spec
+        return None
+
+    def to_json(self) -> str:
+        """Compact, canonical JSON (the env-var wire format)."""
+        return json.dumps(
+            {
+                "format": PLAN_FORMAT,
+                "name": self.name,
+                "specs": [spec.to_payload() for spec in self.specs],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, raw: str) -> "FaultPlan":
+        """Parse :meth:`to_json` output back into a validated plan."""
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            raise ConfigurationError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError("fault plan JSON must be an object")
+        if payload.get("format") != PLAN_FORMAT:
+            raise ConfigurationError(
+                f"unsupported fault-plan format {payload.get('format')!r} "
+                f"(this build reads format {PLAN_FORMAT})"
+            )
+        specs = payload.get("specs", [])
+        if not isinstance(specs, Sequence) or isinstance(specs, (str, bytes)):
+            raise ConfigurationError("fault plan 'specs' must be a list")
+        return cls(
+            specs=tuple(FaultSpec.from_payload(entry) for entry in specs),
+            name=str(payload.get("name", "fault-plan")),
+        )
+
+    @classmethod
+    def from_source(cls, source: str) -> "FaultPlan":
+        """Load a plan from a file path or an inline JSON string.
+
+        The ``--inject-faults`` flag accepts both: anything starting with
+        ``{`` parses as inline JSON, everything else is read as a path.
+        """
+        text = source.strip()
+        if not text.startswith("{"):
+            path = Path(text)
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot read fault plan file {path}: {exc}"
+                ) from exc
+        return cls.from_json(text)
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        n_shards: int,
+        n_faults: int = 3,
+        kinds: Sequence[str] = ("raise", "corrupt", "truncate", "enospc"),
+        max_attempt: int = 2,
+        name: Optional[str] = None,
+    ) -> "FaultPlan":
+        """Draw a seed-reproducible plan over ``n_shards`` shards.
+
+        The default ``kinds`` exclude ``hang`` and ``kill`` so sampled
+        plans stay cheap enough for property-based suites; pass them
+        explicitly for chaos campaigns.  Targets never collide (one
+        fault per coordinate), so any sample is a valid plan.
+        """
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        for kind in kinds:
+            if kind not in SHARD_KINDS and kind not in CACHE_KINDS:
+                raise ConfigurationError(f"unknown fault kind {kind!r}")
+        rng = random.Random(seed)
+        specs = []
+        taken = set()
+        for _ in range(n_faults):
+            kind = rng.choice(list(kinds))
+            site = SITE_SHARD if kind in SHARD_KINDS else SITE_CACHE_STORE
+            attempt = rng.randint(1, max_attempt) if site == SITE_SHARD else 1
+            index = rng.randrange(n_shards)
+            if (site, index, attempt) in taken:
+                continue  # collisions are skipped, keeping the draw order stable
+            taken.add((site, index, attempt))
+            specs.append(
+                FaultSpec(
+                    site=site,
+                    kind=kind,
+                    shard_index=index,
+                    attempt=attempt,
+                    sleep_s=5.0,
+                )
+            )
+        return cls(specs=tuple(specs), name=name or f"sampled-{seed}")

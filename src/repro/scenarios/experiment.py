@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.analysis import plotting
 from repro.analysis.csvio import PathLike, write_rows
 from repro.analysis.orchestrator import run_sweep
+from repro.analysis.retry import ExecutionPolicy
 from repro.analysis.sweep import SweepSpec
 from repro.errors import ConfigurationError
 from repro.scenarios.dynamics import SCHEMES, ScenarioTrajectory, run_scenario
@@ -319,11 +320,22 @@ def run_scenarios_campaign(
     workers: Union[int, str, None] = 1,
     cache_dir: Union[str, Path, None] = None,
     progress: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> ScenarioCampaignResult:
-    """Run the full campaign through the sweep orchestrator and merge."""
+    """Run the full campaign through the sweep orchestrator and merge.
+
+    ``policy`` sets the robustness envelope (retries, timeouts); the
+    replication merge is positional, so a partial-mode run that actually
+    lost shards raises rather than misalign.
+    """
     spec = scenarios_sweep_spec(config)
     sweep = run_sweep(
-        spec, _scenario_shard, workers=workers, cache_dir=cache_dir, progress=progress
+        spec,
+        _scenario_shard,
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+        policy=policy,
     )
     payloads = sweep.results()
 

@@ -67,6 +67,7 @@ import numpy as np
 from repro.analysis import plotting
 from repro.analysis.csvio import PathLike, write_rows
 from repro.analysis.orchestrator import run_sweep
+from repro.analysis.retry import ExecutionPolicy
 from repro.analysis.sweep import SweepSpec
 from repro.core.dynamics import ReplicatorAccumulator
 from repro.errors import ConfigurationError
@@ -1057,11 +1058,13 @@ def run_population_dynamics_campaign(
     workers: Union[int, str, None] = 1,
     cache_dir: Union[str, Path, None] = None,
     progress: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Dict[Tuple[str, str], ScenarioTrajectory]:
     """Run a grid of streamed dynamics through the sweep orchestrator.
 
     Shards cache, resume and merge exactly like the scenario campaigns;
     returns ``{(spec name, scheme name): trajectory}`` in grid order.
+    ``policy`` sets the sweep's robustness envelope (retries, timeouts).
     """
     sweep_spec = dynamics_sweep_spec(specs, schemes, seed)
     sweep = run_sweep(
@@ -1070,6 +1073,7 @@ def run_population_dynamics_campaign(
         workers=workers,
         cache_dir=cache_dir,
         progress=progress,
+        policy=policy,
     )
     payloads = sweep.results()
     scheme_names = [resolve_scheme(scheme).name for scheme in schemes]

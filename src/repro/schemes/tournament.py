@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.csvio import PathLike, write_rows
+from repro.analysis.retry import ExecutionPolicy
 from repro.errors import ConfigurationError
 from repro.scenarios.experiment import (
     ScenarioCampaignConfig,
@@ -309,13 +310,20 @@ def run_tournament(
     workers: Union[int, str, None] = 1,
     cache_dir: Union[str, Path, None] = None,
     progress: bool = False,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> TournamentResult:
-    """Run the full tournament: campaign, audit, and ranked league."""
+    """Run the full tournament: campaign, audit, and ranked league.
+
+    ``policy`` is forwarded to the underlying scenario campaign's sweep
+    (retries, timeouts, fault injection); the league audit itself runs
+    in the parent process.
+    """
     campaign = run_scenarios_campaign(
         config.campaign_config(),
         workers=workers,
         cache_dir=cache_dir,
         progress=progress,
+        policy=policy,
     )
     audits = audit_schemes(config.scheme_list(), config.audit)
     result = TournamentResult(config=config, campaign=campaign, audits=audits)

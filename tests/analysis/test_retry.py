@@ -1,0 +1,131 @@
+"""Retry policy: classification, deterministic backoff, policy validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.retry import (
+    ON_ERROR_MODES,
+    ExecutionPolicy,
+    FailedShard,
+    RetryPolicy,
+    is_retryable,
+)
+from repro.analysis.sweep import SweepSpec, grid_of
+from repro.errors import (
+    ConfigurationError,
+    InjectedFaultError,
+    ShardTimeoutError,
+    SweepDeadlineError,
+    WorkerCrashError,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ValueError("boom"),
+            OSError(28, "disk full"),
+            InjectedFaultError("injected"),
+            ShardTimeoutError("too slow"),
+            WorkerCrashError("oom-killed"),
+        ],
+    )
+    def test_infrastructure_and_generic_failures_are_retryable(self, error):
+        assert is_retryable(error)
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ConfigurationError("bad spec"),
+            SweepDeadlineError("budget spent"),
+            KeyboardInterrupt(),
+            SystemExit(1),
+        ],
+    )
+    def test_final_failures_are_not_retryable(self, error):
+        assert not is_retryable(error)
+
+
+class TestBackoff:
+    def test_no_wait_before_first_attempt(self):
+        assert RetryPolicy(max_attempts=3).backoff_for("k", 1) == 0.0
+
+    def test_backoff_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=5)
+        for attempt in (2, 3, 4):
+            assert policy.backoff_for("shard-key", attempt) == policy.backoff_for(
+                "shard-key", attempt
+            )
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base_s=0.1, backoff_factor=2.0,
+            backoff_max_s=100.0, jitter=0.0,
+        )
+        assert policy.backoff_for("k", 2) == pytest.approx(0.1)
+        assert policy.backoff_for("k", 3) == pytest.approx(0.2)
+        assert policy.backoff_for("k", 4) == pytest.approx(0.4)
+
+    def test_jitter_stays_within_band_and_varies_by_key(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base_s=1.0, backoff_factor=1.0,
+            backoff_max_s=10.0, jitter=0.25,
+        )
+        delays = {policy.backoff_for(f"key-{i}", 2) for i in range(16)}
+        assert all(0.75 <= d <= 1.25 for d in delays)
+        assert len(delays) > 1  # the hash actually spreads keys
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(
+            max_attempts=10, backoff_base_s=1.0, backoff_factor=10.0,
+            backoff_max_s=2.0, jitter=0.0,
+        )
+        assert policy.backoff_for("k", 9) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base_s": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestExecutionPolicy:
+    def test_defaults_are_fail_fast(self):
+        policy = ExecutionPolicy()
+        assert policy.retry.max_attempts == 1
+        assert policy.on_error == "raise"
+        assert policy.shard_timeout_s is None and policy.deadline_s is None
+        assert policy.fault_plan is None
+
+    def test_on_error_modes_are_closed(self):
+        assert ON_ERROR_MODES == ("raise", "partial")
+        with pytest.raises(ConfigurationError, match="on_error"):
+            ExecutionPolicy(on_error="ignore")
+
+    @pytest.mark.parametrize("kwargs", [{"shard_timeout_s": 0.0}, {"deadline_s": -5.0}])
+    def test_non_positive_budgets_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(**kwargs)
+
+
+class TestFailedShard:
+    def test_describe_names_shard_params_and_error(self):
+        spec = SweepSpec(name="t", grid=grid_of(x=[0, 1]), root_seed=3)
+        shard = list(spec.shards())[1]
+        record = FailedShard(
+            shard=shard, attempts=3, error_type="ShardTimeoutError",
+            message="exceeded 2.0s",
+        )
+        text = record.describe()
+        assert "shard 1" in text and "'x': 1" in text
+        assert "3 attempt(s)" in text and "ShardTimeoutError" in text

@@ -1,0 +1,205 @@
+"""Fault plans: validation, serialization, activation, and firing.
+
+Plans are pure data with exact ``(site, shard, attempt)`` coordinates,
+so every test here is deterministic — including the sampled plans, which
+must reproduce bit-identically from their seed.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError, InjectedFaultError
+from repro.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    clear_plan,
+    fire_shard_fault,
+    injected,
+    install_plan,
+    match_cache_fault,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_plan():
+    """Keep the env-var channel clean around every test."""
+    clear_plan()
+    yield
+    clear_plan()
+
+
+def plan_of(*specs, name="t-plan"):
+    return FaultPlan(specs=tuple(specs), name=name)
+
+
+class TestFaultSpecValidation:
+    def test_valid_spec_round_trips_through_payload(self):
+        spec = FaultSpec(site="shard", kind="hang", shard_index=3, attempt=2, sleep_s=9.0)
+        assert FaultSpec.from_payload(spec.to_payload()) == spec
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultSpec(site="network", kind="raise", shard_index=0)
+
+    def test_kind_must_match_site(self):
+        with pytest.raises(ConfigurationError, match="invalid at site"):
+            FaultSpec(site="shard", kind="corrupt", shard_index=0)
+        with pytest.raises(ConfigurationError, match="invalid at site"):
+            FaultSpec(site="cache_store", kind="kill", shard_index=0)
+
+    def test_negative_shard_index_rejected(self):
+        with pytest.raises(ConfigurationError, match="shard_index"):
+            FaultSpec(site="shard", kind="raise", shard_index=-1)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ConfigurationError, match="1-based"):
+            FaultSpec(site="shard", kind="raise", shard_index=0, attempt=0)
+
+    def test_sleep_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="sleep_s"):
+            FaultSpec(site="shard", kind="hang", shard_index=0, sleep_s=0.0)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed fault spec"):
+            FaultSpec.from_payload({"kind": "raise"})  # missing site / index
+
+
+class TestFaultPlan:
+    def test_duplicate_coordinates_rejected(self):
+        spec = FaultSpec(site="shard", kind="raise", shard_index=1)
+        with pytest.raises(ConfigurationError, match="duplicate fault target"):
+            plan_of(spec, FaultSpec(site="shard", kind="hang", shard_index=1))
+
+    def test_same_shard_different_attempts_is_fine(self):
+        plan = plan_of(
+            FaultSpec(site="shard", kind="raise", shard_index=1, attempt=1),
+            FaultSpec(site="shard", kind="raise", shard_index=1, attempt=2),
+        )
+        assert len(plan) == 2
+
+    def test_shard_match_is_exact_on_attempt(self):
+        plan = plan_of(FaultSpec(site="shard", kind="raise", shard_index=2, attempt=2))
+        assert plan.match("shard", 2, attempt=1) is None
+        assert plan.match("shard", 2, attempt=2) is not None
+        assert plan.match("shard", 3, attempt=2) is None
+
+    def test_cache_match_ignores_attempt(self):
+        plan = plan_of(FaultSpec(site="cache_store", kind="corrupt", shard_index=4))
+        assert plan.match("cache_store", 4, attempt=7) is not None
+
+    def test_json_round_trip_is_identity(self):
+        plan = plan_of(
+            FaultSpec(site="shard", kind="kill", shard_index=0),
+            FaultSpec(site="cache_store", kind="enospc", shard_index=5),
+            name="chaos",
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_json_rejects_wrong_format(self):
+        raw = json.dumps({"format": 99, "specs": []})
+        with pytest.raises(ConfigurationError, match="unsupported fault-plan format"):
+            FaultPlan.from_json(raw)
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(ConfigurationError, match="must be an object"):
+            FaultPlan.from_json("[1, 2]")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_from_source_inline_and_file(self, tmp_path):
+        plan = plan_of(FaultSpec(site="shard", kind="raise", shard_index=1))
+        assert FaultPlan.from_source(plan.to_json()) == plan
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        assert FaultPlan.from_source(str(path)) == plan
+
+    def test_from_source_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read fault plan file"):
+            FaultPlan.from_source(str(tmp_path / "absent.json"))
+
+
+class TestSampledPlans:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.sample(seed=42, n_shards=10)
+        b = FaultPlan.sample(seed=42, n_shards=10)
+        assert a == b and a.to_json() == b.to_json()
+
+    def test_different_seeds_eventually_differ(self):
+        plans = {FaultPlan.sample(seed=s, n_shards=10).to_json() for s in range(8)}
+        assert len(plans) > 1
+
+    def test_sampled_plan_is_always_valid(self):
+        for seed in range(25):
+            plan = FaultPlan.sample(seed=seed, n_shards=6, n_faults=4)
+            # Construction validates: no duplicate coordinates, kinds per site.
+            assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_sample_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError, match="n_shards"):
+            FaultPlan.sample(seed=1, n_shards=0)
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultPlan.sample(seed=1, n_shards=4, kinds=("explode",))
+
+
+class TestActivation:
+    def test_install_and_clear(self):
+        plan = plan_of(FaultSpec(site="shard", kind="raise", shard_index=0))
+        assert active_plan() is None
+        install_plan(plan)
+        assert active_plan() == plan
+        clear_plan()
+        assert active_plan() is None
+
+    def test_injected_restores_previous_state(self):
+        outer = plan_of(FaultSpec(site="shard", kind="raise", shard_index=0), name="outer")
+        inner = plan_of(FaultSpec(site="shard", kind="raise", shard_index=1), name="inner")
+        install_plan(outer)
+        with injected(inner):
+            assert active_plan() == inner
+        assert active_plan() == outer
+
+    def test_injected_none_is_a_passthrough(self):
+        with injected(None):
+            assert active_plan() is None
+        assert FAULT_PLAN_ENV not in os.environ
+
+
+class TestFiring:
+    def test_no_plan_is_a_noop(self):
+        fire_shard_fault(0, 1)  # must not raise
+
+    def test_raise_kind_raises_injected_fault(self):
+        install_plan(plan_of(FaultSpec(site="shard", kind="raise", shard_index=2)))
+        with pytest.raises(InjectedFaultError, match="shard 2"):
+            fire_shard_fault(2, 1)
+        fire_shard_fault(2, 2)  # attempt 2 is untargeted: recovery succeeds
+
+    def test_inline_degrades_kill_and_hang_to_raise(self):
+        install_plan(
+            plan_of(
+                FaultSpec(site="shard", kind="kill", shard_index=0),
+                FaultSpec(site="shard", kind="hang", shard_index=1, sleep_s=3600.0),
+            )
+        )
+        with pytest.raises(InjectedFaultError):
+            fire_shard_fault(0, 1, inline=True)
+        with pytest.raises(InjectedFaultError):
+            fire_shard_fault(1, 1, inline=True)
+
+    def test_cache_enospc_raises_oserror(self):
+        install_plan(plan_of(FaultSpec(site="cache_store", kind="enospc", shard_index=3)))
+        with pytest.raises(OSError) as excinfo:
+            match_cache_fault(3)
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_cache_corrupt_is_returned_not_raised(self):
+        install_plan(plan_of(FaultSpec(site="cache_store", kind="corrupt", shard_index=3)))
+        assert match_cache_fault(3) == "corrupt"
+        assert match_cache_fault(4) is None

@@ -1,0 +1,95 @@
+"""End-to-end fault tolerance: a SIGKILLed worker never changes the answer.
+
+The chaos contract in one test: inject a ``kill`` fault that SIGKILLs a
+pool worker mid-shard (the OOM-killer simulation), let the orchestrator
+detect the death, respawn the worker and requeue the shard, and assert
+the completed sweep is **byte-identical** to an undisturbed serial run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.orchestrator import run_sweep
+from repro.analysis.retry import ExecutionPolicy, RetryPolicy
+from repro.analysis.sweep import SweepSpec, canonical_json, grid_of
+from repro.faults import FaultPlan, FaultSpec
+from repro.sim.rng import RngStreams
+from repro.telemetry import capture, disable
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off_after():
+    yield
+    disable()
+
+
+def seeded_task(params, seed):
+    """A shard whose result depends on its params and its derived seed."""
+    stream = RngStreams(seed).get("draw")
+    return {
+        "x": params["x"],
+        "draw": [stream.random() for _ in range(4)],
+    }
+
+
+def spec_of():
+    return SweepSpec(name="chaos", grid=grid_of(x=list(range(6))), root_seed=29)
+
+
+class TestWorkerDeathRecovery:
+    def test_sigkilled_worker_mid_shard_completes_byte_identically(self):
+        clean = run_sweep(spec_of(), seeded_task, workers=1)
+        plan = FaultPlan(
+            specs=(FaultSpec(site="shard", kind="kill", shard_index=2),),
+            name="oom-killer",
+        )
+        policy = ExecutionPolicy(
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.01),
+            fault_plan=plan,
+        )
+        with capture() as registry:
+            chaotic = run_sweep(spec_of(), seeded_task, workers=2, policy=policy)
+
+        # Byte-identical: same canonical JSON, not merely equal objects.
+        assert canonical_json(chaotic.results()) == canonical_json(clean.results())
+        assert chaotic.stats.n_failed == 0
+        assert chaotic.stats.n_retries >= 1
+
+        snapshot = registry.snapshot()["metrics"]
+        deaths = sum(
+            s["value"] for s in snapshot["repro_orchestrator_worker_deaths_total"]["samples"]
+        )
+        assert deaths == 1
+        retried = {
+            s["labels"]["reason"]: s["value"]
+            for s in snapshot["repro_orchestrator_retries_total"]["samples"]
+        }
+        assert retried.get("worker_death") == 1
+        injected = {
+            (s["labels"]["site"], s["labels"]["kind"]): s["value"]
+            for s in snapshot["repro_faults_injected_total"]["samples"]
+        }
+        assert injected.get(("shard", "kill")) == 1
+
+    def test_death_on_every_attempt_surfaces_as_partial_failure(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="shard", kind="kill", shard_index=2, attempt=1),
+                FaultSpec(site="shard", kind="kill", shard_index=2, attempt=2),
+            ),
+            name="persistent-oom",
+        )
+        policy = ExecutionPolicy(
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.01),
+            fault_plan=plan,
+            on_error="partial",
+        )
+        clean = run_sweep(spec_of(), seeded_task, workers=1)
+        sweep = run_sweep(spec_of(), seeded_task, workers=2, policy=policy)
+        assert [record.shard.index for record in sweep.failed] == [2]
+        assert sweep.failed[0].error_type == "WorkerCrashError"
+        aligned = sweep.results_with(fill=None)
+        expected = clean.results()
+        for index in (0, 1, 3, 4, 5):
+            assert canonical_json(aligned[index]) == canonical_json(expected[index])

@@ -1,0 +1,91 @@
+"""Property: any sampled fault plan under partial mode preserves successes.
+
+Hypothesis draws seeds; :meth:`FaultPlan.sample` turns each into a
+reproducible plan mixing shard raises with cache corruption, truncation
+and ENOSPC.  Whatever the plan, ``on_error="partial"`` must leave every
+succeeded shard's payload **bit-identical** to an undisturbed run, and
+the set of failed shards must not depend on the worker count.
+
+Sampled plans exclude ``hang``/``kill`` (the :meth:`FaultPlan.sample`
+default) so the suite stays fast under the deterministic CI profile;
+the kill path has its own integration test.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.orchestrator import run_sweep
+from repro.analysis.retry import ExecutionPolicy, RetryPolicy
+from repro.analysis.sweep import SweepSpec, canonical_json, grid_of
+from repro.faults import FaultPlan
+from repro.sim.rng import RngStreams
+
+N_SHARDS = 6
+
+
+def seeded_task(params, seed):
+    """A shard whose result depends on its params and its derived seed."""
+    stream = RngStreams(seed).get("draw")
+    return {"x": params["x"], "draw": [stream.random() for _ in range(3)]}
+
+
+def spec_of():
+    return SweepSpec(
+        name="prop", grid=grid_of(x=list(range(N_SHARDS))), root_seed=17
+    )
+
+
+def _partial_run(plan, workers, cache_dir):
+    policy = ExecutionPolicy(
+        retry=RetryPolicy(max_attempts=2, backoff_base_s=0.001),
+        fault_plan=plan,
+        on_error="partial",
+    )
+    return run_sweep(
+        spec_of(), seeded_task, workers=workers, cache_dir=cache_dir, policy=policy
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_partial_mode_preserves_successes_at_any_worker_count(seed):
+    plan = FaultPlan.sample(seed=seed, n_shards=N_SHARDS, n_faults=3)
+    expected = run_sweep(spec_of(), seeded_task, workers=1).results()
+
+    with tempfile.TemporaryDirectory() as d1, tempfile.TemporaryDirectory() as d2:
+        inline = _partial_run(plan, workers=1, cache_dir=d1)
+        pooled = _partial_run(plan, workers=2, cache_dir=d2)
+
+    # Which shards fail is a property of the plan, not of the pool.
+    failed_inline = [record.shard.index for record in inline.failed]
+    failed_pooled = [record.shard.index for record in pooled.failed]
+    assert failed_inline == failed_pooled
+
+    # Every success is bit-identical to the undisturbed run, in both modes.
+    for sweep in (inline, pooled):
+        aligned = sweep.results_with(fill=None)
+        assert len(aligned) == N_SHARDS
+        for index in range(N_SHARDS):
+            if index in failed_inline:
+                assert aligned[index] is None
+            else:
+                assert canonical_json(aligned[index]) == canonical_json(
+                    expected[index]
+                )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_partial_failure_records_are_reproducible(seed):
+    """Running the same plan twice yields identical failure records."""
+    plan = FaultPlan.sample(seed=seed, n_shards=N_SHARDS, n_faults=3)
+    first = _partial_run(plan, workers=1, cache_dir=None)
+    second = _partial_run(plan, workers=1, cache_dir=None)
+    assert [r.describe() for r in first.failed] == [
+        r.describe() for r in second.failed
+    ]
+    assert first.results_with(fill="X") == second.results_with(fill="X")
