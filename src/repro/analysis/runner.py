@@ -388,7 +388,10 @@ def _run_scale(options: RunOptions) -> ExperimentOutcome:
     ``--budget-multiplier`` / ``--cost-scale`` flags widen the audit
     into a fused grid: one streamed pass emits the whole
     (scheme x budget x cost-scale) verdict tensor.  With ``--out``,
-    writes ``scale.csv`` and the machine-readable ``scale.json``.
+    writes ``scale.csv``, the machine-readable ``scale.json``, and
+    ``scale.audit.json`` — the timing-free audit payload that is
+    byte-identical to what the audit service serves for the same spec
+    (see ``docs/service.md``).
     """
     from repro.analysis.scale import ScaleConfig, run_scale
 
@@ -414,6 +417,9 @@ def _run_scale(options: RunOptions) -> ExperimentOutcome:
         result.to_csv(csv_path)
         csv_path.with_suffix(".json").write_text(
             json.dumps(result.to_payload(), indent=2, sort_keys=True)
+        )
+        csv_path.with_name("scale.audit.json").write_text(
+            json.dumps(result.audit_payload(), indent=2, sort_keys=True)
         )
     return ExperimentOutcome("scale", result.render(), csv_path)
 
@@ -595,6 +601,45 @@ def profile_experiment(
     return header + "\n" + stream.getvalue()
 
 
+def _run_serve(args: argparse.Namespace, policy: Optional[ExecutionPolicy]) -> int:
+    """The ``serve`` subcommand: run the audit service until interrupted.
+
+    Telemetry is always enabled so ``GET /metrics`` scrapes live
+    counters; the orchestrator knobs (``--workers``, ``--cache-dir``,
+    the robustness envelope) apply to every job the service executes.
+    See ``docs/service.md`` for the API and admission-control
+    semantics.
+    """
+    from repro.service import EngineConfig, JobContext, ReproService
+
+    _telemetry_enable()
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        engine_config=EngineConfig(
+            max_queue=args.max_queue,
+            max_client_inflight=args.max_client_inflight,
+            max_records=args.max_jobs,
+            service_workers=args.service_workers,
+            context=JobContext(
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                policy=policy,
+            ),
+        ),
+    )
+    try:
+        service.serve_forever(
+            on_ready=lambda ready: print(
+                f"serving on http://{ready.host}:{ready.port}", flush=True
+            )
+        )
+    except KeyboardInterrupt:
+        print("\nservice stopped.", file=sys.stderr)
+        return 130
+    return 0
+
+
 def _timing_table(timings: "Dict[str, float]") -> str:
     """Per-figure wall-clock summary printed after multi-experiment runs."""
     from repro.analysis.plotting import format_table
@@ -640,10 +685,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*sorted(EXPERIMENTS), "all", "profile"],
+        choices=[*sorted(EXPERIMENTS), "all", "profile", "serve"],
         help="experiment to run; 'all' runs every experiment and prints a "
         "per-figure timing summary; 'profile <experiment>' runs one "
-        "experiment under cProfile and prints the hot spots",
+        "experiment under cProfile and prints the hot spots; 'serve' "
+        "starts the audit service HTTP front end (see docs/service.md)",
     )
     parser.add_argument(
         "target",
@@ -800,6 +846,48 @@ def main(argv=None) -> int:
         help="suppress the per-shard progress line on stderr",
     )
     parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for the 'serve' subcommand (default: loopback; "
+        "bind 0.0.0.0 only behind a trusted proxy — the service has no "
+        "authentication layer)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listen port for the 'serve' subcommand (0 = ephemeral, "
+        "printed at startup)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        help="'serve' admission high watermark: pending jobs beyond this "
+        "are refused with 429 + Retry-After instead of queued",
+    )
+    parser.add_argument(
+        "--max-client-inflight",
+        type=int,
+        default=4,
+        help="'serve' per-client cap on unfinished jobs (client identity "
+        "from the X-Client-Id header, else the peer address)",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=256,
+        help="'serve' job-record retention: completed records beyond this "
+        "are LRU-evicted (a later GET on an evicted id is a 404)",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=1,
+        help="'serve' job-executing worker threads; each job additionally "
+        "fans its shards over --workers processes",
+    )
+    parser.add_argument(
         "--max-retries",
         type=int,
         default=0,
@@ -873,6 +961,10 @@ def main(argv=None) -> int:
             fault_plan=fault_plan,
         )
 
+    if args.experiment == "serve":
+        if args.target is not None:
+            parser.error("a target experiment is only valid with 'profile'")
+        return _run_serve(args, policy)
     if args.experiment == "profile":
         if args.target is None:
             parser.error("profile needs a target experiment, e.g. 'profile fig3'")

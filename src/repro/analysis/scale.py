@@ -255,6 +255,35 @@ class ScaleResult:
             rows,
         )
 
+    def audit_payload(self) -> Dict[str, Any]:
+        """The deterministic audit payload (no timing, no RSS).
+
+        Everything here is a pure function of the :class:`ScaleConfig` —
+        verdicts, witnesses, committee membership, the full grid tensor —
+        so two runs of the same config produce byte-identical JSON.  This
+        is the payload the audit service serves and the runner writes as
+        ``scale.audit.json``; throughput and memory live only in
+        :meth:`to_payload` (the BENCH artifact), which embeds this dict
+        under ``"audit"``.
+        """
+        return {
+            "family": self.config.family,
+            "family_params": dict(self.config.family_params),
+            "n_agents": self.config.n_agents,
+            "dtype": self.config.dtype,
+            "seed": self.config.seed,
+            "chunk_agents": self.config.audit_config().chunk_agents,
+            "committee": {
+                "expected_size": self.config.committee_expected_size,
+                "members": self.committee_members,
+                "weight": self.committee_weight,
+            },
+            "schemes": {
+                name: report.verdict_dict() for name, report in self.reports.items()
+            },
+            "grid": self.grid.to_payload(),
+        }
+
     def to_payload(self) -> Dict[str, Any]:
         """Machine-readable form (the BENCH_scale.json building block)."""
         return {
@@ -281,6 +310,7 @@ class ScaleResult:
             **(
                 {"grid": self.grid.to_payload()} if self.config.is_grid() else {}
             ),
+            "audit": self.audit_payload(),
         }
 
 

@@ -116,6 +116,39 @@ class CacheIntegrityError(OrchestrationError):
     """
 
 
+class ServiceError(ReproError):
+    """The audit service rejected or could not complete a request.
+
+    Base class for the service layer (:mod:`repro.service`): admission
+    failures, unknown jobs, malformed requests.  Subclasses map onto
+    HTTP status codes in the front end; none of them ever crashes the
+    event loop or a job worker.
+    """
+
+
+class AdmissionError(ServiceError):
+    """A job submission was refused by admission control (HTTP 429).
+
+    Raised when the bounded job queue is at its high watermark or the
+    submitting client already holds its per-client in-flight cap.  The
+    ``retry_after_s`` attribute is surfaced as the ``Retry-After``
+    response header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class JobNotFoundError(ServiceError):
+    """A job id does not exist (never assigned, or evicted — HTTP 404).
+
+    Completed job records are LRU-evicted once the store exceeds its
+    capacity, so a 404 on a previously valid id means the record aged
+    out; re-submitting the same spec is a memoized cache hit.
+    """
+
+
 class InjectedFaultError(OrchestrationError):
     """A deterministic fault from an active :class:`repro.faults.FaultPlan`.
 

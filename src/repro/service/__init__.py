@@ -1,0 +1,52 @@
+"""Audit-as-a-service: the HTTP front end over the experiment engine.
+
+The ROADMAP's production north-star is many users requesting
+epsilon-IC certificates and cross-scheme tournaments concurrently over
+shared populations.  This package is that service layer, built from
+parts the repo already trusts:
+
+* :mod:`repro.service.http` — minimal, hostile-input-first HTTP/1.1
+  framing on stdlib ``asyncio`` (no new dependencies);
+* :mod:`repro.service.jobs` — request validation into content-addressed
+  job specs (``audit`` / ``dynamics`` / ``scenarios`` / ``tournament``),
+  each executing the *same* library entry point the CLI calls;
+* :mod:`repro.service.engine` — the bounded job queue: admission
+  control (429 + ``Retry-After``), per-client in-flight caps,
+  single-flight dedup and result memoization keyed on content hashes,
+  LRU-evicted job records, worker threads that run jobs through the
+  fault-tolerant sweep scheduler;
+* :mod:`repro.service.app` — routes (``POST /v1/jobs``,
+  ``GET /v1/jobs/{id}``, ``GET /v1/jobs/{id}/result``, ``/healthz``,
+  ``/metrics``), structured JSON errors, and the
+  :class:`~repro.service.app.ReproService` server object behind
+  ``repro-runner serve``.
+
+The load-bearing guarantee: a served result is **byte-identical** to
+the equivalent CLI run (same deterministic payload, same
+serialization), and N concurrent identical submissions execute the
+underlying computation exactly once.  ``docs/service.md`` is the API
+reference; ``tests/service`` is the black-box proof.
+"""
+
+from repro.service.app import DEFAULT_MAX_BODY_BYTES, ReproService
+from repro.service.engine import EngineConfig, JobEngine, JobStatus
+from repro.service.jobs import (
+    JOB_KINDS,
+    JobContext,
+    PreparedJob,
+    job_key,
+    prepare_job,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "EngineConfig",
+    "JOB_KINDS",
+    "JobContext",
+    "JobEngine",
+    "JobStatus",
+    "PreparedJob",
+    "ReproService",
+    "job_key",
+    "prepare_job",
+]

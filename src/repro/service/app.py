@@ -1,0 +1,304 @@
+"""The audit service front end: routes, structured errors, server lifecycle.
+
+Wires the framing layer (:mod:`repro.service.http`) to the job engine
+(:mod:`repro.service.engine`) behind four routes::
+
+    POST /v1/jobs            submit a job        -> 202 (or 200 memo hit)
+    GET  /v1/jobs/{id}       status snapshot     -> 200 / 404
+    GET  /v1/jobs/{id}/result  exact result bytes -> 200 / 404
+    GET  /healthz            liveness + queue depth
+    GET  /metrics            Prometheus text from the live registry
+
+Error handling is the contract: every failure an external caller can
+cause maps to a structured JSON body ``{"error": {"type", "message"}}``
+with the right status — :class:`~repro.errors.ConfigurationError` is
+400, :class:`~repro.errors.AdmissionError` is 429 with ``Retry-After``,
+:class:`~repro.errors.JobNotFoundError` is 404, framing violations are
+whatever :class:`~repro.service.http.ProtocolError` says — and nothing
+a client sends can traceback the event loop (the handler's final
+``except Exception`` answers 500 and stays alive).  The asyncio loop
+only parses and routes; compute happens on the engine's worker threads,
+so a slow audit never blocks ``/healthz``.
+
+:class:`ReproService` owns the listening socket and runs equally well
+embedded (the test harness starts it on an ephemeral port inside a
+background thread) or standalone via ``repro-runner serve``
+(:func:`serve_forever`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    JobNotFoundError,
+    ReproError,
+)
+from repro.service.engine import EngineConfig, JobEngine
+from repro.service.http import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    read_request,
+    render_response,
+)
+from repro.telemetry.exposition import PROMETHEUS_CONTENT_TYPE, to_prometheus_text
+from repro.telemetry.runtime import get_registry
+
+__all__ = ["DEFAULT_MAX_BODY_BYTES", "ReproService"]
+
+#: Largest accepted request body; a job spec is a few hundred bytes, so
+#: 1 MiB leaves two orders of magnitude of headroom before 413.
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+_log = logging.getLogger("repro.service")
+
+
+def _json_body(payload: Dict[str, Any]) -> bytes:
+    """Canonical JSON response bytes (sorted keys, trailing newline)."""
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _error_body(error_type: str, message: str) -> bytes:
+    """The structured error envelope every failure response uses."""
+    return _json_body({"error": {"type": error_type, "message": message}})
+
+
+class ReproService:
+    """The asyncio HTTP server wrapping one :class:`JobEngine`.
+
+    Construct with an :class:`EngineConfig`, then either drive the
+    asyncio lifecycle directly (:meth:`start` / :meth:`stop` from a
+    running loop — what the test harness does) or call the blocking
+    :meth:`serve_forever` (what ``repro-runner serve`` does).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine_config: EngineConfig = EngineConfig(),
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        request_timeout_s: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.engine = JobEngine(engine_config)
+        self.max_body_bytes = max_body_bytes
+        self.request_timeout_s = request_timeout_s
+        self._server: Optional[asyncio.AbstractServer] = None
+        registry = get_registry()
+        self._m_requests = registry.counter(
+            "repro_service_requests_total",
+            "HTTP requests served, by route, method and status.",
+            labels=("route", "method", "status"),
+        )
+        self._m_protocol_errors = registry.counter(
+            "repro_service_protocol_errors_total",
+            "Requests rejected at the HTTP framing layer, by reason.",
+            labels=("reason",),
+        )
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the engine workers."""
+        self.engine.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_LINE_BYTES + 2,
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        _log.info("repro service listening on %s:%d", self.host, self.port)
+
+    async def stop(self) -> None:
+        """Close the socket and stop the engine workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.engine.stop()
+
+    def serve_forever(self, on_ready: Optional[Any] = None) -> None:
+        """Blocking entry point: run until interrupted (SIGINT/SIGTERM).
+
+        ``on_ready``, if given, is called with the service once the
+        socket is bound — after an ephemeral ``port=0`` has been
+        resolved to a real port — which is how the CLI prints the
+        listening address and the smoke script knows when to connect.
+        """
+        asyncio.run(self._serve_forever(on_ready))
+
+    async def _serve_forever(self, on_ready: Optional[Any] = None) -> None:
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            assert self._server is not None
+            async with self._server:
+                await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Parse one request, answer one response, close. Never raises."""
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if isinstance(peer, tuple) else str(peer or "unknown")
+        try:
+            try:
+                request = await read_request(
+                    reader,
+                    max_body_bytes=self.max_body_bytes,
+                    timeout_s=self.request_timeout_s,
+                    client=client,
+                )
+            except ProtocolError as error:
+                self._m_protocol_errors.labels(reason=error.reason).inc()
+                self._count("(protocol-error)", "-", error.status)
+                writer.write(
+                    render_response(
+                        error.status, _error_body("ProtocolError", str(error))
+                    )
+                )
+                await writer.drain()
+                return
+            status, payload = self._dispatch(request)
+            writer.write(payload)
+            self._count(request.path, request.method, status)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            self._m_protocol_errors.labels(reason="disconnect").inc()
+        except Exception:  # noqa: BLE001 — the loop must survive anything
+            _log.exception("unexpected error handling a connection")
+            try:
+                writer.write(
+                    render_response(
+                        500, _error_body("InternalError", "internal server error")
+                    )
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _count(self, route: str, method: str, status: int) -> None:
+        self._m_requests.labels(route=route, method=method, status=str(status)).inc()
+
+    # -- routing ----------------------------------------------------------
+
+    def _dispatch(self, request: Request) -> Tuple[int, bytes]:
+        """Route one parsed request to its handler; map errors to statuses."""
+        try:
+            return self._route(request)
+        except AdmissionError as error:
+            retry_after = max(1, int(round(error.retry_after_s)))
+            return 429, render_response(
+                429,
+                _error_body("AdmissionError", str(error)),
+                extra_headers=[("Retry-After", str(retry_after))],
+            )
+        except JobNotFoundError as error:
+            return 404, render_response(404, _error_body("JobNotFoundError", str(error)))
+        except ConfigurationError as error:
+            # The satellite fix: an unknown scheme/family name in a job
+            # payload is a client mistake, answered as a structured 400 —
+            # the event loop and the workers never see it.
+            return 400, render_response(
+                400, _error_body(type(error).__name__, str(error))
+            )
+        except ReproError as error:
+            return 500, render_response(500, _error_body(type(error).__name__, str(error)))
+
+    def _route(self, request: Request) -> Tuple[int, bytes]:
+        path = request.path
+        if path == "/healthz":
+            if request.method != "GET":
+                return self._method_not_allowed(("GET",))
+            return 200, render_response(
+                200,
+                _json_body(
+                    {"status": "ok", "queue_depth": self.engine.queue_depth()}
+                ),
+            )
+        if path == "/metrics":
+            if request.method != "GET":
+                return self._method_not_allowed(("GET",))
+            text = to_prometheus_text(get_registry().snapshot())
+            return 200, render_response(
+                200, text.encode("utf-8"), content_type=PROMETHEUS_CONTENT_TYPE
+            )
+        if path == "/v1/jobs":
+            if request.method != "POST":
+                return self._method_not_allowed(("POST",))
+            return self._submit(request)
+        if path.startswith("/v1/jobs/"):
+            if request.method != "GET":
+                return self._method_not_allowed(("GET",))
+            remainder = path[len("/v1/jobs/"):]
+            if remainder.endswith("/result"):
+                return self._result(remainder[: -len("/result")])
+            if "/" not in remainder and remainder:
+                return self._job_status(remainder)
+        return 404, render_response(
+            404, _error_body("NotFound", f"no route for {path!r}")
+        )
+
+    def _method_not_allowed(self, allowed: Tuple[str, ...]) -> Tuple[int, bytes]:
+        return 405, render_response(
+            405,
+            _error_body("MethodNotAllowed", f"allowed: {', '.join(allowed)}"),
+            extra_headers=[("Allow", ", ".join(allowed))],
+        )
+
+    def _submit(self, request: Request) -> Tuple[int, bytes]:
+        """``POST /v1/jobs``: parse, validate, admit, answer 202 (200 memo)."""
+        try:
+            body = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, render_response(
+                400, _error_body("MalformedBody", f"body is not valid JSON: {error}")
+            )
+        if not isinstance(body, dict):
+            return 400, render_response(
+                400, _error_body("MalformedBody", "body must be a JSON object")
+            )
+        client = request.headers.get("x-client-id") or request.client or "unknown"
+        status = self.engine.submit(body.get("kind"), body.get("params"), client)
+        http_status = 200 if status.memoized else 202
+        return http_status, render_response(
+            http_status, _json_body({"job": status.to_dict()})
+        )
+
+    def _job_status(self, job_id: str) -> Tuple[int, bytes]:
+        """``GET /v1/jobs/{id}``: the status snapshot."""
+        status = self.engine.get(job_id)
+        return 200, render_response(200, _json_body({"job": status.to_dict()}))
+
+    def _result(self, job_id: str) -> Tuple[int, bytes]:
+        """``GET /v1/jobs/{id}/result``: the job's exact payload bytes.
+
+        The body is served verbatim from the engine's stored rendering —
+        the same ``json.dumps(payload, indent=2, sort_keys=True)`` bytes
+        the CLI writes to disk, which is what the byte-identity
+        guarantee (and its black-box test) rests on.
+        """
+        return 200, render_response(200, self.engine.result_bytes(job_id))

@@ -1,0 +1,218 @@
+"""Minimal HTTP/1.1 framing for the audit service (stdlib asyncio only).
+
+A deliberately small, hostile-input-first subset of HTTP/1.1: request
+line + headers + ``Content-Length``-framed body in, one response out,
+``Connection: close`` always.  No chunked encoding, no keep-alive, no
+pipelining — every simplification removes a class of parser state bugs,
+and the service's job model (submit, poll, fetch) doesn't need any of
+them.
+
+Every limit is explicit and enforced *while reading*, not after:
+
+* request line and each header line <= ``MAX_LINE_BYTES``;
+* at most ``MAX_HEADERS`` header lines;
+* body <= ``max_body_bytes`` (pre-checked from ``Content-Length``
+  before a single body byte is read — an oversized upload is refused
+  for the price of its headers);
+* a read deadline per request, so a stalled client cannot pin a
+  connection task forever.
+
+Malformed input raises :class:`ProtocolError` carrying the HTTP status
+to answer with (400, 405, 408, 413, 431, 505); the connection handler
+in :mod:`repro.service.app` turns it into a structured JSON error and
+closes.  A client that disconnects mid-request surfaces as
+``asyncio.IncompleteReadError`` / ``ConnectionError`` and is simply
+dropped — never a traceback, never a wedged worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "MAX_HEADERS",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "Request",
+    "read_request",
+    "render_response",
+]
+
+#: Longest accepted request line or single header line (bytes, incl. CRLF).
+MAX_LINE_BYTES = 8192
+
+#: Most header lines accepted before answering 431.
+MAX_HEADERS = 100
+
+#: Methods the service understands at the framing layer.
+_KNOWN_METHODS = ("GET", "POST", "HEAD", "PUT", "DELETE", "PATCH", "OPTIONS")
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed or over-limit request, with the HTTP status to send."""
+
+    def __init__(self, status: int, message: str, reason: str = "malformed") -> None:
+        super().__init__(message)
+        self.status = status
+        #: Short machine label for the ``repro_service_protocol_errors_total``
+        #: counter (``malformed``, ``oversized``, ``timeout``...).
+        self.reason = reason
+
+
+@dataclass
+class Request:
+    """One parsed request: method, target path, lowered headers, raw body."""
+
+    method: str
+    target: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    client: str = ""
+
+    @property
+    def path(self) -> str:
+        """The target with any query string stripped."""
+        return self.target.split("?", 1)[0]
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    """One CRLF-terminated line within the size limit, sans terminator."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(
+            431, f"header line exceeds {MAX_LINE_BYTES} bytes", reason="oversized"
+        ) from None
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            raise ConnectionResetError("client closed mid-request") from None
+        # Bare-LF tolerance: curl and friends always send CRLF, but a
+        # truncated request should parse as far as it goes.
+        if error.partial.endswith(b"\n"):
+            return error.partial[:-1]
+        raise ConnectionResetError("client closed mid-line") from None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            431, f"header line exceeds {MAX_LINE_BYTES} bytes", reason="oversized"
+        )
+    return line[:-2]
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int,
+    timeout_s: float = 10.0,
+    client: str = "",
+) -> Request:
+    """Read and validate one request; raise :class:`ProtocolError` on abuse.
+
+    The deadline covers the whole request (line, headers, body): a
+    client trickling bytes cannot hold the connection open past
+    ``timeout_s``.
+    """
+    try:
+        return await asyncio.wait_for(
+            _read_request(reader, max_body_bytes, client), timeout=timeout_s
+        )
+    except asyncio.TimeoutError:
+        raise ProtocolError(408, "request read timed out", reason="timeout") from None
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int, client: str
+) -> Request:
+    raw_line = await _read_line(reader)
+    if not raw_line:
+        raise ConnectionResetError("empty request")
+    try:
+        request_line = raw_line.decode("ascii")
+    except UnicodeDecodeError:
+        raise ProtocolError(400, "request line is not ASCII") from None
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(400, f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    if method not in _KNOWN_METHODS:
+        raise ProtocolError(400, f"unrecognized method {method!r}")
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(505, f"unsupported protocol version {version!r}")
+    if not target.startswith("/"):
+        raise ProtocolError(400, f"malformed request target {target!r}")
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await _read_line(reader)
+        if not line:
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise ProtocolError(431, "too many header lines", reason="oversized")
+        try:
+            text = line.decode("latin-1")
+        except UnicodeDecodeError:  # pragma: no cover — latin-1 cannot fail
+            raise ProtocolError(400, "undecodable header line") from None
+        name, separator, value = text.partition(":")
+        if not separator or not name or name != name.strip() or " " in name:
+            raise ProtocolError(400, f"malformed header line {text!r}")
+        headers[name.lower()] = value.strip()
+    else:
+        raise ProtocolError(431, "unterminated header block", reason="oversized")
+
+    body = b""
+    length_header = headers.get("content-length")
+    if headers.get("transfer-encoding"):
+        raise ProtocolError(400, "transfer-encoding is not supported")
+    if length_header is not None:
+        if not length_header.isdigit():
+            raise ProtocolError(400, f"bad Content-Length {length_header!r}")
+        length = int(length_header)
+        if length > max_body_bytes:
+            raise ProtocolError(
+                413,
+                f"body of {length} bytes exceeds the {max_body_bytes}-byte limit",
+                reason="oversized",
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ConnectionResetError("client closed mid-body") from None
+    return Request(
+        method=method, target=target, headers=headers, body=body, client=client
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[List[Tuple[str, str]]] = None,
+) -> bytes:
+    """Serialize one complete ``Connection: close`` HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in extra_headers or []:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + body

@@ -33,6 +33,7 @@ experiment output.
 """
 
 from repro.telemetry.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
     lint_prometheus_text,
     snapshot_to_json,
     to_prometheus_text,
@@ -61,6 +62,7 @@ from repro.telemetry.runtime import (
 from repro.telemetry.spans import SPAN_TIME_BUCKETS, Span, rss_max_mib, span
 
 __all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
     "SNAPSHOT_VERSION",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",

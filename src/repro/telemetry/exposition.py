@@ -6,8 +6,10 @@ Two serializations of the same deterministic snapshot
 * :func:`to_prometheus_text` — the Prometheus *text exposition format*
   (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one sample per
   line, histograms expanded into cumulative ``_bucket{le=...}`` series
-  plus ``_sum`` / ``_count``.  Zero dependencies; this is the payload a
-  future ``/metrics`` endpoint serves verbatim.
+  plus ``_sum`` / ``_count``.  Zero dependencies; this is the payload
+  the audit service's ``/metrics`` endpoint (:mod:`repro.service`)
+  serves verbatim, under the :data:`PROMETHEUS_CONTENT_TYPE` media
+  type.
 * :func:`snapshot_to_json` — sorted, indented JSON of the snapshot
   itself; byte-identical for identical metric states (the form the CLI
   writes with ``--telemetry-json`` and the benchmarks embed in their
@@ -29,6 +31,10 @@ import math
 import re
 import sys
 from typing import Dict, List, Mapping
+
+#: The ``Content-Type`` a scraper expects for text exposition 0.0.4 —
+#: what ``GET /metrics`` answers with.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
 _SAMPLE_RE = re.compile(

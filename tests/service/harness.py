@@ -1,0 +1,249 @@
+"""Black-box harness: a real service on a real socket, driven like a client.
+
+:class:`ServiceHarness` boots :class:`repro.service.ReproService` on an
+ephemeral loopback port inside a background thread running its own
+asyncio loop, so synchronous pytest tests exercise the service the way
+production traffic would — over TCP, through the full parse/route/
+respond path — with nothing mocked.  Three client surfaces:
+
+* :meth:`request` — a well-formed HTTP client (``http.client``), for
+  functional tests;
+* :meth:`raw_exchange` — a blocking raw socket that sends arbitrary
+  bytes and collects whatever comes back, for protocol fuzzing
+  (malformed request lines, truncated requests, premature disconnects);
+* :meth:`async_raw_exchange` — the same exchange performed with
+  ``asyncio.open_connection`` *on the service's own loop*, proving the
+  server multiplexes hostile clients inside one event loop.
+
+The harness also exposes the engine (for ``pause()``/``resume()``
+backlog control) and the telemetry registry snapshot (for the
+single-flight and admission-control counter assertions).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service import EngineConfig, ReproService
+from repro.telemetry import capture, get_registry
+
+
+class ServiceHarness:
+    """One in-process service instance plus client helpers.
+
+    Use as a context manager::
+
+        with ServiceHarness() as harness:
+            status, headers, body = harness.request("GET", "/healthz")
+
+    A private telemetry registry is captured for the harness's lifetime
+    (and restored on exit), so counter assertions never see another
+    test's metrics.
+    """
+
+    def __init__(
+        self,
+        engine_config: Optional[EngineConfig] = None,
+        request_timeout_s: float = 5.0,
+        max_body_bytes: Optional[int] = None,
+    ) -> None:
+        self._engine_config = engine_config or EngineConfig()
+        self._request_timeout_s = request_timeout_s
+        self._max_body_bytes = max_body_bytes
+        self.service: Optional[ReproService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._capture = None
+        self.registry = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def __enter__(self) -> "ServiceHarness":
+        self._capture = capture()
+        self.registry = self._capture.__enter__()
+        kwargs: Dict[str, Any] = dict(
+            port=0,
+            engine_config=self._engine_config,
+            request_timeout_s=self._request_timeout_s,
+        )
+        if self._max_body_bytes is not None:
+            kwargs["max_body_bytes"] = self._max_body_bytes
+        self.service = ReproService(**kwargs)
+        started = threading.Event()
+        self._loop = asyncio.new_event_loop()
+
+        def _run() -> None:
+            assert self._loop is not None and self.service is not None
+            asyncio.set_event_loop(self._loop)
+            self._loop.run_until_complete(self.service.start())
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=_run, name="service-harness", daemon=True
+        )
+        self._thread.start()
+        assert started.wait(timeout=10.0), "service failed to start in 10s"
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        try:
+            if self._loop is not None and self.service is not None:
+                asyncio.run_coroutine_threadsafe(
+                    self.service.stop(), self._loop
+                ).result(timeout=10.0)
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+            if self._loop is not None:
+                self._loop.close()
+        finally:
+            if self._capture is not None:
+                self._capture.__exit__(None, None, None)
+
+    @property
+    def host(self) -> str:
+        """The loopback address the service is bound to."""
+        assert self.service is not None
+        return self.service.host
+
+    @property
+    def port(self) -> int:
+        """The ephemeral port the service resolved at bind time."""
+        assert self.service is not None
+        return self.service.port
+
+    @property
+    def engine(self):
+        """The live job engine (for ``pause``/``resume`` in tests)."""
+        assert self.service is not None
+        return self.service.engine
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The harness-scoped telemetry snapshot (counter assertions)."""
+        return get_registry().snapshot()
+
+    def counter(self, name: str, **labels: str) -> float:
+        """Sum a counter family's samples matching the given labels."""
+        family = self.snapshot()["metrics"].get(name)
+        if family is None:
+            return 0.0
+        total = 0.0
+        for sample in family["samples"]:
+            if all(sample["labels"].get(k) == v for k, v in labels.items()):
+                total += sample["value"]
+        return total
+
+    # -- well-formed HTTP client ------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+        timeout_s: float = 60.0,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request over ``http.client``; returns (status, headers, body)."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout_s)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            return (
+                response.status,
+                {name.lower(): value for name, value in response.getheaders()},
+                response.read(),
+            )
+        finally:
+            conn.close()
+
+    def submit(
+        self,
+        kind: str,
+        params: Dict[str, Any],
+        client: str = "harness",
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/jobs``; returns (status, decoded body)."""
+        status, _, body = self.request(
+            "POST",
+            "/v1/jobs",
+            body=json.dumps({"kind": kind, "params": params}).encode(),
+            headers={"Content-Type": "application/json", "X-Client-Id": client},
+        )
+        return status, json.loads(body)
+
+    def poll(self, job_id: str, timeout_s: float = 120.0) -> Dict[str, Any]:
+        """Poll ``GET /v1/jobs/{id}`` until a terminal state (or time out)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status, _, body = self.request("GET", f"/v1/jobs/{job_id}")
+            assert status == 200, f"poll got {status}: {body!r}"
+            job = json.loads(body)["job"]
+            if job["state"] in ("done", "failed"):
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']!r}")
+            time.sleep(0.05)
+
+    def result(self, job_id: str) -> bytes:
+        """Fetch the exact result bytes of a finished job."""
+        status, _, body = self.request("GET", f"/v1/jobs/{job_id}/result")
+        assert status == 200, f"result got {status}: {body!r}"
+        return body
+
+    # -- raw-socket clients (fuzzing) -------------------------------------
+
+    def raw_exchange(
+        self, data: bytes, recv: bool = True, timeout_s: float = 5.0
+    ) -> bytes:
+        """Send arbitrary bytes on a fresh socket; collect the response.
+
+        ``recv=False`` models a premature disconnect: send (possibly
+        partial) bytes and slam the connection shut without reading.
+        """
+        with socket.create_connection((self.host, self.port), timeout=timeout_s) as sock:
+            if data:
+                sock.sendall(data)
+            if not recv:
+                return b""
+            sock.shutdown(socket.SHUT_WR)
+            chunks: List[bytes] = []
+            sock.settimeout(timeout_s)
+            try:
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+            except socket.timeout:
+                pass
+            return b"".join(chunks)
+
+    def async_raw_exchange(self, data: bytes, timeout_s: float = 5.0) -> bytes:
+        """The same exchange via ``asyncio.open_connection`` on the service loop."""
+        assert self._loop is not None
+
+        async def _exchange() -> bytes:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            try:
+                writer.write(data)
+                await writer.drain()
+                writer.write_eof()
+                return await asyncio.wait_for(reader.read(), timeout=timeout_s)
+            finally:
+                writer.close()
+
+        return asyncio.run_coroutine_threadsafe(_exchange(), self._loop).result(
+            timeout=timeout_s + 5.0
+        )
+
+    def is_responsive(self) -> bool:
+        """Whether ``/healthz`` still answers 200 (post-fuzz liveness)."""
+        status, _, body = self.request("GET", "/healthz", timeout_s=5.0)
+        return status == 200 and json.loads(body)["status"] == "ok"

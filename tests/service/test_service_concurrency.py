@@ -1,0 +1,233 @@
+"""Concurrency soak: single-flight dedup, unique ids, honest 429s.
+
+N concurrent clients hammer one service instance with a mix of
+identical and distinct jobs.  The assertions are the tentpole's
+acceptance criteria:
+
+* **single-flight** — identical specs execute the underlying
+  computation exactly once, *proven by telemetry counters*
+  (``repro_service_jobs_executed_total`` vs ``..._dedup_hits_total``),
+  not just by timing;
+* **no lost or duplicated job ids** — every submission gets a distinct
+  id and every id resolves to a terminal state;
+* **admission control degrades to 429, not to hangs** — past the
+  watermark, refusals come back immediately with ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Tuple
+
+import pytest
+
+from harness import ServiceHarness
+from repro.service import EngineConfig
+
+#: The shared (identical) audit spec and a generator of distinct ones.
+IDENTICAL = {"agents": 1500, "schemes": ["foundation"]}
+
+
+def distinct(index: int) -> Dict[str, object]:
+    """A spec family distinct from IDENTICAL and from each other."""
+    return {"agents": 1500, "schemes": ["foundation"], "seed": 3000 + index}
+
+
+def _submit_many(
+    harness: ServiceHarness, specs: List[Dict[str, object]]
+) -> List[Tuple[int, Dict[str, object]]]:
+    """Submit every spec concurrently, one thread per client."""
+    results: List[Tuple[int, Dict[str, object]]] = [None] * len(specs)  # type: ignore[list-item]
+
+    def _one(index: int) -> None:
+        results[index] = harness.submit(
+            "audit", specs[index], client=f"client-{index}"
+        )
+
+    threads = [
+        threading.Thread(target=_one, args=(index,)) for index in range(len(specs))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert all(result is not None for result in results), "a submission hung"
+    return results
+
+
+class TestSingleFlight:
+    def test_identical_jobs_execute_exactly_once(self):
+        config = EngineConfig(max_queue=32, max_client_inflight=32)
+        with ServiceHarness(engine_config=config) as harness:
+            n_identical, n_distinct = 6, 3
+            harness.engine.pause()  # deterministic backlog: dedup, don't race
+            specs = [dict(IDENTICAL) for _ in range(n_identical)] + [
+                distinct(index) for index in range(n_distinct)
+            ]
+            submissions = _submit_many(harness, specs)
+            harness.engine.resume()
+
+            jobs = []
+            for status, body in submissions:
+                assert status in (200, 202), body
+                jobs.append(harness.poll(body["job"]["id"]))
+            assert all(job["state"] == "done" for job in jobs)
+
+            # No lost or duplicated ids.
+            ids = [job["id"] for job in jobs]
+            assert len(set(ids)) == len(specs)
+
+            # The counters prove single-flight: 1 + n_distinct executions
+            # total, n_identical - 1 dedup attachments.
+            executed = harness.counter(
+                "repro_service_jobs_executed_total", kind="audit"
+            )
+            deduped = harness.counter(
+                "repro_service_dedup_hits_total", kind="audit"
+            )
+            assert executed == 1 + n_distinct
+            assert deduped == n_identical - 1
+
+            # Every record keyed identically serves byte-identical results.
+            identical_ids = [
+                job["id"]
+                for job, spec in zip(jobs, specs)
+                if spec == IDENTICAL
+            ]
+            payloads = {harness.result(job_id) for job_id in identical_ids}
+            assert len(payloads) == 1
+
+    def test_repeat_after_completion_is_memo_not_rerun(self):
+        config = EngineConfig(max_queue=32, max_client_inflight=32)
+        with ServiceHarness(engine_config=config) as harness:
+            status, body = harness.submit("audit", IDENTICAL, client="first")
+            harness.poll(body["job"]["id"])
+            executed_before = harness.counter(
+                "repro_service_jobs_executed_total", kind="audit"
+            )
+            repeat_status, repeat = harness.submit(
+                "audit", IDENTICAL, client="second"
+            )
+            assert repeat_status == 200
+            assert repeat["job"]["memoized"]
+            executed_after = harness.counter(
+                "repro_service_jobs_executed_total", kind="audit"
+            )
+            assert executed_after == executed_before
+            assert (
+                harness.counter("repro_service_memo_hits_total", kind="audit")
+                >= 1.0
+            )
+
+
+class TestAdmissionUnderLoad:
+    def test_past_watermark_returns_429_not_hangs(self):
+        config = EngineConfig(max_queue=2, max_client_inflight=16)
+        with ServiceHarness(engine_config=config) as harness:
+            harness.engine.pause()
+            accepted = []
+            for index in range(2):
+                status, body = harness.submit(
+                    "audit", distinct(100 + index), client=f"filler-{index}"
+                )
+                assert status == 202
+                accepted.append(body["job"]["id"])
+
+            # The watermark is reached: refusals are immediate 429s with
+            # Retry-After, served while the queue is still full.
+            status, headers, body = harness.request(
+                "POST",
+                "/v1/jobs",
+                body=json.dumps(
+                    {"kind": "audit", "params": distinct(999)}
+                ).encode(),
+                headers={"X-Client-Id": "overflow"},
+                timeout_s=5.0,
+            )
+            assert status == 429
+            assert int(headers["retry-after"]) >= 1
+            assert json.loads(body)["error"]["type"] == "AdmissionError"
+            assert (
+                harness.counter(
+                    "repro_service_admission_rejections_total",
+                    reason="queue_full",
+                )
+                >= 1.0
+            )
+
+            # Draining restores admission.
+            harness.engine.resume()
+            for job_id in accepted:
+                assert harness.poll(job_id)["state"] == "done"
+            status, body = harness.submit(
+                "audit", distinct(999), client="overflow"
+            )
+            assert status == 202
+            assert harness.poll(body["job"]["id"])["state"] == "done"
+
+    def test_per_client_cap_rejects_greedy_client_only(self):
+        config = EngineConfig(max_queue=32, max_client_inflight=2)
+        with ServiceHarness(engine_config=config) as harness:
+            harness.engine.pause()
+            for index in range(2):
+                status, _ = harness.submit(
+                    "audit", distinct(200 + index), client="greedy"
+                )
+                assert status == 202
+            status, body = harness.submit(
+                "audit", distinct(299), client="greedy"
+            )
+            assert status == 429
+            assert (
+                harness.counter(
+                    "repro_service_admission_rejections_total",
+                    reason="client_cap",
+                )
+                >= 1.0
+            )
+            # A different client is unaffected.
+            status, body = harness.submit(
+                "audit", distinct(299), client="patient"
+            )
+            assert status == 202
+            harness.engine.resume()
+            assert harness.poll(body["job"]["id"])["state"] == "done"
+
+
+class TestSoakMix:
+    def test_mixed_wave_settles_consistently(self):
+        """A wave of mixed identical/distinct jobs: every id unique, every
+        terminal, dedup + executions exactly account for all of them."""
+        config = EngineConfig(
+            max_queue=64, max_client_inflight=64, service_workers=2
+        )
+        with ServiceHarness(engine_config=config) as harness:
+            harness.engine.pause()
+            specs = []
+            for wave in range(3):
+                specs.extend(dict(IDENTICAL) for _ in range(3))
+                specs.extend(distinct(400 + wave * 10 + i) for i in range(2))
+            submissions = _submit_many(harness, specs)
+            harness.engine.resume()
+
+            ids = []
+            for status, body in submissions:
+                assert status in (200, 202)
+                job = harness.poll(body["job"]["id"])
+                assert job["state"] == "done"
+                ids.append(job["id"])
+            assert len(set(ids)) == len(specs)
+
+            executed = harness.counter(
+                "repro_service_jobs_executed_total", kind="audit"
+            )
+            deduped = harness.counter(
+                "repro_service_dedup_hits_total", kind="audit"
+            )
+            memoed = harness.counter(
+                "repro_service_memo_hits_total", kind="audit"
+            )
+            # 9 identical (1 flight + 8 attach/memo) + 6 distinct flights.
+            assert executed == 1 + 6
+            assert deduped + memoed == 8

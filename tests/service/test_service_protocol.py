@@ -1,0 +1,196 @@
+"""Protocol negative tests + hypothesis fuzz over request mutations.
+
+The rule under test: nothing a client sends over the wire — malformed
+JSON, garbage methods, oversized anything, truncated requests, sudden
+disconnects, arbitrary byte mutations of a valid request — may produce
+anything but a clean 4xx/5xx response or a clean close.  After every
+abuse, ``/healthz`` must still answer 200: no tracebacked event loop,
+no wedged worker.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from harness import ServiceHarness
+from repro.service import EngineConfig
+
+#: Shared instance: the whole point is one server surviving all of it.
+_CONFIG = EngineConfig(max_queue=8, max_client_inflight=8)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    """One service instance fuzzed by the entire module."""
+    with ServiceHarness(
+        engine_config=_CONFIG, request_timeout_s=2.0, max_body_bytes=4096
+    ) as instance:
+        yield instance
+
+
+def _status_of(response: bytes) -> int:
+    assert response.startswith(b"HTTP/1.1 "), response[:40]
+    return int(response.split(b" ", 2)[1])
+
+
+class TestMalformedBodies:
+    def test_invalid_json_body_is_400(self, harness):
+        status, _, body = harness.request(
+            "POST", "/v1/jobs", body=b"{not json", headers={}
+        )
+        assert status == 400
+        assert json.loads(body)["error"]["type"] == "MalformedBody"
+        assert harness.is_responsive()
+
+    def test_non_object_json_body_is_400(self, harness):
+        status, _, body = harness.request("POST", "/v1/jobs", body=b'["a list"]')
+        assert status == 400
+        assert json.loads(body)["error"]["type"] == "MalformedBody"
+
+    def test_empty_body_is_400(self, harness):
+        status, _, _ = harness.request("POST", "/v1/jobs", body=b"")
+        assert status == 400
+
+    def test_oversized_body_is_413(self, harness):
+        blob = json.dumps({"kind": "audit", "params": {"x": "y" * 8000}})
+        status, _, body = harness.request("POST", "/v1/jobs", body=blob.encode())
+        assert status == 413
+        assert json.loads(body)["error"]["type"] == "ProtocolError"
+        assert harness.is_responsive()
+
+
+class TestRoutesAndMethods:
+    def test_unknown_route_is_404(self, harness):
+        status, _, body = harness.request("GET", "/v2/nope")
+        assert status == 404
+        assert json.loads(body)["error"]["type"] == "NotFound"
+
+    def test_wrong_method_is_405_with_allow(self, harness):
+        status, headers, _ = harness.request("PUT", "/v1/jobs")
+        assert status == 405
+        assert headers["allow"] == "POST"
+        status, headers, _ = harness.request("DELETE", "/healthz")
+        assert status == 405
+        assert headers["allow"] == "GET"
+
+    def test_nested_garbage_under_jobs_is_404(self, harness):
+        status, _, _ = harness.request("GET", "/v1/jobs/a/b/c")
+        assert status == 404
+
+
+class TestRawSocketAbuse:
+    def test_garbage_method_is_400(self, harness):
+        response = harness.raw_exchange(b"FROB /healthz HTTP/1.1\r\n\r\n")
+        assert _status_of(response) == 400
+        assert harness.is_responsive()
+
+    def test_unsupported_http_version_is_505(self, harness):
+        response = harness.raw_exchange(b"GET /healthz HTTP/9.9\r\n\r\n")
+        assert _status_of(response) == 505
+
+    def test_bad_request_line_is_400(self, harness):
+        response = harness.raw_exchange(b"GET\r\n\r\n")
+        assert _status_of(response) == 400
+
+    def test_oversized_header_line_is_431(self, harness):
+        request = b"GET /healthz HTTP/1.1\r\nX-Big: " + b"a" * 9000 + b"\r\n\r\n"
+        response = harness.raw_exchange(request)
+        assert _status_of(response) == 431
+        assert harness.is_responsive()
+
+    def test_too_many_headers_is_431(self, harness):
+        headers = b"".join(
+            b"X-H-%d: v\r\n" % index for index in range(150)
+        )
+        response = harness.raw_exchange(
+            b"GET /healthz HTTP/1.1\r\n" + headers + b"\r\n"
+        )
+        assert _status_of(response) == 431
+
+    def test_bad_content_length_is_400(self, harness):
+        response = harness.raw_exchange(
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+        )
+        assert _status_of(response) == 400
+
+    def test_truncated_request_closes_cleanly(self, harness):
+        response = harness.raw_exchange(b"GET /healthz HT")
+        assert response == b""  # dropped, no half-baked answer
+        assert harness.is_responsive()
+
+    def test_truncated_body_closes_cleanly(self, harness):
+        response = harness.raw_exchange(
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 500\r\n\r\n{\"kind\""
+        )
+        assert response == b""
+        assert harness.is_responsive()
+
+    def test_premature_disconnect_is_survived(self, harness):
+        harness.raw_exchange(
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 100\r\n\r\nabc",
+            recv=False,
+        )
+        harness.raw_exchange(b"", recv=False)  # connect-and-slam
+        assert harness.is_responsive()
+
+    def test_asyncio_client_sees_same_behavior(self, harness):
+        response = harness.async_raw_exchange(b"GET /healthz HTTP/1.1\r\n\r\n")
+        assert _status_of(response) == 200
+        response = harness.async_raw_exchange(b"WAT / HTTP/1.1\r\n\r\n")
+        assert _status_of(response) == 400
+        assert harness.is_responsive()
+
+    def test_protocol_errors_are_counted(self, harness):
+        assert (
+            harness.counter("repro_service_protocol_errors_total") >= 1.0
+        )
+
+
+#: A valid request to mutate: well-formed submit of a well-formed job.
+_VALID = (
+    b"POST /v1/jobs HTTP/1.1\r\n"
+    b"Host: fuzz\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Content-Length: 45\r\n"
+    b"\r\n"
+    b'{"kind": "audit", "params": {"agents": 1000}}'
+)
+assert _VALID.endswith(b"}"), "keep Content-Length in sync with the body"
+
+
+@st.composite
+def mutated_requests(draw) -> bytes:
+    """Byte-level mutations of a valid request: truncate, flip, insert."""
+    data = bytearray(_VALID)
+    mutation = draw(st.sampled_from(["truncate", "flip", "insert", "stack"]))
+    if mutation == "truncate":
+        cut = draw(st.integers(min_value=0, max_value=len(data) - 1))
+        return bytes(data[:cut])
+    if mutation == "flip":
+        for _ in range(draw(st.integers(min_value=1, max_value=8))):
+            position = draw(st.integers(min_value=0, max_value=len(data) - 1))
+            data[position] = draw(st.integers(min_value=0, max_value=255))
+        return bytes(data)
+    if mutation == "insert":
+        position = draw(st.integers(min_value=0, max_value=len(data)))
+        blob = draw(st.binary(min_size=1, max_size=64))
+        return bytes(data[:position]) + blob + bytes(data[position:])
+    # "stack": extra leading junk line(s) before the request line.
+    junk = draw(st.binary(min_size=0, max_size=32).filter(lambda b: b"\n" not in b))
+    return junk + b"\r\n" + bytes(data)
+
+
+class TestFuzz:
+    @given(request=mutated_requests())
+    def test_mutated_requests_never_wedge_the_service(self, harness, request):
+        """Any mutation yields a parseable HTTP answer or a clean close —
+        and the service stays alive either way."""
+        response = harness.raw_exchange(request, timeout_s=5.0)
+        if response:
+            assert response.startswith(b"HTTP/1.1 "), response[:60]
+            status = _status_of(response)
+            assert 200 <= status < 600
+        assert harness.is_responsive()
