@@ -123,6 +123,9 @@ def _run_shard(
     element is its snapshot; otherwise it is ``None`` and no registry is
     allocated.  The inline (``workers<=1``) path and the pool path both go
     through here, so serial and parallel runs instrument identically.
+    ``capture`` is context-local, so an inline shard running on one of
+    the audit service's job-engine threads never swaps the registry out
+    from under the event loop's ``/metrics`` or a sibling worker.
     """
     snapshot: Optional[Dict[str, Any]] = None
     start = time.perf_counter()

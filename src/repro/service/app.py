@@ -70,6 +70,32 @@ def _error_body(error_type: str, message: str) -> bytes:
     return _json_body({"error": {"type": error_type, "message": message}})
 
 
+#: The closed set of ``route`` label values for
+#: ``repro_service_requests_total`` (plus ``(protocol-error)`` for
+#: framing rejections, counted in the connection handler).
+_ROUTE_LABELS = ("/healthz", "/metrics", "/v1/jobs")
+
+
+def _route_label(path: str) -> str:
+    """Collapse a request path onto a fixed route template for metrics.
+
+    Raw paths carry unbounded cardinality — every job id, every random
+    404 probe — and a labeled counter child lives forever, so counting
+    by raw path would grow the registry without bound and explode the
+    Prometheus series count.  Everything a client can send maps onto
+    this closed set of templates.
+    """
+    if path in _ROUTE_LABELS:
+        return path
+    if path.startswith("/v1/jobs/"):
+        remainder = path[len("/v1/jobs/"):]
+        if remainder.endswith("/result"):
+            return "/v1/jobs/{id}/result"
+        if remainder and "/" not in remainder:
+            return "/v1/jobs/{id}"
+    return "(unmatched)"
+
+
 class ReproService:
     """The asyncio HTTP server wrapping one :class:`JobEngine`.
 
@@ -178,7 +204,7 @@ class ReproService:
                 return
             status, payload = self._dispatch(request)
             writer.write(payload)
-            self._count(request.path, request.method, status)
+            self._count(_route_label(request.path), request.method, status)
             await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             self._m_protocol_errors.labels(reason="disconnect").inc()
@@ -281,6 +307,9 @@ class ReproService:
             return 400, render_response(
                 400, _error_body("MalformedBody", "body must be a JSON object")
             )
+        # Advisory fair-share identity (see EngineConfig): the client's
+        # own header when present, else the peer address.  Not a
+        # security boundary — the global watermark is the hard cap.
         client = request.headers.get("x-client-id") or request.client or "unknown"
         status = self.engine.submit(body.get("kind"), body.get("params"), client)
         http_status = 200 if status.memoized else 202

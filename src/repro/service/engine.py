@@ -14,14 +14,19 @@ healthy under concurrent load:
   honest 429s instead of unbounded latency.
 * **Memoization + single-flight**: every job's content-hash key
   (:func:`~repro.service.jobs.job_key`) indexes a table of
-  *executions*.  A key seen before and finished is a **memo hit** — the
-  new job record completes instantly with the stored result bytes.  A
-  key currently queued or running is a **dedup hit** — the new record
-  attaches to the in-flight execution, so N concurrent identical
-  requests cost exactly one computation.  Result bytes are rendered
-  once per execution (``json.dumps(..., indent=2, sort_keys=True)``,
-  the CLI's serialization), so every record sharing a key serves
-  byte-identical payloads.
+  *executions*.  A key seen before and **successfully** finished is a
+  **memo hit** — the new job record completes instantly with the stored
+  result bytes.  A key currently queued or running is a **dedup hit** —
+  the new record attaches to the in-flight execution, so N concurrent
+  identical requests cost exactly one computation.  Result bytes are
+  rendered once per execution (``json.dumps(..., indent=2,
+  sort_keys=True)``, the CLI's serialization), so every record sharing
+  a key serves byte-identical payloads.  Failures are **never**
+  memoized: a failed execution is dropped from the key table the
+  moment it finishes (its records keep answering status queries), so
+  resubmitting after a transient failure — a shard timeout, a worker
+  death, an injected fault — re-executes instead of replaying the
+  cached error forever.
 * **LRU eviction**: finished job *records* (id -> status) are evicted
   oldest-touched-first beyond ``max_records``; a later ``GET`` on an
   evicted id is a clean 404 (:class:`~repro.errors.JobNotFoundError`).
@@ -67,6 +72,16 @@ class EngineConfig:
     verbatim in 429 responses.  ``context`` carries the per-job
     orchestrator resources (worker pool size, shard cache, robustness
     policy).
+
+    Client identity is whatever string the front end passes to
+    :meth:`JobEngine.submit` — the client-chosen ``X-Client-Id`` header
+    when present, else the peer address.  It is advisory fair-share
+    state, not a security boundary: a client minting a fresh id per
+    request sidesteps its own cap (the global ``max_queue`` watermark
+    still holds).  The per-client table only tracks identities with
+    jobs currently in flight (entries are deleted at zero), so it is
+    bounded by the number of live job records, not by the number of
+    distinct ids ever seen.
     """
 
     max_queue: int = 8
@@ -247,8 +262,11 @@ class JobEngine:
         """
         job = prepare_job(kind, params)  # ConfigurationError -> HTTP 400
         with self._lock:
+            # Only successful executions stay in the key table (_finish
+            # drops failed ones), so a memo hit is always a done result
+            # and a failure never blocks re-execution of its key.
             existing = self._executions.get(job.key)
-            memo_hit = existing is not None and existing.state in (_DONE, _FAILED)
+            memo_hit = existing is not None and existing.state == _DONE
             dedup_hit = existing is not None and not memo_hit
             if not memo_hit and not dedup_hit:
                 if len(self._pending) >= self.config.max_queue:
@@ -280,8 +298,7 @@ class JobEngine:
                     finished=True,
                 )
                 self._m_memo.labels(kind=job.kind).inc()
-                outcome = _DONE if existing.state == _DONE else _FAILED
-                self._m_jobs.labels(kind=job.kind, outcome=outcome).inc()
+                self._m_jobs.labels(kind=job.kind, outcome=_DONE).inc()
             elif dedup_hit:
                 assert existing is not None
                 record = _Record(
@@ -448,14 +465,24 @@ class JobEngine:
             execution.payload_json = payload_json
             execution.error = error
             execution.state = state
+            if state == _FAILED and self._executions.get(execution.job.key) is execution:
+                # Never memoize a failure: the records keep serving the
+                # structured error, but the next identical submission
+                # starts a fresh execution instead of replaying it.
+                del self._executions[execution.job.key]
             self._m_executed.labels(kind=execution.job.kind).inc()
             for record_id in execution.record_ids:
                 record = self._records.get(record_id)
                 if record is None:
                     continue
                 record.finished = True
-                self._inflight_by_client[record.client] = max(
-                    0, self._inflight_by_client.get(record.client, 1) - 1
-                )
+                remaining = self._inflight_by_client.get(record.client, 1) - 1
+                if remaining <= 0:
+                    # Delete at zero so the table tracks only identities
+                    # with live jobs — a fresh X-Client-Id per request
+                    # cannot grow it without bound.
+                    self._inflight_by_client.pop(record.client, None)
+                else:
+                    self._inflight_by_client[record.client] = remaining
                 self._m_jobs.labels(kind=execution.job.kind, outcome=state).inc()
             execution.done.set()

@@ -170,7 +170,18 @@ async def _read_request(
         name, separator, value = text.partition(":")
         if not separator or not name or name != name.strip() or " " in name:
             raise ProtocolError(400, f"malformed header line {text!r}")
-        headers[name.lower()] = value.strip()
+        lowered = name.lower()
+        if lowered in headers:
+            # RFC 7230 §3.3.2/§5.4: a message with multiple
+            # Content-Length (or Host / Transfer-Encoding) headers must
+            # be rejected, not last-one-wins — conflicting lengths are
+            # the request-smuggling primitive.  Other repeated headers
+            # combine into one comma-separated field value.
+            if lowered in ("content-length", "transfer-encoding", "host"):
+                raise ProtocolError(400, f"duplicate {lowered} header")
+            headers[lowered] = f"{headers[lowered]}, {value.strip()}"
+        else:
+            headers[lowered] = value.strip()
     else:
         raise ProtocolError(431, "unterminated header block", reason="oversized")
 

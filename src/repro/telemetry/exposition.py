@@ -38,8 +38,11 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
 _SAMPLE_RE = re.compile(
+    # Label matching is greedy to the *last* closing brace: quoted label
+    # values may legally contain '}' (e.g. route="/v1/jobs/{id}"), and
+    # the value token after the separating space can never include one.
     rf"^(?P<name>{_NAME_RE})"
-    rf"(?:\{{(?P<labels>[^}}]*)\}})?"
+    rf"(?:\{{(?P<labels>.*)\}})?"
     r" (?P<value>[0-9eE+\-.]+|NaN|\+Inf|-Inf)$"
 )
 _LABEL_RE = re.compile(rf'^(?P<label>{_NAME_RE})="(?P<value>(?:[^"\\]|\\.)*)"$')

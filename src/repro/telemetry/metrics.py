@@ -21,6 +21,12 @@ Design constraints, in order:
   one: counters and histograms add, gauges keep the *last* writer in
   the order given (the orchestrator merges in canonical shard order, so
   parallel runs merge identically to serial runs).
+* **Thread safety.**  One re-entrant lock per registry, shared by its
+  families and child instruments, serializes ``inc``/``set``/
+  ``observe`` against ``snapshot``/``merge``/child creation — the audit
+  service records from job-engine worker threads while the event loop
+  scrapes ``/metrics``, and neither loses updates nor sees a dict
+  mutate mid-iteration.
 
 No third-party dependencies; this module must import in a bare worker
 process in microseconds.
@@ -29,6 +35,7 @@ process in microseconds.
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -92,10 +99,11 @@ def _check_name(name: str) -> str:
 class Counter:
     """A monotonically increasing sum (one labeled child of a family)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: Optional[threading.RLock] = None) -> None:
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
@@ -103,24 +111,28 @@ class Counter:
             raise ConfigurationError(
                 f"counters only go up; inc({amount}) is negative"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A point-in-time value (one labeled child of a family)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: Optional[threading.RLock] = None) -> None:
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def set(self, value: float) -> None:
         """Overwrite the gauge with ``value``."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Adjust the gauge by ``amount`` (may be negative)."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Histogram:
@@ -133,9 +145,13 @@ class Histogram:
     elementwise addition.
     """
 
-    __slots__ = ("bounds", "counts", "sum", "count")
+    __slots__ = ("bounds", "counts", "sum", "count", "_lock")
 
-    def __init__(self, bounds: Sequence[float]) -> None:
+    def __init__(
+        self,
+        bounds: Sequence[float],
+        lock: Optional[threading.RLock] = None,
+    ) -> None:
         self.bounds = tuple(float(b) for b in bounds)
         if list(self.bounds) != sorted(set(self.bounds)):
             raise ConfigurationError(
@@ -146,15 +162,18 @@ class Histogram:
         self.counts = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.sum += value
-        self.count += 1
-        # First bound >= value (C-speed binary search); len(bounds) when
-        # the value overflows every bound — the trailing +Inf slot.
-        self.counts[bisect_left(self.bounds, value)] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            # First bound >= value (C-speed binary search); len(bounds)
+            # when the value overflows every bound — the trailing +Inf
+            # slot.
+            self.counts[bisect_left(self.bounds, value)] += 1
 
 
 class _NullInstrument:
@@ -188,7 +207,15 @@ class MetricFamily:
     should resolve children once and hold the handles.
     """
 
-    __slots__ = ("name", "help", "type", "label_names", "bounds", "_children")
+    __slots__ = (
+        "name",
+        "help",
+        "type",
+        "label_names",
+        "bounds",
+        "_children",
+        "_lock",
+    )
 
     def __init__(
         self,
@@ -197,6 +224,7 @@ class MetricFamily:
         metric_type: str,
         label_names: Tuple[str, ...],
         bounds: Optional[Tuple[float, ...]] = None,
+        lock: Optional[threading.RLock] = None,
     ) -> None:
         self.name = _check_name(name)
         self.help = help_text
@@ -205,16 +233,17 @@ class MetricFamily:
         self.type = metric_type
         self.label_names = tuple(_check_name(label) for label in label_names)
         self.bounds = bounds
+        self._lock = lock if lock is not None else threading.RLock()
         self._children: Dict[Tuple[str, ...], object] = {}
         if not self.label_names:
             self._children[()] = self._make_child()
 
     def _make_child(self):
         if self.type == "counter":
-            return Counter()
+            return Counter(self._lock)
         if self.type == "gauge":
-            return Gauge()
-        return Histogram(self.bounds or DEFAULT_TIME_BUCKETS)
+            return Gauge(self._lock)
+        return Histogram(self.bounds or DEFAULT_TIME_BUCKETS, self._lock)
 
     def labels(self, **label_values: str):
         """The child instrument for one label-value combination."""
@@ -224,10 +253,11 @@ class MetricFamily:
                 f"got {tuple(sorted(label_values))}"
             )
         key = tuple(str(label_values[label]) for label in self.label_names)
-        child = self._children.get(key)
-        if child is None:
-            child = self._make_child()
-            self._children[key] = child
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
         return child
 
     # Unlabeled families proxy the instrument API of their single child.
@@ -247,21 +277,22 @@ class MetricFamily:
     def samples(self) -> List[Dict[str, object]]:
         """Deterministic sample list: one entry per labeled child."""
         out: List[Dict[str, object]] = []
-        for key in sorted(self._children):
-            child = self._children[key]
-            labels = dict(zip(self.label_names, key))
-            if self.type == "histogram":
-                out.append(
-                    {
-                        "labels": labels,
-                        "bounds": list(child.bounds),
-                        "counts": list(child.counts),
-                        "sum": child.sum,
-                        "count": child.count,
-                    }
-                )
-            else:
-                out.append({"labels": labels, "value": child.value})
+        with self._lock:
+            for key in sorted(self._children):
+                child = self._children[key]
+                labels = dict(zip(self.label_names, key))
+                if self.type == "histogram":
+                    out.append(
+                        {
+                            "labels": labels,
+                            "bounds": list(child.bounds),
+                            "counts": list(child.counts),
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                else:
+                    out.append({"labels": labels, "value": child.value})
         return out
 
 
@@ -281,6 +312,11 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self) -> None:
+        # One re-entrant lock for the whole registry, shared with every
+        # family and child instrument: snapshot/merge hold it while they
+        # iterate, so a concurrent inc()/labels() from another thread
+        # can neither lose an update nor mutate a dict mid-iteration.
+        self._lock = threading.RLock()
         self._families: Dict[str, MetricFamily] = {}
 
     def _get_or_create(
@@ -291,21 +327,24 @@ class MetricsRegistry:
         labels: Tuple[str, ...],
         bounds: Optional[Tuple[float, ...]],
     ) -> MetricFamily:
-        family = self._families.get(name)
-        if family is not None:
-            if (
-                family.type != metric_type
-                or family.label_names != tuple(labels)
-                or (metric_type == "histogram" and family.bounds != bounds)
-            ):
-                raise ConfigurationError(
-                    f"metric {name!r} is already registered as a "
-                    f"{family.type} with labels {family.label_names}"
-                )
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if (
+                    family.type != metric_type
+                    or family.label_names != tuple(labels)
+                    or (metric_type == "histogram" and family.bounds != bounds)
+                ):
+                    raise ConfigurationError(
+                        f"metric {name!r} is already registered as a "
+                        f"{family.type} with labels {family.label_names}"
+                    )
+                return family
+            family = MetricFamily(
+                name, help_text, metric_type, tuple(labels), bounds, self._lock
+            )
+            self._families[name] = family
             return family
-        family = MetricFamily(name, help_text, metric_type, tuple(labels), bounds)
-        self._families[name] = family
-        return family
 
     def counter(
         self, name: str, help_text: str = "", labels: Sequence[str] = ()
@@ -338,18 +377,19 @@ class MetricsRegistry:
         recorded the same events serialize byte-identically (via
         ``json.dumps(..., sort_keys=True)``).
         """
-        return {
-            "version": SNAPSHOT_VERSION,
-            "metrics": {
-                name: {
-                    "type": family.type,
-                    "help": family.help,
-                    "labels": list(family.label_names),
-                    "samples": family.samples(),
-                }
-                for name, family in sorted(self._families.items())
-            },
-        }
+        with self._lock:
+            return {
+                "version": SNAPSHOT_VERSION,
+                "metrics": {
+                    name: {
+                        "type": family.type,
+                        "help": family.help,
+                        "labels": list(family.label_names),
+                        "samples": family.samples(),
+                    }
+                    for name, family in sorted(self._families.items())
+                },
+            }
 
     def merge(self, snapshot: Mapping[str, object]) -> None:
         """Fold one snapshot into this registry.
@@ -363,6 +403,10 @@ class MetricsRegistry:
                 f"cannot merge snapshot version {snapshot.get('version')!r}; "
                 f"this registry speaks version {SNAPSHOT_VERSION}"
             )
+        with self._lock:
+            self._merge_locked(snapshot)
+
+    def _merge_locked(self, snapshot: Mapping[str, object]) -> None:
         for name, payload in snapshot["metrics"].items():
             metric_type = payload["type"]
             labels = tuple(payload["labels"])

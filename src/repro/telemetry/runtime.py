@@ -1,13 +1,26 @@
-"""The process-wide active registry: enable, disable, capture.
+"""The active registry: a process-wide base plus a context-local capture.
 
 Telemetry is off by default: :func:`get_registry` returns the shared
 :data:`~repro.telemetry.metrics.NULL_REGISTRY` until something calls
 :func:`enable` (the CLI's ``--telemetry-json`` / ``--metrics-text``
-flags, a benchmark's :func:`capture` block, or a worker process asked to
-instrument a shard).  Instrumented modules resolve the active registry
-once per object construction — e.g. ``FastSimulation.__init__`` — so
-enabling telemetry *after* building a simulation leaves that simulation
+flags, ``repro-runner serve``, or a worker process asked to instrument
+a shard).  Instrumented modules resolve the active registry once per
+object construction — e.g. ``FastSimulation.__init__`` — so enabling
+telemetry *after* building a simulation leaves that simulation
 uninstrumented by design: the hot path never re-checks a global.
+
+Two scopes compose:
+
+* :func:`enable` / :func:`disable` set the **process-wide base**
+  registry.  Every thread sees it — the audit service's ``/metrics``
+  endpoint scrapes it from the asyncio event loop while job-engine
+  worker threads record into it.
+* :func:`capture` installs a **context-local override** (a
+  :class:`contextvars.ContextVar`), visible only to the capturing
+  thread (or asyncio task) and restored on exit.  A shard capturing a
+  private registry on one job-engine worker thread therefore never
+  swaps the registry out from under a concurrent ``/metrics`` scrape
+  or a sibling worker — the base stays active everywhere else.
 
 The orchestrator's workers each :func:`capture` a fresh registry around
 their shard, attach the snapshot to the shard outcome, and the parent
@@ -18,38 +31,48 @@ are identical at any ``--workers`` count.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator, Optional, Union
 
 from repro.telemetry.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
 
 Registry = Union[MetricsRegistry, NullRegistry]
 
-_active: Registry = NULL_REGISTRY
+#: The process-wide base registry (what :func:`enable` installs).
+_base: Registry = NULL_REGISTRY
+
+#: The context-local capture override; ``None`` means "use the base".
+#: New threads start with an empty context, so they fall through to the
+#: base — a capture never leaks into a thread it did not run on.
+_override: ContextVar[Optional[Registry]] = ContextVar(
+    "repro_telemetry_override", default=None
+)
 
 
 def get_registry() -> Registry:
-    """The process's active registry (the null registry when disabled)."""
-    return _active
+    """The active registry: the context-local capture, else the base."""
+    override = _override.get()
+    return override if override is not None else _base
 
 
 def telemetry_enabled() -> bool:
-    """Whether a live registry is active in this process."""
-    return _active.enabled
+    """Whether a live registry is active in this context."""
+    return get_registry().enabled
 
 
 def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
-    """Activate ``registry`` (or a fresh one) and return it."""
-    global _active
+    """Activate ``registry`` (or a fresh one) process-wide and return it."""
+    global _base
     if registry is None:
         registry = MetricsRegistry()
-    _active = registry
+    _base = registry
     return registry
 
 
 def disable() -> None:
-    """Deactivate telemetry: the null registry becomes active again."""
-    global _active
-    _active = NULL_REGISTRY
+    """Deactivate telemetry: the null registry becomes the base again."""
+    global _base
+    _base = NULL_REGISTRY
 
 
 @contextmanager
@@ -61,12 +84,14 @@ def capture(
     The worker-side primitive: shard functions run inside ``capture()``
     so their metrics accumulate into a private registry whose snapshot
     travels back on the shard outcome — never into the shard cache.
+
+    The override is context-local (thread-local in practice): other
+    threads — the service event loop, sibling job-engine workers —
+    keep seeing the process-wide base registry for the duration.
     """
-    global _active
-    previous = _active
     live = registry if registry is not None else MetricsRegistry()
-    _active = live
+    token = _override.set(live)
     try:
         yield live
     finally:
-        _active = previous
+        _override.reset(token)

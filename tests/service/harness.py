@@ -31,7 +31,8 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.service import EngineConfig, ReproService
-from repro.telemetry import capture, get_registry
+from repro.telemetry import MetricsRegistry, disable, enable, get_registry
+from repro.telemetry import runtime as _telemetry_runtime
 
 
 class ServiceHarness:
@@ -42,9 +43,13 @@ class ServiceHarness:
         with ServiceHarness() as harness:
             status, headers, body = harness.request("GET", "/healthz")
 
-    A private telemetry registry is captured for the harness's lifetime
-    (and restored on exit), so counter assertions never see another
-    test's metrics.
+    A private telemetry registry is installed process-wide (``enable``)
+    for the harness's lifetime and the previous registry restored on
+    exit, so counter assertions never see another test's metrics.  It
+    must be the *base* registry, not a context-local ``capture()``: the
+    service records from its event-loop thread and its job-engine
+    worker threads, which a capture — scoped to the entering thread —
+    would never reach.
     """
 
     def __init__(
@@ -59,14 +64,14 @@ class ServiceHarness:
         self.service: Optional[ReproService] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
-        self._capture = None
-        self.registry = None
+        self._previous_registry = None
+        self.registry: Optional[MetricsRegistry] = None
 
     # -- lifecycle --------------------------------------------------------
 
     def __enter__(self) -> "ServiceHarness":
-        self._capture = capture()
-        self.registry = self._capture.__enter__()
+        self._previous_registry = _telemetry_runtime.get_registry()
+        self.registry = enable(MetricsRegistry())
         kwargs: Dict[str, Any] = dict(
             port=0,
             engine_config=self._engine_config,
@@ -104,8 +109,10 @@ class ServiceHarness:
             if self._loop is not None:
                 self._loop.close()
         finally:
-            if self._capture is not None:
-                self._capture.__exit__(None, None, None)
+            if isinstance(self._previous_registry, MetricsRegistry):
+                enable(self._previous_registry)
+            else:
+                disable()
 
     @property
     def host(self) -> str:

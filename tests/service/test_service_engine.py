@@ -49,6 +49,26 @@ def failing_kind(monkeypatch):
 
 
 @pytest.fixture()
+def flaky_kind(monkeypatch):
+    """Register a 'flaky' kind that fails its first execution, then works."""
+    calls = {"n": 0}
+
+    def _prepare(raw):
+        params = dict(raw)
+
+        def _run(ctx):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient flake")
+            return {"ok": True, "execution": calls["n"]}
+
+        return PreparedJob("flaky", params, job_key("flaky", params), _run)
+
+    monkeypatch.setitem(JOB_KINDS, "flaky", _prepare)
+    return "flaky"
+
+
+@pytest.fixture()
 def engine():
     """A started single-thread engine with small, test-friendly limits."""
     instance = JobEngine(
@@ -142,6 +162,30 @@ class TestSingleFlightAndMemo:
         assert repeat.state == "done"
         assert engine.result_bytes(repeat.id) == engine.result_bytes(first.id)
 
+    def test_failure_is_not_memoized(self, engine, flaky_kind):
+        """A transient failure must not be replayed as a cached answer:
+        resubmitting the identical spec re-executes the job."""
+        first = engine.submit(flaky_kind, {"x": 1}, "c")
+        assert engine.wait(first.id).state == "failed"
+        retry = engine.submit(flaky_kind, {"x": 1}, "c")
+        assert not retry.memoized and not retry.deduplicated
+        assert engine.wait(retry.id).state == "done"
+        assert b'"ok": true' in engine.result_bytes(retry.id)
+        # The failed record still answers status queries with its error.
+        stale = engine.get(first.id)
+        assert stale.state == "failed"
+        assert stale.error == {"type": "RuntimeError", "message": "transient flake"}
+
+    def test_failure_does_not_block_concurrent_dedup(self, engine, failing_kind):
+        """Records attached to a failing flight all observe the failure."""
+        engine.pause()
+        first = engine.submit(failing_kind, {"y": 2}, "a")
+        attached = engine.submit(failing_kind, {"y": 2}, "b")
+        assert attached.deduplicated
+        engine.resume()
+        assert engine.wait(first.id).state == "failed"
+        assert engine.wait(attached.id).state == "failed"
+
     def test_memo_hit_bypasses_admission(self, engine, echo_kind):
         """A cached answer costs nothing, so caps must not refuse it."""
         first = engine.submit(echo_kind, {"x": 5}, "a")
@@ -189,6 +233,16 @@ class TestAdmissionControl:
         other = engine.submit(echo_kind, {"i": 99}, "patient")
         assert other.state == "queued"
         engine.resume()
+
+    def test_inflight_table_is_pruned_at_zero(self, engine, echo_kind, failing_kind):
+        """Client identities are forgotten once their last job finishes,
+        so a fresh X-Client-Id per request cannot grow the table."""
+        for index in range(3):
+            status = engine.submit(echo_kind, {"i": index}, f"one-shot-{index}")
+            engine.wait(status.id)
+        failed = engine.submit(failing_kind, {}, "one-shot-fail")
+        engine.wait(failed.id)
+        assert engine._inflight_by_client == {}
 
 
 class TestEviction:

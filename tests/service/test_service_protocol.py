@@ -116,6 +116,32 @@ class TestRawSocketAbuse:
         )
         assert _status_of(response) == 400
 
+    def test_duplicate_content_length_is_400(self, harness):
+        """RFC 7230: conflicting Content-Length repeats must be rejected,
+        not resolved last-one-wins (the request-smuggling primitive)."""
+        response = harness.raw_exchange(
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Content-Length: 2\r\n"
+            b"Content-Length: 5\r\n"
+            b"\r\n"
+            b"ab"
+        )
+        assert _status_of(response) == 400
+        assert harness.is_responsive()
+
+    def test_duplicate_host_is_400(self, harness):
+        response = harness.raw_exchange(
+            b"GET /healthz HTTP/1.1\r\nHost: a\r\nHost: b\r\n\r\n"
+        )
+        assert _status_of(response) == 400
+
+    def test_repeated_benign_headers_combine(self, harness):
+        """Non-singleton repeats fold comma-separated instead of erroring."""
+        response = harness.raw_exchange(
+            b"GET /healthz HTTP/1.1\r\nX-Tag: one\r\nX-Tag: two\r\n\r\n"
+        )
+        assert _status_of(response) == 200
+
     def test_truncated_request_closes_cleanly(self, harness):
         response = harness.raw_exchange(b"GET /healthz HT")
         assert response == b""  # dropped, no half-baked answer
@@ -147,6 +173,32 @@ class TestRawSocketAbuse:
         assert (
             harness.counter("repro_service_protocol_errors_total") >= 1.0
         )
+
+
+class TestRouteLabelCardinality:
+    #: Every value the `route` label may ever take — raw paths (job ids,
+    #: 404 probes) must never become label values, or the registry grows
+    #: without bound in a long-running service.
+    _ALLOWED = {
+        "/healthz",
+        "/metrics",
+        "/v1/jobs",
+        "/v1/jobs/{id}",
+        "/v1/jobs/{id}/result",
+        "(unmatched)",
+        "(protocol-error)",
+    }
+
+    def test_request_routes_collapse_to_templates(self, harness):
+        harness.request("GET", "/healthz")
+        harness.request("GET", "/v1/jobs/job-000042-deadbeef")
+        harness.request("GET", "/v1/jobs/job-000042-deadbeef/result")
+        harness.request("GET", "/spray/unique-path-1")
+        harness.request("GET", "/spray/unique-path-2")
+        family = harness.snapshot()["metrics"].get("repro_service_requests_total")
+        assert family is not None
+        routes = {sample["labels"]["route"] for sample in family["samples"]}
+        assert routes <= self._ALLOWED, routes - self._ALLOWED
 
 
 #: A valid request to mutate: well-formed submit of a well-formed job.

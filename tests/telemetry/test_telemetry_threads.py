@@ -1,0 +1,150 @@
+"""Thread-safety of the registry and context-locality of ``capture()``.
+
+The audit service records metrics from job-engine worker threads while
+the asyncio event loop scrapes ``/metrics``, and inline shards run
+inside ``capture()`` on those same worker threads.  Two invariants make
+that safe, both pinned here:
+
+* ``capture()`` overrides the active registry only for the capturing
+  thread; every other thread keeps seeing the process-wide base that
+  ``enable()`` installed.
+* ``MetricsRegistry`` serializes ``inc``/``observe``/``labels`` against
+  ``snapshot``, so concurrent writers never lose updates and a snapshot
+  taken mid-traffic never sees a dict mutate under iteration.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.telemetry import (
+    MetricsRegistry,
+    capture,
+    enable,
+    get_registry,
+)
+
+
+class TestCaptureIsContextLocal:
+    def test_capture_in_one_thread_does_not_leak_to_another(self):
+        base = enable()
+        seen = {}
+        capturing = threading.Event()
+        release = threading.Event()
+
+        def worker() -> None:
+            with capture() as private:
+                seen["inside"] = get_registry()
+                seen["private"] = private
+                capturing.set()
+                release.wait(timeout=10.0)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        try:
+            assert capturing.wait(timeout=10.0)
+            # The worker is inside capture() right now; this thread (the
+            # service event loop, in production) must still see the base.
+            assert get_registry() is base
+        finally:
+            release.set()
+            thread.join(timeout=10.0)
+        assert seen["inside"] is seen["private"]
+        assert seen["inside"] is not base
+
+    def test_enabled_base_is_visible_to_threads_started_later(self):
+        base = enable()
+        seen = {}
+
+        def worker() -> None:
+            seen["registry"] = get_registry()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert seen["registry"] is base
+
+    def test_interleaved_captures_restore_independently(self):
+        """Two threads capturing concurrently cannot clobber each other's
+        (or the global) registry, whatever their enter/exit order."""
+        base = enable()
+        barrier = threading.Barrier(2, timeout=10.0)
+        results = {}
+
+        def worker(name: str) -> None:
+            barrier.wait()  # both enter capture() together
+            with capture() as private:
+                barrier.wait()  # both are inside before either exits
+                results[name] = get_registry() is private
+            barrier.wait()
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert results == {"t0": True, "t1": True}
+        assert get_registry() is base
+
+
+class TestRegistryThreadSafety:
+    def test_concurrent_updates_do_not_lose_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t_ops_total", "test")
+        histogram = registry.histogram("t_op_seconds", "test")
+        labeled = registry.counter("t_labeled_total", "test", labels=("k",))
+        n_threads, per_thread = 8, 2_000
+
+        def worker(index: int) -> None:
+            child = labeled.labels(k=str(index % 4))
+            for _ in range(per_thread):
+                counter.inc()
+                histogram.observe(0.001)
+                child.inc()
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+
+        expected = n_threads * per_thread
+        snapshot = registry.snapshot()["metrics"]
+        assert snapshot["t_ops_total"]["samples"][0]["value"] == expected
+        histogram_sample = snapshot["t_op_seconds"]["samples"][0]
+        assert histogram_sample["count"] == expected
+        assert sum(histogram_sample["counts"]) == expected
+        labeled_total = sum(
+            sample["value"] for sample in snapshot["t_labeled_total"]["samples"]
+        )
+        assert labeled_total == expected
+
+    def test_snapshot_survives_concurrent_label_creation(self):
+        """Snapshots taken while writers mint new label children must not
+        raise (dict-changed-size) or observe torn histogram state."""
+        registry = MetricsRegistry()
+        family = registry.counter("t_spray_total", "test", labels=("i",))
+        stop = threading.Event()
+
+        def writer() -> None:
+            index = 0
+            while not stop.is_set():
+                family.labels(i=str(index % 256)).inc()
+                index += 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(50):
+                snapshot = registry.snapshot()
+                assert snapshot["version"] == 1
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
